@@ -1,0 +1,32 @@
+"""Fig. 2 — Montage makespan across storage systems and cluster sizes.
+
+Paper shapes: GlusterFS (both layouts) clearly fastest; NFS does well
+with few clients and beats the local disk at one node; S3 and PVFS
+suffer on Montage's tens of thousands of small files.
+"""
+
+from repro.experiments import paper_matrix, run_sweep
+from repro.experiments.paper import check_shapes
+from repro.experiments.results import format_figure_table, makespan_matrix
+
+from conftest import publish
+
+APP = "montage"
+
+
+def test_fig2_montage_performance(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: run_sweep(paper_matrix(APP)), rounds=1, iterations=1)
+    sweep_cache.put(APP, results)
+
+    matrix = makespan_matrix(results)
+    lines = [format_figure_table(
+        matrix, "FIG 2 - Montage makespan (s) by storage system and "
+                "cluster size"), "", "shape checks:"]
+    failures = []
+    for check, passed in check_shapes(APP, matrix):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    publish(output_dir, "fig2_montage.txt", "\n".join(lines))
+    assert not failures, f"figure-shape regressions: {failures}"

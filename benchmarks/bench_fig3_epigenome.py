@@ -1,0 +1,32 @@
+"""Fig. 3 — Epigenome makespan across storage systems and cluster sizes.
+
+Paper shapes: the CPU-bound application barely cares about the storage
+system; runtime scales down with cores; S3/PVFS are only slightly
+slower than the rest.
+"""
+
+from repro.experiments import paper_matrix, run_sweep
+from repro.experiments.paper import check_shapes
+from repro.experiments.results import format_figure_table, makespan_matrix
+
+from conftest import publish
+
+APP = "epigenome"
+
+
+def test_fig3_epigenome_performance(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: run_sweep(paper_matrix(APP)), rounds=1, iterations=1)
+    sweep_cache.put(APP, results)
+
+    matrix = makespan_matrix(results)
+    lines = [format_figure_table(
+        matrix, "FIG 3 - Epigenome makespan (s) by storage system and "
+                "cluster size"), "", "shape checks:"]
+    failures = []
+    for check, passed in check_shapes(APP, matrix):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    publish(output_dir, "fig3_epigenome.txt", "\n".join(lines))
+    assert not failures, f"figure-shape regressions: {failures}"

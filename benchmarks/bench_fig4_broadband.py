@@ -1,0 +1,42 @@
+"""Fig. 4 — Broadband makespan across storage systems and cluster sizes.
+
+Paper shapes: S3 gives the best overall performance (the client cache
+exploits Broadband's input reuse); GlusterFS NUFA beats distribute
+(write-local chains); NFS *degrades* from 2 to 4 nodes and stays far
+behind GlusterFS/S3.  The text anchors NFS at 4 nodes to 5363 s.
+"""
+
+from repro.experiments import paper_matrix, run_sweep
+from repro.experiments.paper import TEXT_ANCHORS, check_shapes
+from repro.experiments.results import format_figure_table, makespan_matrix
+
+from conftest import publish
+
+APP = "broadband"
+
+
+def test_fig4_broadband_performance(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: run_sweep(paper_matrix(APP)), rounds=1, iterations=1)
+    sweep_cache.put(APP, results)
+
+    matrix = makespan_matrix(results)
+    anchor = TEXT_ANCHORS["broadband.nfs.4node_seconds"]
+    measured = matrix[("nfs", 4)]
+    lines = [format_figure_table(
+        matrix, "FIG 4 - Broadband makespan (s) by storage system and "
+                "cluster size"),
+        "",
+        f"text anchor: NFS@4 paper={anchor:.0f}s measured={measured:.0f}s "
+        f"({measured / anchor - 1:+.0%})",
+        "", "shape checks:"]
+    failures = []
+    for check, passed in check_shapes(APP, matrix):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    publish(output_dir, "fig4_broadband.txt", "\n".join(lines))
+    assert not failures, f"figure-shape regressions: {failures}"
+    # The NFS@4 anchor should hold within a factor-band (simulated
+    # substrate; shape, not absolute, is the claim).
+    assert 0.5 * anchor <= measured <= 1.5 * anchor

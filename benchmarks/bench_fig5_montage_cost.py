@@ -1,0 +1,40 @@
+"""Fig. 5 — Montage cost under per-hour and per-second billing.
+
+Paper: the cheapest Montage configuration is GlusterFS on two nodes
+(cost follows performance); per-second charges are never above
+per-hour charges.
+"""
+
+import pytest
+
+from repro.experiments.paper import check_cost_shapes
+from repro.experiments.results import cost_matrix, format_figure_table
+
+from conftest import publish
+
+APP = "montage"
+
+
+def test_fig5_montage_cost(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: sweep_cache.results(APP), rounds=1, iterations=1)
+    hourly = cost_matrix(results, per="hour")
+    secondly = cost_matrix(results, per="second")
+
+    lines = [
+        format_figure_table(hourly, "FIG 5 (top) - Montage cost, per-hour "
+                            "billing (USD)", value_format="{:8.2f}", unit="$"),
+        "",
+        format_figure_table(secondly, "FIG 5 (bottom) - Montage cost, "
+                            "per-second billing (USD)",
+                            value_format="{:8.2f}", unit="$"),
+        "", "shape checks:"]
+    failures = []
+    for check, passed in check_cost_shapes(APP, hourly, secondly):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    publish(output_dir, "fig5_montage_cost.txt", "\n".join(lines))
+    assert not failures, f"cost-shape regressions: {failures}"
+    for cell, hour_cost in hourly.items():
+        assert secondly[cell] <= hour_cost + 1e-9

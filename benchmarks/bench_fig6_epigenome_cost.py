@@ -1,0 +1,47 @@
+"""Fig. 6 — Epigenome cost under per-hour and per-second billing.
+
+Paper: the cheapest Epigenome configuration is the local disk on a
+single node, and because the application is not I/O-intensive the
+systems' costs differ little.
+"""
+
+from repro.experiments.paper import check_cost_shapes
+from repro.experiments.results import cost_matrix, format_figure_table
+
+from conftest import publish
+
+APP = "epigenome"
+
+
+def test_fig6_epigenome_cost(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: sweep_cache.results(APP), rounds=1, iterations=1)
+    hourly = cost_matrix(results, per="hour")
+    secondly = cost_matrix(results, per="second")
+
+    lines = [
+        format_figure_table(hourly, "FIG 6 (top) - Epigenome cost, per-hour "
+                            "billing (USD)", value_format="{:8.2f}", unit="$"),
+        "",
+        format_figure_table(secondly, "FIG 6 (bottom) - Epigenome cost, "
+                            "per-second billing (USD)",
+                            value_format="{:8.2f}", unit="$"),
+        "", "shape checks:"]
+    failures = []
+    for check, passed in check_cost_shapes(APP, hourly, secondly):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    # Paper: "the difference in cost between the various storage
+    # solutions is relatively small" (same node count, excluding NFS's
+    # extra server).
+    comparable = {k: v for k, v in hourly.items()
+                  if k[0] in ("s3", "glusterfs-nufa",
+                              "glusterfs-distribute", "pvfs")}
+    for n in (2, 4, 8):
+        at_n = [v for (s, nn), v in comparable.items() if nn == n]
+        spread = max(at_n) / min(at_n)
+        lines.append(f"  cost spread at {n} nodes (non-NFS): {spread:.2f}x")
+        assert spread < 1.6
+    publish(output_dir, "fig6_epigenome_cost.txt", "\n".join(lines))
+    assert not failures, f"cost-shape regressions: {failures}"

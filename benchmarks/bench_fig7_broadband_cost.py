@@ -1,0 +1,40 @@
+"""Fig. 7 — Broadband cost under per-hour and per-second billing.
+
+Paper: local disk, GlusterFS and S3 all tie (near the minimum); NFS is
+expensive (extra node + poor scaling); adding resources only lowered
+cost in the NFS 1->2 step, where the dedicated server is amortised
+over more workers.
+"""
+
+from repro.experiments.paper import check_cost_shapes
+from repro.experiments.results import cost_matrix, format_figure_table
+
+from conftest import publish
+
+APP = "broadband"
+
+
+def test_fig7_broadband_cost(benchmark, sweep_cache, output_dir):
+    results = benchmark.pedantic(
+        lambda: sweep_cache.results(APP), rounds=1, iterations=1)
+    hourly = cost_matrix(results, per="hour")
+    secondly = cost_matrix(results, per="second")
+
+    lines = [
+        format_figure_table(hourly, "FIG 7 (top) - Broadband cost, per-hour "
+                            "billing (USD)", value_format="{:8.2f}", unit="$"),
+        "",
+        format_figure_table(secondly, "FIG 7 (bottom) - Broadband cost, "
+                            "per-second billing (USD)",
+                            value_format="{:8.2f}", unit="$"),
+        "", "shape checks:"]
+    failures = []
+    for check, passed in check_cost_shapes(APP, hourly, secondly):
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {check.claim}")
+        if not passed:
+            failures.append(check.claim)
+    publish(output_dir, "fig7_broadband_cost.txt", "\n".join(lines))
+    assert not failures, f"cost-shape regressions: {failures}"
+    # NFS is never the cheapest option at any size (extra node).
+    cheapest = min(hourly, key=hourly.get)
+    assert cheapest[0] != "nfs"

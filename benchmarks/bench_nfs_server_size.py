@@ -1,0 +1,50 @@
+"""In-text §V.C — Broadband on a bigger NFS server.
+
+Paper: replacing the m1.xlarge NFS server with an m2.4xlarge (64 GB,
+8 cores) at 4 nodes improved Broadband from 5363 s to 4368 s, "but was
+still significantly worse than GlusterFS and S3 (<3000 seconds in all
+cases)" — i.e. a bigger server helps but does not fix the central-
+server architecture.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.paper import TEXT_ANCHORS
+
+from conftest import publish
+
+
+def _run_both():
+    small = run_experiment(ExperimentConfig(
+        "broadband", "nfs", 4, nfs_server_type="m1.xlarge"))
+    big = run_experiment(ExperimentConfig(
+        "broadband", "nfs", 4, nfs_server_type="m2.4xlarge"))
+    return small.makespan, big.makespan
+
+
+def test_bigger_nfs_server_helps_but_not_enough(benchmark, sweep_cache,
+                                                output_dir):
+    small, big = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    paper_small = TEXT_ANCHORS["broadband.nfs.4node_seconds"]
+    paper_big = TEXT_ANCHORS["broadband.nfs_m24xlarge.4node_seconds"]
+
+    # GlusterFS/S3 comparison points at 4 nodes.
+    results = sweep_cache.results("broadband")
+    others = {(r.config.storage, r.config.n_workers): r.makespan
+              for r in results}
+    s3 = others[("s3", 4)]
+    gfs = others[("glusterfs-nufa", 4)]
+
+    lines = [
+        "PAPER SECTION V.C - Broadband, 4 nodes, NFS server size",
+        f"{'configuration':<28}{'paper':>10}{'measured':>10}",
+        f"{'NFS on m1.xlarge':<28}{paper_small:>9.0f}s{small:>9.0f}s",
+        f"{'NFS on m2.4xlarge':<28}{paper_big:>9.0f}s{big:>9.0f}s",
+        f"{'S3 (same size)':<28}{'<3000':>10}{s3:>9.0f}s",
+        f"{'GlusterFS NUFA (same size)':<28}{'<3000':>10}{gfs:>9.0f}s",
+    ]
+    publish(output_dir, "nfs_server_size.txt", "\n".join(lines))
+
+    assert big < small, "bigger server should improve the runtime"
+    assert big > max(s3, gfs), \
+        "even the big server stays behind GlusterFS and S3"
+    assert 0.5 * paper_small <= small <= 1.5 * paper_small

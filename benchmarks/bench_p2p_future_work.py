@@ -1,0 +1,58 @@
+"""Extension — the paper's §VIII future work, answered.
+
+    "In the future we plan to investigate configurations in which
+    files can be transferred directly from one computational node to
+    another."
+
+We run all three applications at 4 nodes on the direct-transfer mode
+(`repro.storage.p2p`) and compare with the shared systems the paper
+measured.  Findings: P2P keeps GlusterFS NUFA's write locality and
+adds S3-style per-node caching without object-store round trips, so it
+beats S3 for every application and *wins* Broadband outright — but for
+Montage the staged landing copies (each remote pull writes the local
+disk at the ephemeral first-write rate) keep GlusterFS ahead, which is
+precisely the trade-off the paper's future-work section asks about.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+from conftest import publish
+
+NODES = 4
+
+
+def _measure(sweep_cache):
+    rows = {}
+    for app in ("montage", "broadband", "epigenome"):
+        p2p = run_experiment(ExperimentConfig(app, "p2p", NODES))
+        others = {
+            r.config.storage: r.makespan
+            for r in sweep_cache.results(app)
+            if r.config.n_workers == NODES
+        }
+        rows[app] = (p2p.makespan, others)
+    return rows
+
+
+def test_direct_transfers_competitive(benchmark, sweep_cache, output_dir):
+    rows = benchmark.pedantic(lambda: _measure(sweep_cache),
+                              rounds=1, iterations=1)
+    lines = ["EXTENSION (paper section VIII) - direct node-to-node "
+             f"transfers, {NODES} nodes",
+             f"{'app':<12}{'p2p':>10}{'best shared':>14}{'(system)':>24}"]
+    for app, (p2p, others) in rows.items():
+        best_name = min(others, key=others.get)
+        lines.append(f"{app:<12}{p2p:>9.0f}s{others[best_name]:>13.0f}s"
+                     f"{best_name:>24}")
+    publish(output_dir, "p2p_future_work.txt", "\n".join(lines))
+    for app, (p2p, others) in rows.items():
+        best = min(others.values())
+        # Always better than the object store...
+        assert p2p <= others["s3"], \
+            f"{app}: p2p {p2p:.0f}s vs s3 {others['s3']:.0f}s"
+        # ...and within ~60% of the best shared system (Montage's
+        # landing-copy penalty sits right at this boundary).
+        assert p2p <= 1.6 * best, f"{app}: p2p {p2p:.0f}s vs best {best:.0f}s"
+    # Broadband is where direct transfers shine: best of all systems.
+    bb_p2p, bb_others = rows["broadband"]
+    assert bb_p2p <= min(bb_others.values())

@@ -1,0 +1,38 @@
+"""Table I — application resource usage comparison.
+
+Paper: Montage is I/O-bound (High/Low/Low), Broadband memory-limited
+(Medium/High/Medium), Epigenome CPU-bound (Low/Medium/High), as
+determined by wfprof.  We profile each application's single-node
+reference execution and check every cell.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.paper import TABLE1
+from repro.profiling import format_table1, profile_records
+
+from conftest import publish
+
+
+def _profile_all():
+    profiles = []
+    for app in ("montage", "broadband", "epigenome"):
+        result = run_experiment(ExperimentConfig(app, "local", 1))
+        profiles.append(profile_records(app, result.run.records))
+    return profiles
+
+
+def test_table1_resource_usage(benchmark, output_dir):
+    profiles = benchmark.pedantic(_profile_all, rounds=1, iterations=1)
+
+    lines = [format_table1(profiles), "", "measured fractions:"]
+    for p in profiles:
+        lines.append(
+            f"  {p.name:<12} io={p.io_fraction:5.1%} "
+            f"cpu={p.cpu_fraction:5.1%} "
+            f"weighted_mem={p.weighted_memory / 1e9:4.2f} GB")
+    publish(output_dir, "table1.txt", "\n".join(lines))
+
+    for p in profiles:
+        expected = TABLE1[p.name]
+        assert p.ratings() == expected, (
+            f"{p.name}: measured {p.ratings()} != paper {expected}")

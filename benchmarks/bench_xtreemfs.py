@@ -1,0 +1,44 @@
+"""In-text §IV — XtreemFS: the abandoned system.
+
+Paper: "the workflows performed far worse on XtreemFS than the other
+systems tested, taking more than twice as long as they did on the
+storage systems reported here before they were terminated without
+completing."  We run the (scaled-down, so they finish) Montage and
+Broadband workflows — the I/O-heavy pair the WAN file system hurts —
+on XtreemFS and on GlusterFS and check the >2x gap.
+"""
+
+from repro.apps import build_broadband, build_montage
+from repro.experiments import ExperimentConfig, run_experiment
+
+from conftest import publish
+
+
+def _run_pair(app, workflow_builder):
+    wf_x = workflow_builder()
+    wf_g = workflow_builder()
+    x = run_experiment(ExperimentConfig(app, "xtreemfs", 4),
+                       workflow=wf_x)
+    g = run_experiment(ExperimentConfig(app, "glusterfs-nufa", 4),
+                       workflow=wf_g)
+    return x.makespan, g.makespan
+
+
+def _measure():
+    rows = {}
+    rows["montage-2deg"] = _run_pair(
+        "montage", lambda: build_montage(degrees=2.0))
+    rows["broadband-small"] = _run_pair(
+        "broadband", lambda: build_broadband(n_sources=2, n_sites=4))
+    return rows
+
+
+def test_xtreemfs_more_than_twice_as_slow(benchmark, output_dir):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["PAPER SECTION IV - XtreemFS vs GlusterFS (4 nodes)",
+             f"{'workflow':<20}{'xtreemfs':>12}{'glusterfs':>12}{'ratio':>8}"]
+    for name, (x, g) in rows.items():
+        lines.append(f"{name:<20}{x:>11.0f}s{g:>11.0f}s{x / g:>8.1f}")
+    publish(output_dir, "xtreemfs.txt", "\n".join(lines))
+    for name, (x, g) in rows.items():
+        assert x > 2.0 * g, f"{name}: XtreemFS only {x / g:.1f}x slower"

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Because the cost figures (5-7) reuse the runs behind the performance
+figures (2-4), completed sweeps are cached for the session.  Every
+bench writes its rendered table to ``benchmarks/output/`` so results
+survive the run, and prints it for ``pytest -s``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import paper_matrix, run_sweep
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+class SweepCache:
+    """Lazily runs and caches the full evaluation matrix per app."""
+
+    def __init__(self):
+        self._results = {}
+
+    def results(self, app: str):
+        """All experiment results for one application's figure."""
+        if app not in self._results:
+            self._results[app] = run_sweep(paper_matrix(app))
+        return self._results[app]
+
+    def put(self, app: str, results) -> None:
+        """Store results computed elsewhere (inside a benchmark timer)."""
+        self._results[app] = results
+
+    def has(self, app: str) -> bool:
+        """Whether this app's sweep already ran."""
+        return app in self._results
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    return SweepCache()
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def publish(output_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    (output_dir / name).write_text(text + "\n")

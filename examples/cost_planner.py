@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Cost planner: what is the cheapest way to run a workflow on EC2?
+
+The paper's §VI conclusions, interactively: adding nodes almost never
+reduces cost (speedup would have to be superlinear), partial hours are
+rounded up so short runs waste money, and running many workflows on one
+provisioned cluster amortises the rounding.
+
+This example prices a chosen application across storage systems and
+cluster sizes, prints the cheapest option under both billing models,
+and quantifies the multi-workflow amortisation the paper recommends
+("provision a single virtual cluster and use it to run multiple
+workflows in succession").
+
+Run:
+    python examples/cost_planner.py [--app epigenome] [--workflows 5]
+"""
+
+import argparse
+import math
+import sys
+
+from repro import paper_matrix, run_sweep
+from repro.apps import build_broadband, build_epigenome, build_montage
+from repro.experiments.results import cost_matrix, format_figure_table
+
+QUICK_BUILDERS = {
+    # Scaled-down instances so the sweep completes in seconds.
+    "montage": lambda: build_montage(degrees=2.0),
+    "epigenome": lambda: build_epigenome(chunks_per_lane=[6, 6, 6]),
+    "broadband": lambda: build_broadband(n_sources=2, n_sites=4),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--app", default="epigenome",
+                        choices=sorted(QUICK_BUILDERS))
+    parser.add_argument("--workflows", type=int, default=5,
+                        help="back-to-back workflows for amortisation")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-sized workflow (slower)")
+    args = parser.parse_args(argv)
+
+    factory = (lambda _: QUICK_BUILDERS[args.app]()) if not args.full \
+        else None
+    results = run_sweep(
+        paper_matrix(args.app), workflow_factory=factory,
+        progress=lambda r: print(f"  {r.label}: ${r.cost.per_hour_total:.2f}"
+                                 f" / {r.makespan:,.0f}s", file=sys.stderr))
+
+    hourly = cost_matrix(results, per="hour")
+    secondly = cost_matrix(results, per="second")
+    print()
+    print(format_figure_table(hourly, f"{args.app}: cost, per-hour billing",
+                              value_format="{:8.2f}", unit="$"))
+    print()
+    print(format_figure_table(secondly, f"{args.app}: cost, per-second billing",
+                              value_format="{:8.2f}", unit="$"))
+
+    cheapest_h = min(hourly, key=hourly.get)
+    cheapest_s = min(secondly, key=secondly.get)
+    print(f"\ncheapest (per-hour):   {cheapest_h[0]} @ {cheapest_h[1]} "
+          f"node(s) -> ${hourly[cheapest_h]:.2f}")
+    print(f"cheapest (per-second): {cheapest_s[0]} @ {cheapest_s[1]} "
+          f"node(s) -> ${secondly[cheapest_s]:.2f}")
+
+    # Amortisation: run k workflows back-to-back on one cluster vs
+    # provisioning per workflow (the paper's closing recommendation).
+    by_cell = {(r.config.storage, r.config.n_workers): r for r in results}
+    r = by_cell[cheapest_h]
+    k = args.workflows
+    # $ per hour of the whole cluster (workers + any NFS server).
+    cluster_hour_rate = r.cost.resource.per_second / r.makespan * 3600.0
+    fees = (r.cost.s3_fees.total if r.cost.s3_fees else 0.0) * k
+    separate = k * r.cost.per_hour_total
+    together_hours = math.ceil(k * r.makespan / 3600.0)
+    together = together_hours * cluster_hour_rate + fees
+    print(f"\nrunning {k} workflows back-to-back on one cluster:")
+    print(f"  provisioned per workflow: ${separate:.2f}")
+    print(f"  single provisioned cluster: ${together:.2f} "
+          f"({(1 - together / separate):.0%} saved by amortising "
+          f"rounded-up hours)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

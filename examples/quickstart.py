@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run one workflow on one storage system and read the bill.
+
+This reproduces a single cell of the paper's evaluation matrix — the
+Epigenome workflow on GlusterFS (NUFA) with a 4-node virtual cluster —
+and prints the numbers the paper reports for it: the makespan and the
+cost under Amazon's per-hour billing vs hypothetical per-second billing.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        app="epigenome",             # the paper's CPU-bound application
+        storage="glusterfs-nufa",    # one of the five data-sharing options
+        n_workers=4,                 # 4 x c1.xlarge = 32 cores
+    )
+    print(f"running {config.label} ...")
+    result = run_experiment(config)
+
+    print(f"\nmakespan: {result.makespan:,.0f} s "
+          f"({result.makespan / 3600:.2f} h)")
+    print(f"jobs executed: {result.run.n_jobs}")
+    print(f"I/O fraction of task time: {result.run.io_fraction():.1%}")
+
+    print("\ncost:")
+    print(f"  per-hour billing (what Amazon charges): "
+          f"${result.cost.per_hour_total:.2f}")
+    print(f"  per-second billing (hypothetical):      "
+          f"${result.cost.per_second_total:.2f}")
+
+    stats = result.run.storage_stats
+    print("\nstorage activity:")
+    print(f"  {stats.reads:,} reads ({stats.bytes_read / 1e9:.1f} GB), "
+          f"{stats.writes:,} writes ({stats.bytes_written / 1e9:.1f} GB)")
+    print(f"  {stats.remote_reads:,} reads crossed the network; "
+          f"{stats.cache_hits:,} were served from caches")
+
+    print("\nload balance (jobs per node):")
+    for node, count in sorted(result.run.per_node_job_counts().items()):
+        print(f"  {node}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro: simulation-based reproduction of Juve et al., "Data Sharing
+Options for Scientific Workflows on Amazon EC2" (SC 2010).
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app="montage", storage="glusterfs-nufa", n_workers=4))
+    print(result.makespan, result.cost.per_hour_total)
+
+Layering (see DESIGN.md):
+
+* :mod:`repro.simcore` — discrete-event kernel;
+* :mod:`repro.cloud` — EC2 substrate (instances, disks, network, billing);
+* :mod:`repro.storage` — the data-sharing options;
+* :mod:`repro.workflow` — Pegasus/DAGMan/Condor analogs;
+* :mod:`repro.apps` — Montage / Broadband / Epigenome generators;
+* :mod:`repro.profiling` — wfprof (Table I);
+* :mod:`repro.cost` — 2010 pricing, per-hour vs per-second billing;
+* :mod:`repro.experiments` — the evaluation harness.
+"""
+
+from .apps import (
+    build_app,
+    build_broadband,
+    build_epigenome,
+    build_montage,
+    build_synthetic,
+)
+from .experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    paper_matrix,
+    run_experiment,
+    run_sweep,
+)
+from .profiling import format_table1, profile_records
+from .storage import STORAGE_NAMES, make_storage
+from .workflow import PegasusWMS, Task, Workflow, WorkflowRun
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PegasusWMS",
+    "STORAGE_NAMES",
+    "Task",
+    "Workflow",
+    "WorkflowRun",
+    "__version__",
+    "build_app",
+    "build_broadband",
+    "build_epigenome",
+    "build_montage",
+    "build_synthetic",
+    "format_table1",
+    "make_storage",
+    "paper_matrix",
+    "profile_records",
+    "run_experiment",
+    "run_sweep",
+]

@@ -1,0 +1,23 @@
+"""Analytics over workflow runs (utilization, speedup, critical path)."""
+
+from .metrics import (
+    UtilizationReport,
+    critical_path_seconds,
+    makespan_lower_bound,
+    parallel_efficiency,
+    phase_timeline,
+    speedup_curve,
+    stragglers,
+    utilization,
+)
+
+__all__ = [
+    "UtilizationReport",
+    "critical_path_seconds",
+    "makespan_lower_bound",
+    "parallel_efficiency",
+    "phase_timeline",
+    "speedup_curve",
+    "stragglers",
+    "utilization",
+]

@@ -1,0 +1,118 @@
+"""Run analytics: utilization, queueing, speedup, critical paths.
+
+The paper reasons about its results in terms of resource utilization
+("adding resources only improves cost if speedup is superlinear"),
+slot-level parallelism, and where time goes inside tasks.  This module
+computes those quantities from :class:`~repro.workflow.wms.WorkflowRun`
+records so examples and notebooks don't have to re-derive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..workflow.dag import Workflow
+from ..workflow.executor import JobRecord
+from ..workflow.wms import WorkflowRun
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """How busy the cluster's slots were during a run."""
+
+    makespan: float
+    total_slots: int
+    busy_fraction: float       # task-busy slot-time / available slot-time
+    cpu_fraction: float        # compute / available slot-time
+    io_fraction: float         # storage waits / available slot-time
+    mean_queue_delay: float    # submit -> slot start
+    p95_queue_delay: float
+
+
+def utilization(run: WorkflowRun, slots_per_node: int = 8) -> UtilizationReport:
+    """Slot utilization of a run (8 slots/node, the paper's setup)."""
+    slots = run.n_workers * slots_per_node
+    available = run.makespan * slots
+    busy = sum(r.duration for r in run.records)
+    cpu = sum(r.cpu_seconds for r in run.records)
+    io = sum(r.io_seconds for r in run.records)
+    delays = np.array([r.queue_delay for r in run.records]) \
+        if run.records else np.zeros(1)
+    return UtilizationReport(
+        makespan=run.makespan,
+        total_slots=slots,
+        busy_fraction=busy / available if available else 0.0,
+        cpu_fraction=cpu / available if available else 0.0,
+        io_fraction=io / available if available else 0.0,
+        mean_queue_delay=float(delays.mean()),
+        p95_queue_delay=float(np.percentile(delays, 95)),
+    )
+
+
+def speedup_curve(makespans: Mapping[int, float]) -> Dict[int, float]:
+    """Speedup relative to the smallest cluster in the mapping."""
+    if not makespans:
+        return {}
+    base_n = min(makespans)
+    base = makespans[base_n]
+    return {n: base / t for n, t in sorted(makespans.items())}
+
+
+def parallel_efficiency(makespans: Mapping[int, float]) -> Dict[int, float]:
+    """Speedup divided by the node-count ratio (1.0 = linear scaling).
+
+    The paper's cost argument in one number: cost per workflow only
+    drops when this exceeds 1.0 ("superlinear"), which it never does.
+    """
+    curve = speedup_curve(makespans)
+    if not curve:
+        return {}
+    base_n = min(curve)
+    return {n: s / (n / base_n) for n, s in curve.items()}
+
+
+def critical_path_seconds(workflow: Workflow,
+                          runtimes: Mapping[str, float] = None) -> float:
+    """Length of the workflow's longest dependency chain.
+
+    ``runtimes`` maps task id -> seconds; defaults to each task's pure
+    CPU time (an execution-independent lower bound on any makespan).
+    """
+    longest: Dict[str, float] = {}
+    for tid in workflow.topological_order():
+        dur = (runtimes or {}).get(tid, workflow.tasks[tid].cpu_seconds)
+        longest[tid] = dur + max(
+            (longest[p] for p in workflow.parents(tid)), default=0.0)
+    return max(longest.values(), default=0.0)
+
+
+def makespan_lower_bound(workflow: Workflow, n_slots: int) -> float:
+    """max(total work / slots, critical path) — the classic LP bound."""
+    return max(workflow.total_cpu_seconds() / n_slots,
+               critical_path_seconds(workflow))
+
+
+def phase_timeline(records: Sequence[JobRecord],
+                   bucket_seconds: float = 60.0
+                   ) -> List[Tuple[float, int]]:
+    """(bucket start, running tasks) samples over the run."""
+    if not records:
+        return []
+    end = max(r.end_time for r in records)
+    edges = np.arange(0.0, end + bucket_seconds, bucket_seconds)
+    counts = []
+    starts = np.array([r.start_time for r in records])
+    ends = np.array([r.end_time for r in records])
+    for t in edges[:-1]:
+        counts.append((float(t), int(((starts < t + bucket_seconds)
+                                      & (ends > t)).sum())))
+    return counts
+
+
+def stragglers(records: Sequence[JobRecord],
+               k: int = 5) -> List[JobRecord]:
+    """The ``k`` records that finished last (tail diagnosis)."""
+    return sorted(records, key=lambda r: r.end_time)[-k:]

@@ -1,0 +1,45 @@
+"""The paper's workflow applications as synthetic DAG generators.
+
+* :func:`build_montage` — 8-degree mosaic, 10,429 tasks (I/O-bound);
+* :func:`build_broadband` — 6x8 seismograms, 768 tasks (memory-limited);
+* :func:`build_epigenome` — chr21 mapping, 529 tasks (CPU-bound);
+* :func:`build_synthetic` — parameterizable layered random DAGs.
+
+``APP_BUILDERS`` maps the paper's application names to their default
+builders for the experiment harness and CLI.
+"""
+
+from typing import Callable, Dict
+
+from ..workflow.dag import Workflow
+from .broadband import build_broadband
+from .epigenome import build_epigenome
+from .montage import build_montage
+from .synthetic import build_synthetic
+
+#: Application name -> zero-argument builder of the paper configuration.
+APP_BUILDERS: Dict[str, Callable[[], Workflow]] = {
+    "montage": build_montage,
+    "broadband": build_broadband,
+    "epigenome": build_epigenome,
+}
+
+
+def build_app(name: str) -> Workflow:
+    """Build a paper application by name (montage/broadband/epigenome)."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_BUILDERS))
+        raise ValueError(f"unknown application {name!r}; known: {known}") from None
+    return builder()
+
+
+__all__ = [
+    "APP_BUILDERS",
+    "build_app",
+    "build_broadband",
+    "build_epigenome",
+    "build_montage",
+    "build_synthetic",
+]

@@ -1,0 +1,190 @@
+"""Broadband: earthquake seismogram synthesis (the memory-limited app).
+
+The paper's configuration: **6 sources x 8 sites = 48 scenario
+combinations, 768 tasks** (16 per combination), 6 GB of input, 303 MB
+of output.  Table I: I/O Medium, Memory High, CPU Medium — "more than
+75% of its runtime is consumed by tasks requiring more than 1 GB of
+physical memory", which caps per-node concurrency well below the
+8 slots.
+
+Structure per (source, site) combination — "several executables that
+are run in sequence like a mini workflow" (§V.C), which is exactly why
+GlusterFS NUFA (write-local) beats distribute for this application:
+
+* 1 rupture generation task;
+* a 3-stage low-frequency simulation chain (heavy: 3 GB, reads the
+  shared velocity model at every stage);
+* a 4-stage high-frequency simulation chain (heavy: 1.8 GB);
+* 1 merge task (heavy);
+* 4 seismogram-processing tasks, each emitting several small files
+  (the ">5,000 small files" §V.C mentions);
+* 2 intensity-measure tasks (a dozen small outputs each);
+* 1 collect task producing the combination's final product.
+
+Input reuse is the defining I/O trait: the 1.1 GB velocity model is
+read by every low-frequency stage of every combination, each source's
+rupture description by all 8 of its sites, and each site's model by
+all 6 of its sources.  This is what the S3 client cache exploits
+(fetch once per node) and what hammers a central NFS server.
+"""
+
+from __future__ import annotations
+
+from ..workflow.dag import Task, Workflow
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+# Input data layout: 1.1 GB shared velocity model + per-source and
+# per-site datasets: 1.1 + 6*0.35 + 8*0.35 = 6.0 GB.
+VELOCITY_MODEL_SIZE = 1.1 * GB
+SOURCE_DATA_SIZE = 0.35 * GB
+SITE_DATA_SIZE = 0.35 * GB
+
+SRF_SIZE = 50 * MB            # rupture description
+LF_STAGE_SIZE = 150 * MB      # low-frequency chain intermediates
+HF_STAGE_SIZE = 100 * MB      # high-frequency chain intermediates
+BB_SEIS_SIZE = 120 * MB       # merged broadband seismogram
+PROC_FILE_SIZE = 4 * MB       # seismogram-processing outputs (x14 each)
+INTENSITY_FILE_SIZE = 0.5 * MB  # intensity measures (x16 each)
+FINAL_SIZE = 6.3125 * MB      # 48 x 6.3125 MB = 303 MB output
+
+N_SOURCES = 6
+N_SITES = 8
+N_PROC_TASKS = 4
+N_PROC_FILES = 14
+N_INTENSITY_TASKS = 2
+N_INTENSITY_FILES = 16
+
+CPU = {
+    "rupture_gen": 17.0,
+    "lf_sim": 50.0,
+    "hf_sim": 38.0,
+    "seis_merge": 26.0,
+    "seis_proc": 13.0,
+    "intensity": 9.0,
+    "collect": 7.0,
+}
+MEMORY = {
+    "rupture_gen": 0.9 * GB,
+    "lf_sim": 2.2 * GB,       # > 1 GB: the memory-limited population
+    "hf_sim": 1.4 * GB,
+    "seis_merge": 1.1 * GB,
+    "seis_proc": 0.5 * GB,
+    "intensity": 0.3 * GB,
+    "collect": 0.2 * GB,
+}
+
+N_LF_STAGES = 3
+N_HF_STAGES = 4
+
+
+def build_broadband(n_sources: int = N_SOURCES,
+                    n_sites: int = N_SITES) -> Workflow:
+    """The paper's Broadband workflow (6 sources x 8 sites default)."""
+    if n_sources < 1 or n_sites < 1:
+        raise ValueError("n_sources and n_sites must be >= 1")
+    wf = Workflow(f"broadband-{n_sources}x{n_sites}")
+
+    wf.add_file("velocity_model.dat", VELOCITY_MODEL_SIZE, is_input=True)
+    for s in range(n_sources):
+        wf.add_file(f"source_{s}.dat", SOURCE_DATA_SIZE, is_input=True)
+    for k in range(n_sites):
+        wf.add_file(f"site_{k}.dat", SITE_DATA_SIZE, is_input=True)
+
+    for s in range(n_sources):
+        for k in range(n_sites):
+            c = f"s{s}k{k}"
+
+            # 1. rupture generation ------------------------------------
+            srf = f"srf_{c}.dat"
+            wf.add_file(srf, SRF_SIZE)
+            wf.add_task(Task(
+                f"rupture_gen_{c}", "rupture_gen", CPU["rupture_gen"],
+                memory_bytes=MEMORY["rupture_gen"],
+                inputs=[f"source_{s}.dat"], outputs=[srf],
+            ))
+
+            # 2. low-frequency chain (reads the big shared model every
+            #    stage — the reuse the S3 cache exploits) --------------
+            logs = []
+            prev = srf
+            for j in range(N_LF_STAGES):
+                out = f"lf_{c}_{j}.dat"
+                log = f"lf_{c}_{j}.log"
+                wf.add_file(out, LF_STAGE_SIZE)
+                wf.add_file(log, 0.2 * MB)
+                wf.add_task(Task(
+                    f"lf_sim_{c}_{j}", "lf_sim", CPU["lf_sim"],
+                    memory_bytes=MEMORY["lf_sim"],
+                    inputs=["velocity_model.dat", prev], outputs=[out, log],
+                ))
+                logs.append(log)
+                prev = out
+            lf_final = prev
+
+            # 3. high-frequency chain ------------------------------------
+            prev = srf
+            for j in range(N_HF_STAGES):
+                out = f"hf_{c}_{j}.dat"
+                log = f"hf_{c}_{j}.log"
+                wf.add_file(out, HF_STAGE_SIZE)
+                wf.add_file(log, 0.2 * MB)
+                wf.add_task(Task(
+                    f"hf_sim_{c}_{j}", "hf_sim", CPU["hf_sim"],
+                    memory_bytes=MEMORY["hf_sim"],
+                    inputs=[f"site_{k}.dat", prev], outputs=[out, log],
+                ))
+                logs.append(log)
+                prev = out
+            hf_final = prev
+
+            # 4. merge -----------------------------------------------------
+            bb = f"bb_{c}.dat"
+            wf.add_file(bb, BB_SEIS_SIZE)
+            wf.add_task(Task(
+                f"seis_merge_{c}", "seis_merge", CPU["seis_merge"],
+                memory_bytes=MEMORY["seis_merge"],
+                inputs=[lf_final, hf_final], outputs=[bb],
+            ))
+
+            # 5. seismogram processing (many small outputs) ----------------
+            proc_outputs = []
+            for j in range(N_PROC_TASKS):
+                outs = [f"proc_{c}_{j}_{m}.dat" for m in range(N_PROC_FILES)]
+                for o in outs:
+                    wf.add_file(o, PROC_FILE_SIZE)
+                proc_outputs.extend(outs)
+                wf.add_task(Task(
+                    f"seis_proc_{c}_{j}", "seis_proc", CPU["seis_proc"],
+                    memory_bytes=MEMORY["seis_proc"],
+                    inputs=[bb], outputs=outs,
+                ))
+
+            # 6. intensity measures -------------------------------------------
+            intensity_outputs = []
+            for j in range(N_INTENSITY_TASKS):
+                ins = proc_outputs[j::N_INTENSITY_TASKS]
+                outs = [f"int_{c}_{j}_{m}.dat"
+                        for m in range(N_INTENSITY_FILES)]
+                for o in outs:
+                    wf.add_file(o, INTENSITY_FILE_SIZE)
+                intensity_outputs.extend(outs)
+                wf.add_task(Task(
+                    f"intensity_{c}_{j}", "intensity", CPU["intensity"],
+                    memory_bytes=MEMORY["intensity"],
+                    inputs=ins, outputs=outs,
+                ))
+
+            # 7. collect ------------------------------------------------------
+            final = f"final_{c}.dat"
+            wf.add_file(final, FINAL_SIZE)
+            wf.add_task(Task(
+                f"collect_{c}", "collect", CPU["collect"],
+                memory_bytes=MEMORY["collect"],
+                # The collector archives the chain logs too, so every
+                # generated file is consumed and the workflow's terminal
+                # output is the paper's 303 MB of final products.
+                inputs=intensity_outputs + logs, outputs=[final],
+            ))
+    return wf

@@ -1,0 +1,162 @@
+"""Epigenome: DNA-methylation read mapping with MAQ (the CPU-bound app).
+
+The paper's configuration maps human chromosome-21 reads: **529 tasks,
+1.9 GB of input, 300 MB of output**, and 99% of runtime in the CPU
+(Table I: I/O Low, Memory Medium, CPU High) — which is why Fig. 3 shows
+almost no separation between the storage systems.
+
+Pipeline (the USC Epigenome Center's MAQ workflow):
+
+=============  =====  ==================================================
+transformation count  role
+=============  =====  ==================================================
+fastqSplit         7  split one sequencer lane into chunks
+filterContams    128  filter contaminating reads from one chunk
+sol2sanger       128  convert Solexa quality scores to Sanger
+fastq2bfq        128  pack the chunk into MAQ's binary format
+map              128  MAQ alignment of the chunk to the reference
+mapMerge           8  merge mapped chunks (7 per-lane + 1 global)
+maqIndex           1  index the merged map
+pileup             1  compute sequence density / methylation calls
+=============  =====  ==================================================
+
+Total: 529.  Seven lanes split into [19,19,18,18,18,18,18] chunks
+(128 total).  Every ``map`` task reads the shared reference index —
+the file-reuse that keeps even S3 competitive here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..workflow.dag import Task, Workflow
+
+MB = 1_000_000.0
+
+#: Paper configuration: 7 sequencer lanes, 128 chunks in total.
+DEFAULT_CHUNKS = [19, 19, 18, 18, 18, 18, 18]
+
+LANE_SIZE = 270 * MB          # 7 x 270 MB = 1.89 GB input lanes
+REFERENCE_SIZE = 15 * MB      # chr21 MAQ .bfa reference index
+CHUNK_SIZE = 14 * MB          # lane / ~19
+FILTERED_SIZE = 13 * MB
+SANGER_SIZE = 13 * MB
+BFQ_SIZE = 4.5 * MB
+MAP_SIZE = 3.0 * MB
+LANE_MAP_SIZE = 48 * MB
+GLOBAL_MAP_SIZE = 250 * MB
+INDEX_SIZE = 25 * MB
+PILEUP_SIZE = 25 * MB         # 250+25+25 = 300 MB output
+
+CPU = {
+    "fastqSplit": 12.0,
+    "filterContams": 28.0,
+    "sol2sanger": 22.0,
+    "fastq2bfq": 18.0,
+    "map": 240.0,             # MAQ alignment dominates
+    "mapMerge": 60.0,
+    "maqIndex": 45.0,
+    "pileup": 55.0,
+}
+MEMORY = {
+    "fastqSplit": 0.2e9,
+    "filterContams": 0.4e9,
+    "sol2sanger": 0.3e9,
+    "fastq2bfq": 0.3e9,
+    "map": 0.8e9,             # "Medium" memory overall
+    "mapMerge": 0.7e9,
+    "maqIndex": 0.5e9,
+    "pileup": 0.6e9,
+}
+
+
+def build_epigenome(chunks_per_lane: Optional[List[int]] = None) -> Workflow:
+    """The paper's Epigenome workflow (chr21; 529 tasks by default)."""
+    chunks = list(DEFAULT_CHUNKS if chunks_per_lane is None else chunks_per_lane)
+    if not chunks or any(c < 1 for c in chunks):
+        raise ValueError("chunks_per_lane must be non-empty, all >= 1")
+    n_lanes = len(chunks)
+    wf = Workflow(f"epigenome-{n_lanes}x{sum(chunks)}")
+
+    wf.add_file("reference.bfa", REFERENCE_SIZE, is_input=True)
+    for lane in range(n_lanes):
+        wf.add_file(f"lane_{lane}.fastq", LANE_SIZE, is_input=True)
+
+    lane_maps = []
+    for lane, n_chunks in enumerate(chunks):
+        # Split the lane.
+        chunk_files = [f"chunk_{lane}_{c}.fastq" for c in range(n_chunks)]
+        for name in chunk_files:
+            wf.add_file(name, CHUNK_SIZE)
+        wf.add_task(Task(
+            f"fastqSplit_{lane}", "fastqSplit", CPU["fastqSplit"],
+            memory_bytes=MEMORY["fastqSplit"],
+            inputs=[f"lane_{lane}.fastq"], outputs=chunk_files,
+        ))
+
+        # Per-chunk conversion + mapping chain.
+        maps = []
+        for c in range(n_chunks):
+            filt = f"filt_{lane}_{c}.fastq"
+            sang = f"sang_{lane}_{c}.fastq"
+            bfq = f"bfq_{lane}_{c}.bfq"
+            mapped = f"map_{lane}_{c}.map"
+            wf.add_file(filt, FILTERED_SIZE)
+            wf.add_file(sang, SANGER_SIZE)
+            wf.add_file(bfq, BFQ_SIZE)
+            wf.add_file(mapped, MAP_SIZE)
+            wf.add_task(Task(
+                f"filterContams_{lane}_{c}", "filterContams",
+                CPU["filterContams"], memory_bytes=MEMORY["filterContams"],
+                inputs=[f"chunk_{lane}_{c}.fastq"], outputs=[filt],
+            ))
+            wf.add_task(Task(
+                f"sol2sanger_{lane}_{c}", "sol2sanger",
+                CPU["sol2sanger"], memory_bytes=MEMORY["sol2sanger"],
+                inputs=[filt], outputs=[sang],
+            ))
+            wf.add_task(Task(
+                f"fastq2bfq_{lane}_{c}", "fastq2bfq",
+                CPU["fastq2bfq"], memory_bytes=MEMORY["fastq2bfq"],
+                inputs=[sang], outputs=[bfq],
+            ))
+            wf.add_task(Task(
+                f"map_{lane}_{c}", "map",
+                CPU["map"], memory_bytes=MEMORY["map"],
+                # Every mapper reads the shared reference index.
+                inputs=["reference.bfa", bfq], outputs=[mapped],
+            ))
+            maps.append(mapped)
+
+        # Per-lane merge.
+        lane_map = f"lanemap_{lane}.map"
+        wf.add_file(lane_map, LANE_MAP_SIZE)
+        wf.add_task(Task(
+            f"mapMerge_{lane}", "mapMerge", CPU["mapMerge"],
+            memory_bytes=MEMORY["mapMerge"],
+            inputs=maps, outputs=[lane_map],
+        ))
+        lane_maps.append(lane_map)
+
+    # Global merge, index, pileup.
+    # The merged map and index are final products even though the
+    # pileup step consumes them (the paper counts them in its 300 MB).
+    wf.add_file("merged.map", GLOBAL_MAP_SIZE, final=True)
+    wf.add_task(Task(
+        "mapMerge_all", "mapMerge", CPU["mapMerge"],
+        memory_bytes=MEMORY["mapMerge"],
+        inputs=lane_maps, outputs=["merged.map"],
+    ))
+    wf.add_file("merged.index", INDEX_SIZE, final=True)
+    wf.add_task(Task(
+        "maqIndex", "maqIndex", CPU["maqIndex"],
+        memory_bytes=MEMORY["maqIndex"],
+        inputs=["merged.map"], outputs=["merged.index"],
+    ))
+    wf.add_file("pileup.out", PILEUP_SIZE)
+    wf.add_task(Task(
+        "pileup", "pileup", CPU["pileup"],
+        memory_bytes=MEMORY["pileup"],
+        inputs=["merged.map", "merged.index"], outputs=["pileup.out"],
+    ))
+    return wf

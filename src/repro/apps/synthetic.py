@@ -1,0 +1,78 @@
+"""Parameterizable synthetic workflows.
+
+Beyond the three paper applications, users (and our property tests)
+need arbitrary DAG shapes with controlled I/O / CPU / memory mixes.
+:func:`build_synthetic` generates layered random workflows with
+reproducible structure from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simcore.rand import substream
+from ..workflow.dag import Task, Workflow
+
+MB = 1_000_000.0
+
+
+def build_synthetic(n_tasks: int = 100,
+                    width: int = 10,
+                    fan_in: int = 2,
+                    cpu_seconds: float = 10.0,
+                    file_size: float = 5 * MB,
+                    memory_bytes: float = 200 * MB,
+                    input_files: int = 5,
+                    cpu_cv: float = 0.3,
+                    size_cv: float = 0.3,
+                    seed: int = 0,
+                    name: Optional[str] = None) -> Workflow:
+    """A layered random workflow.
+
+    Tasks are laid out in layers of ``width``; each task reads
+    ``fan_in`` files chosen from the previous layer's outputs (or the
+    workflow inputs for the first layer) and writes one file.  CPU
+    times and file sizes are log-normal-ish around their means with
+    the given coefficients of variation, drawn from a deterministic
+    stream for ``seed``.
+    """
+    if n_tasks < 1 or width < 1 or fan_in < 1 or input_files < 1:
+        raise ValueError("n_tasks, width, fan_in, input_files must be >= 1")
+    if cpu_seconds < 0 or file_size <= 0 or memory_bytes < 0:
+        raise ValueError("cpu_seconds/file_size/memory_bytes out of range")
+    rng = substream(seed, "synthetic", n_tasks, width)
+    wf = Workflow(name or f"synthetic-{n_tasks}")
+
+    def draw(mean: float, cv: float) -> float:
+        if cv <= 0:
+            return mean
+        val = float(rng.lognormal(0.0, cv)) * mean
+        return max(mean * 0.05, val)
+
+    prev_layer = []
+    for i in range(input_files):
+        fname = f"input_{i}.dat"
+        wf.add_file(fname, draw(file_size, size_cv), is_input=True)
+        prev_layer.append(fname)
+
+    made = 0
+    layer = 0
+    while made < n_tasks:
+        this_layer = []
+        for w in range(min(width, n_tasks - made)):
+            tid = f"t_{layer}_{w}"
+            out = f"f_{layer}_{w}.dat"
+            wf.add_file(out, draw(file_size, size_cv))
+            k = min(fan_in, len(prev_layer))
+            picks = list(rng.choice(len(prev_layer), size=k, replace=False))
+            wf.add_task(Task(
+                tid, f"stage{layer}", draw(cpu_seconds, cpu_cv),
+                memory_bytes=memory_bytes,
+                inputs=[prev_layer[p] for p in picks],
+                outputs=[out],
+            ))
+            this_layer.append(out)
+            made += 1
+        prev_layer = this_layer
+        layer += 1
+    return wf

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Run single experiments or whole paper figures from the shell::
+
+    repro-ec2 run --app montage --storage glusterfs-nufa --nodes 4
+    repro-ec2 figure --app broadband
+    repro-ec2 table1
+    repro-ec2 list
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import APP_BUILDERS
+from .experiments import (
+    ExperimentConfig,
+    build_report,
+    paper_matrix,
+    run_experiment,
+    run_sweep,
+)
+from .experiments.results import (
+    cost_matrix,
+    format_figure_table,
+    makespan_matrix,
+    to_csv,
+)
+from .profiling import format_table1, profile_records
+from .storage import STORAGE_NAMES
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        app=args.app,
+        storage=args.storage,
+        n_workers=args.nodes,
+        nfs_server_type=args.nfs_server,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        cpu_jitter_sigma=args.jitter,
+    )
+    ok, why = config.is_valid()
+    if not ok:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
+    result = run_experiment(config)
+    print(f"{config.label}: makespan {result.makespan:,.0f} s "
+          f"({result.makespan / 3600:.2f} h)")
+    print(f"  cost (per-hour billing):   ${result.cost.per_hour_total:.2f}")
+    print(f"  cost (per-second billing): ${result.cost.per_second_total:.2f}")
+    stats = result.run.storage_stats
+    print(f"  storage ops: {stats.reads} reads / {stats.writes} writes, "
+          f"{stats.bytes_read / 1e9:.1f} GB read, "
+          f"{stats.bytes_written / 1e9:.1f} GB written")
+    if config.storage == "s3":
+        print(f"  S3 requests: {stats.get_requests} GET, "
+              f"{stats.put_requests} PUT "
+              f"(fees ${result.cost.s3_fees.total:.2f})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    cells = paper_matrix(args.app)
+    results = run_sweep(
+        cells,
+        progress=lambda r: print(
+            f"  done {r.label}: {r.makespan:,.0f} s", file=sys.stderr),
+    )
+    print(format_figure_table(
+        makespan_matrix(results),
+        title=f"{args.app} makespan (s) by storage system and cluster size"))
+    print()
+    print(format_figure_table(
+        cost_matrix(results, per="hour"),
+        title=f"{args.app} cost (USD, per-hour billing)",
+        value_format="{:8.2f}", unit="$"))
+    print()
+    print(format_figure_table(
+        cost_matrix(results, per="second"),
+        title=f"{args.app} cost (USD, per-second billing)",
+        value_format="{:8.2f}", unit="$"))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(results))
+        print(f"\nwrote {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    profiles = []
+    for app in APP_BUILDERS:
+        result = run_experiment(ExperimentConfig(app, "local", 1))
+        profiles.append(profile_records(app, result.run.records))
+    print(format_table1(profiles))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    factory = None
+    if args.quick:
+        from .apps import build_broadband, build_epigenome, build_montage
+        quick = {
+            "montage": lambda: build_montage(degrees=2.0),
+            "epigenome": lambda: build_epigenome(chunks_per_lane=[6, 6, 6]),
+            "broadband": lambda: build_broadband(n_sources=2, n_sites=4),
+        }
+        factory = lambda app: quick[app]()  # noqa: E731
+    report = build_report(
+        workflow_factory=factory,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    text = report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if (report.all_pass or args.quick) else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    result = run_experiment(ExperimentConfig(args.app, "local", 1))
+    profile = profile_records(args.app, result.run.records)
+    print(f"{args.app}: {profile.n_tasks} tasks, "
+          f"io {profile.io_fraction:.1%} / cpu {profile.cpu_fraction:.1%} "
+          f"of busy time, weighted memory "
+          f"{profile.weighted_memory / 1e9:.2f} GB")
+    print(f"ratings: {profile.ratings()}")
+    print(f"\n{'transformation':<16}{'count':>7}{'mean s':>9}"
+          f"{'cpu s':>10}{'io s':>10}{'read GB':>9}{'write GB':>9}")
+    for tp in sorted(profile.transformations.values(),
+                     key=lambda t: -(t.cpu_seconds + t.io_seconds)):
+        print(f"{tp.transformation:<16}{tp.count:>7}"
+              f"{tp.mean_runtime:>9.2f}{tp.cpu_seconds:>10.0f}"
+              f"{tp.io_seconds:>10.0f}{tp.bytes_read / 1e9:>9.2f}"
+              f"{tp.bytes_written / 1e9:>9.2f}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("applications:")
+    for name, builder in APP_BUILDERS.items():
+        wf = builder()
+        print(f"  {name:<12} {wf.describe()}")
+    print("storage systems:")
+    for name in STORAGE_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ec2",
+        description="Simulated reproduction of 'Data Sharing Options for "
+                    "Scientific Workflows on Amazon EC2' (SC 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment cell")
+    p_run.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p_run.add_argument("--storage", required=True, choices=STORAGE_NAMES)
+    p_run.add_argument("--nodes", type=int, default=1)
+    p_run.add_argument("--nfs-server", default="m1.xlarge",
+                       help="instance type of the dedicated NFS server")
+    p_run.add_argument("--scheduler", choices=("fifo", "locality"),
+                       default="fifo")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--jitter", type=float, default=0.0,
+                       help="relative sigma of per-task CPU jitter")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure",
+                           help="regenerate a paper figure (all cells)")
+    p_fig.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p_fig.add_argument("--csv", help="also write results to this CSV file")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I (wfprof)")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_rep = sub.add_parser("report",
+                           help="run the full evaluation and render a "
+                                "markdown reproduction report")
+    p_rep.add_argument("--output", help="write the report to this file")
+    p_rep.add_argument("--quick", action="store_true",
+                       help="scaled-down workflows (smoke test; checks "
+                            "may fail legitimately)")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_prof = sub.add_parser("profile",
+                            help="per-transformation wfprof breakdown")
+    p_prof.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_list = sub.add_parser("list", help="list applications and systems")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

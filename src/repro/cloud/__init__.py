@@ -1,0 +1,52 @@
+"""EC2 substrate: instances, ephemeral disks, network fabric, billing.
+
+This subpackage simulates everything the paper obtains from Amazon:
+
+* :mod:`~repro.cloud.types` — the 2010 instance catalog with prices;
+* :mod:`~repro.cloud.disk` — ephemeral disks with the first-write
+  penalty and the software-RAID0 configuration of §III.C;
+* :mod:`~repro.cloud.network` — the intra-zone star fabric;
+* :mod:`~repro.cloud.node` — VM instances (cores, memory, disk, NIC);
+* :mod:`~repro.cloud.billing` — per-hour (rounded up) and per-second
+  charge computation for §VI;
+* :mod:`~repro.cloud.ec2` / :mod:`~repro.cloud.cluster` — the EC2 API
+  facade and the context-broker provisioning analog.
+"""
+
+from .billing import BillingMeter, CostBreakdown, UsageInterval
+from .cluster import ContextBroker, VirtualCluster
+from .disk import (
+    EPHEMERAL_DISK,
+    INITIALIZED_DISK,
+    BlockDevice,
+    DiskProfile,
+    make_node_disk,
+    raid0,
+)
+from .ec2 import EC2Cloud
+from .network import ClusterNetwork, Endpoint
+from .node import VMInstance
+from .types import CATALOG, GB, MB, InstanceType, get_instance_type
+
+__all__ = [
+    "BillingMeter",
+    "BlockDevice",
+    "CATALOG",
+    "ClusterNetwork",
+    "ContextBroker",
+    "CostBreakdown",
+    "DiskProfile",
+    "EC2Cloud",
+    "EPHEMERAL_DISK",
+    "Endpoint",
+    "GB",
+    "INITIALIZED_DISK",
+    "InstanceType",
+    "MB",
+    "UsageInterval",
+    "VMInstance",
+    "VirtualCluster",
+    "get_instance_type",
+    "make_node_disk",
+    "raid0",
+]

@@ -1,0 +1,96 @@
+"""Virtual machine instances.
+
+A :class:`VMInstance` bundles the contended resources of one EC2 node:
+CPU slots (one Condor slot per core, as the paper configures), physical
+memory, the RAID0 ephemeral-disk array, and the NIC endpoints on the
+cluster network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..simcore.resources import Container, Resource
+from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from .disk import BlockDevice, make_node_disk
+from .network import ClusterNetwork, Endpoint
+from .types import GB, InstanceType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcore.engine import Environment
+
+_instance_counter = itertools.count()
+
+
+class VMInstance:
+    """A booted EC2 instance.
+
+    Parameters
+    ----------
+    env, itype, network:
+        Simulation environment, static type description, and the fabric
+        to attach the NIC to.
+    name:
+        Unique name; auto-generated (``i-0``, ``i-1``, ...) if omitted.
+    initialized_disks:
+        Zero-fill the ephemeral disks first (ablation switch; the paper
+        runs everything *uninitialised*).
+    use_raid:
+        Assemble the ephemeral disks into RAID0 (the paper's setup).
+    """
+
+    def __init__(self, env: "Environment", itype: InstanceType,
+                 network: ClusterNetwork, name: Optional[str] = None,
+                 initialized_disks: bool = False, use_raid: bool = True,
+                 trace: TraceCollector = NULL_COLLECTOR) -> None:
+        self.env = env
+        self.itype = itype
+        self.name = name if name is not None else f"i-{next(_instance_counter)}"
+        self.trace = trace
+        #: One Condor slot per core.
+        self.cores = Resource(env, capacity=itype.cores)
+        #: Physical memory in bytes; tasks claim their peak RSS.
+        self.memory = Container(env, capacity=itype.memory_bytes,
+                                init=itype.memory_bytes)
+        #: Local ephemeral storage (RAID0 of the instance-store disks).
+        self.disk: BlockDevice = make_node_disk(
+            env, ndisks=itype.ephemeral_disks,
+            initialized=initialized_disks, use_raid=use_raid,
+            name=f"{self.name}.disk", trace=trace,
+        )
+        #: NIC endpoint on the cluster fabric.
+        self.nic: Endpoint = network.attach(self.name, itype.nic_bw)
+        self.network = network
+        self.launched_at = env.now
+        self.terminated_at: Optional[float] = None
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def memory_free(self) -> float:
+        """Unclaimed memory, bytes."""
+        return self.memory.level
+
+    @property
+    def slots_free(self) -> int:
+        """Idle Condor slots."""
+        return self.cores.available
+
+    @property
+    def is_running(self) -> bool:
+        """True until :meth:`terminate` is called."""
+        return self.terminated_at is None
+
+    def terminate(self) -> None:
+        """Stop the instance (ephemeral disks are wiped, NIC detached)."""
+        if self.terminated_at is not None:
+            return
+        self.terminated_at = self.env.now
+        self.network.detach(self.name)
+        self.trace.emit(self.env.now, "vm", "terminate", node=self.name)
+
+    def __repr__(self) -> str:
+        return (f"<VMInstance {self.name} ({self.itype.name}) "
+                f"slots={self.slots_free}/{self.itype.cores} "
+                f"mem_free={self.memory_free / GB:.1f}GB>")

@@ -1,0 +1,93 @@
+"""Amazon EC2 instance-type catalog (2010 era, us-east-1 prices).
+
+Only the types the paper uses are exercised by the reproduction
+benches, but the full first-generation catalog is included so the cost
+explorer examples can sweep alternatives, as the paper's §III.B notes a
+different choice "would result in different performance and cost
+metrics".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Megabyte (decimal, as used for disk/network bandwidth figures).
+MB = 1_000_000
+#: Gigabyte (binary-ish GB as marketed for RAM; we use decimal for
+#: simplicity — the distinction is far below model fidelity).
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Static description of an EC2 instance type.
+
+    Attributes
+    ----------
+    name:
+        API name, e.g. ``"c1.xlarge"``.
+    cores:
+        Virtual cores (= Condor slots the paper configures per node).
+    memory_gb:
+        RAM in GB.
+    ephemeral_disks:
+        Number of ephemeral (instance-store) devices.
+    disk_gb:
+        Total instance storage in GB.
+    price_per_hour:
+        On-demand USD per instance-hour (2010 us-east-1).
+    nic_bw:
+        NIC bandwidth per direction, bytes/second.  EC2's "high" I/O
+        class corresponds to gigabit Ethernet.
+    """
+
+    name: str
+    cores: int
+    memory_gb: float
+    ephemeral_disks: int
+    disk_gb: float
+    price_per_hour: float
+    nic_bw: float
+
+    @property
+    def memory_bytes(self) -> float:
+        """RAM in bytes."""
+        return self.memory_gb * GB
+
+
+_GIGABIT = 125 * MB      # 1 Gbps NIC ("high" I/O performance)
+_MODERATE = 62.5 * MB    # ~500 Mbps ("moderate")
+_LOW = 31.25 * MB        # ~250 Mbps ("low")
+
+#: The first-generation EC2 catalog.  The paper's experiments use
+#: ``c1.xlarge`` workers, an ``m1.xlarge`` NFS server, and one
+#: ``m2.4xlarge`` NFS-server variant.
+CATALOG: Dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        InstanceType("m1.small", 1, 1.7, 1, 160.0, 0.085, _MODERATE),
+        InstanceType("m1.large", 2, 7.5, 2, 850.0, 0.34, _GIGABIT),
+        # The paper quotes 16 GB for m1.xlarge; we follow the paper.
+        InstanceType("m1.xlarge", 4, 16.0, 4, 1690.0, 0.68, _GIGABIT),
+        InstanceType("c1.medium", 2, 1.7, 1, 350.0, 0.17, _MODERATE),
+        # Two quad-core 2.33-2.66 GHz Xeons, 7 GB RAM, 4 ephemeral disks.
+        InstanceType("c1.xlarge", 8, 7.0, 4, 1690.0, 0.68, _GIGABIT),
+        InstanceType("m2.xlarge", 2, 17.1, 1, 420.0, 0.50, _MODERATE),
+        InstanceType("m2.2xlarge", 4, 34.2, 1, 850.0, 1.20, _GIGABIT),
+        # The paper quotes 64 GB / 8 cores for m2.4xlarge.
+        InstanceType("m2.4xlarge", 8, 64.0, 2, 1690.0, 2.40, _GIGABIT),
+    ]
+}
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by API name.
+
+    Raises ``KeyError`` with the list of known names on a miss.
+    """
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown instance type {name!r}; known: {known}") from None

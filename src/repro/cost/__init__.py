@@ -1,0 +1,23 @@
+"""Cost analysis: 2010 AWS pricing, per-hour vs per-second billing.
+
+See :mod:`repro.cost.pricing` for the fee schedule and
+:mod:`repro.cost.model` for the per-workflow computation used to
+regenerate Figs. 5–7.
+"""
+
+from .model import WorkflowCost, compute_cost
+from .pricing import (
+    S3_GET_PRICE,
+    S3_PUT_PRICE,
+    S3_STORAGE_PRICE_GB_MONTH,
+    S3Fees,
+)
+
+__all__ = [
+    "S3Fees",
+    "S3_GET_PRICE",
+    "S3_PUT_PRICE",
+    "S3_STORAGE_PRICE_GB_MONTH",
+    "WorkflowCost",
+    "compute_cost",
+]

@@ -1,0 +1,79 @@
+"""Workflow cost computation (paper §VI).
+
+Combines the EC2 resource charges (per-hour as Amazon actually bills,
+with partial hours rounded up, and hypothetical per-second) with the
+storage-system surcharges:
+
+* NFS runs add a dedicated server instance ($0.68/workflow for the
+  m1.xlarge the paper uses);
+* S3 runs add request fees metered from the client's GET/PUT counters.
+
+Transfer costs (into/out of the cloud) are out of scope, exactly as in
+the paper: "Since the focus of this paper is on the storage systems we
+did not perform or measure data transfers to/from the cloud."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud.billing import BillingMeter, CostBreakdown
+from ..storage.base import StorageStats
+from .pricing import S3Fees
+
+
+@dataclass
+class WorkflowCost:
+    """Full cost picture of one workflow execution."""
+
+    resource: CostBreakdown
+    s3_fees: Optional[S3Fees] = None
+
+    @property
+    def per_hour_total(self) -> float:
+        """What Amazon would charge: rounded-up instance-hours + fees."""
+        extra = self.s3_fees.total if self.s3_fees else 0.0
+        return self.resource.per_hour + extra
+
+    @property
+    def per_second_total(self) -> float:
+        """Hypothetical per-second billing + fees."""
+        extra = self.s3_fees.total if self.s3_fees else 0.0
+        return self.resource.per_second + extra
+
+
+def compute_cost(billing: BillingMeter,
+                 storage_stats: StorageStats,
+                 storage_name: str,
+                 makespan: float,
+                 stored_gb: float = 0.0,
+                 at: Optional[float] = None) -> WorkflowCost:
+    """Price one workflow run.
+
+    Parameters
+    ----------
+    billing:
+        The cloud's billing meter (already covering any dedicated NFS
+        server, which is simply another metered instance).
+    storage_stats:
+        The storage system's operation counters (S3 request fees).
+    storage_name:
+        Which system ran; S3 fees apply only to ``"s3"``.
+    makespan:
+        Workflow duration (per-second billing and storage proration).
+    stored_gb:
+        Data resident in S3 during the run.
+    at:
+        Clock value closing still-open billing intervals.
+    """
+    resource = billing.resource_cost(at=at)
+    fees = None
+    if storage_name == "s3":
+        fees = S3Fees(
+            put_requests=storage_stats.put_requests,
+            get_requests=storage_stats.get_requests,
+            stored_gb=stored_gb,
+            duration_seconds=makespan,
+        )
+    return WorkflowCost(resource=resource, s3_fees=fees)

@@ -1,0 +1,54 @@
+"""The 2010 AWS price list used by the paper's cost analysis (§VI).
+
+Instance prices live in :mod:`repro.cloud.types`; this module holds the
+S3 fee schedule and storage rates:
+
+* $0.01 per 1,000 PUT operations;
+* $0.01 per 10,000 GET operations;
+* $0.15 per GB-month of storage;
+* data transfer inside EC2 is free.
+
+The paper reports the resulting surcharges: Montage ≈ $0.28,
+Epigenome ≈ $0.01, Broadband ≈ $0.02, with storage cost « $0.01.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: USD per PUT request.
+S3_PUT_PRICE = 0.01 / 1_000
+#: USD per GET request.
+S3_GET_PRICE = 0.01 / 10_000
+#: USD per GB-month of S3 storage.
+S3_STORAGE_PRICE_GB_MONTH = 0.15
+#: Seconds in the billing month S3 prorates against.
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class S3Fees:
+    """Computed S3 charges for one workflow execution."""
+
+    put_requests: int
+    get_requests: int
+    stored_gb: float
+    duration_seconds: float
+
+    @property
+    def request_cost(self) -> float:
+        """PUT + GET request charges, USD."""
+        return (self.put_requests * S3_PUT_PRICE
+                + self.get_requests * S3_GET_PRICE)
+
+    @property
+    def storage_cost(self) -> float:
+        """Prorated GB-month storage charge, USD (tiny for these runs,
+        as the paper notes: « $0.01)."""
+        months = self.duration_seconds / SECONDS_PER_MONTH
+        return self.stored_gb * S3_STORAGE_PRICE_GB_MONTH * months
+
+    @property
+    def total(self) -> float:
+        """All S3 charges, USD."""
+        return self.request_cost + self.storage_cost

@@ -1,0 +1,24 @@
+"""Experiment harness: configuration cells, runner, result tables."""
+
+from .config import (
+    PAPER_APPS,
+    PAPER_NODE_COUNTS,
+    PAPER_STORAGE_SYSTEMS,
+    ExperimentConfig,
+    paper_matrix,
+)
+from .report import ReproductionReport, build_report
+from .runner import ExperimentResult, run_experiment, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PAPER_APPS",
+    "PAPER_NODE_COUNTS",
+    "PAPER_STORAGE_SYSTEMS",
+    "ReproductionReport",
+    "build_report",
+    "paper_matrix",
+    "run_experiment",
+    "run_sweep",
+]

@@ -1,0 +1,92 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes one cell of the paper's
+evaluation matrix: an application, a storage system, and a cluster
+size.  The paper's matrix is 3 applications x {1, 2, 4, 8} workers x
+{S3, NFS, GlusterFS-NUFA, GlusterFS-distribute, PVFS} plus the
+single-node local-disk point; :func:`paper_matrix` enumerates exactly
+the valid cells (GlusterFS/PVFS need >= 2 nodes, local only 1, as
+noted in §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+#: Worker counts the paper sweeps (8-64 cores).
+PAPER_NODE_COUNTS = (1, 2, 4, 8)
+#: Storage systems in the paper's figures (local is the extra point).
+PAPER_STORAGE_SYSTEMS = (
+    "s3",
+    "nfs",
+    "glusterfs-nufa",
+    "glusterfs-distribute",
+    "pvfs",
+)
+PAPER_APPS = ("montage", "epigenome", "broadband")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One (application, storage, cluster) experiment."""
+
+    app: str
+    storage: str
+    n_workers: int
+    worker_type: str = "c1.xlarge"
+    #: Dedicated NFS server type; the paper's default is m1.xlarge,
+    #: with one m2.4xlarge variant (§V.C).
+    nfs_server_type: str = "m1.xlarge"
+    scheduler: str = "fifo"
+    seed: int = 0
+    cpu_jitter_sigma: float = 0.0
+    #: Per-attempt transient crash probability (0 = the paper's runs).
+    task_failure_rate: float = 0.0
+    #: DAGMan retry limit per job.
+    retries: int = 3
+    #: Zero-fill the ephemeral disks first (initialization ablation).
+    initialized_disks: bool = False
+    #: Collect full traces (slower; needed by the profiler).
+    collect_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell label, e.g. ``montage/nfs@4``."""
+        return f"{self.app}/{self.storage}@{self.n_workers}"
+
+    def is_valid(self) -> Tuple[bool, str]:
+        """Whether this cell is constructible, and why not if not."""
+        if self.storage == "local" and self.n_workers != 1:
+            return False, "local disk is only defined on a single node"
+        if self.storage in ("glusterfs-nufa", "glusterfs-distribute", "pvfs") \
+                and self.n_workers < 2:
+            return False, f"{self.storage} needs at least two nodes"
+        return True, ""
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+
+def paper_matrix(app: str,
+                 node_counts: Optional[Tuple[int, ...]] = None,
+                 storages: Optional[Tuple[str, ...]] = None,
+                 include_local: bool = True,
+                 **overrides) -> List[ExperimentConfig]:
+    """All valid experiment cells for one application, paper-style."""
+    node_counts = node_counts or PAPER_NODE_COUNTS
+    storages = storages or PAPER_STORAGE_SYSTEMS
+    cells: List[ExperimentConfig] = []
+    if include_local:
+        cells.append(ExperimentConfig(app, "local", 1, **overrides))
+    for storage in storages:
+        for n in node_counts:
+            cfg = ExperimentConfig(app, storage, n, **overrides)
+            if cfg.is_valid()[0]:
+                cells.append(cfg)
+    return cells

@@ -1,0 +1,140 @@
+"""One-shot reproduction report.
+
+``build_report()`` runs the complete evaluation — Table I, Figs. 2–7,
+the in-text anchors — and renders a single markdown document with every
+measurement and shape-check verdict.  This is the programmatic way to
+regenerate (the data behind) EXPERIMENTS.md, exposed on the CLI as
+``repro-ec2 report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..profiling import format_table1, profile_records
+from ..workflow.dag import Workflow
+from .config import ExperimentConfig, paper_matrix
+from .paper import TABLE1, TEXT_ANCHORS, check_cost_shapes, check_shapes
+from .results import cost_matrix, format_figure_table, makespan_matrix
+from .runner import ExperimentResult, run_experiment, run_sweep
+
+FIGURES = {"montage": "Fig. 2", "epigenome": "Fig. 3", "broadband": "Fig. 4"}
+COST_FIGURES = {"montage": "Fig. 5", "epigenome": "Fig. 6",
+                "broadband": "Fig. 7"}
+
+
+@dataclass
+class ReproductionReport:
+    """The full evaluation in one object."""
+
+    sweeps: Dict[str, List[ExperimentResult]]
+    table1_text: str
+    table1_matches: Dict[str, bool]
+    shape_results: Dict[str, List[Tuple[str, bool]]]
+    cost_results: Dict[str, List[Tuple[str, bool]]]
+    anchors: Dict[str, Tuple[float, float]]  # name -> (paper, measured)
+
+    @property
+    def all_pass(self) -> bool:
+        """Every shape check, cost check, and Table I cell matched."""
+        return (all(self.table1_matches.values())
+                and all(ok for checks in self.shape_results.values()
+                        for _, ok in checks)
+                and all(ok for checks in self.cost_results.values()
+                        for _, ok in checks))
+
+    def to_markdown(self) -> str:
+        """Render the whole report."""
+        lines = ["# Reproduction report", ""]
+        lines += ["## Table I", "", "```", self.table1_text, "```", ""]
+        for app, matched in self.table1_matches.items():
+            lines.append(f"- {app}: {'matches the paper' if matched else 'MISMATCH'}")
+        for app, results in self.sweeps.items():
+            lines += ["", f"## {FIGURES[app]} — {app} makespan", "", "```",
+                      format_figure_table(
+                          makespan_matrix(results),
+                          f"{app} makespan (s)"), "```", ""]
+            for claim, ok in self.shape_results[app]:
+                lines.append(f"- [{'PASS' if ok else 'FAIL'}] {claim}")
+            lines += ["", f"## {COST_FIGURES[app]} — {app} cost", "", "```",
+                      format_figure_table(
+                          cost_matrix(results, per='hour'),
+                          f"{app} cost, per-hour billing (USD)",
+                          value_format="{:8.2f}", unit="$"),
+                      "",
+                      format_figure_table(
+                          cost_matrix(results, per='second'),
+                          f"{app} cost, per-second billing (USD)",
+                          value_format="{:8.2f}", unit="$"),
+                      "```", ""]
+            for claim, ok in self.cost_results[app]:
+                lines.append(f"- [{'PASS' if ok else 'FAIL'}] {claim}")
+        if self.anchors:
+            lines += ["", "## Text anchors", "",
+                      "| anchor | paper | measured |", "|---|---|---|"]
+            for name, (paper, measured) in self.anchors.items():
+                lines.append(f"| {name} | {paper:g} | {measured:.0f} |")
+        lines += ["", f"**Overall: "
+                  f"{'ALL CHECKS PASS' if self.all_pass else 'FAILURES PRESENT'}**"]
+        return "\n".join(lines)
+
+
+def build_report(apps: Tuple[str, ...] = ("montage", "epigenome", "broadband"),
+                 workflow_factory: Optional[Callable[[str], Workflow]] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> ReproductionReport:
+    """Run the full evaluation and collect every verdict.
+
+    ``workflow_factory`` substitutes scaled-down workflows (quick mode);
+    shape checks are then evaluated but may legitimately fail, so quick
+    mode is for smoke-testing the pipeline, not for validation.
+    """
+    say = progress or (lambda msg: None)
+
+    # Table I from the single-node reference runs.
+    profiles = []
+    table1_matches = {}
+    for app in apps:
+        say(f"profiling {app} (local, 1 node)")
+        result = run_experiment(
+            ExperimentConfig(app, "local", 1),
+            workflow=workflow_factory(app) if workflow_factory else None)
+        profile = profile_records(app, result.run.records)
+        profiles.append(profile)
+        table1_matches[app] = profile.ratings() == TABLE1.get(app, {})
+
+    sweeps: Dict[str, List[ExperimentResult]] = {}
+    shape_results: Dict[str, List[Tuple[str, bool]]] = {}
+    cost_results: Dict[str, List[Tuple[str, bool]]] = {}
+    for app in apps:
+        say(f"sweeping {app} across storage systems and cluster sizes")
+        results = run_sweep(
+            paper_matrix(app),
+            workflow_factory=workflow_factory,
+            progress=lambda r: say(f"  {r.label}: {r.makespan:,.0f}s"))
+        sweeps[app] = results
+        matrix = makespan_matrix(results)
+        shape_results[app] = [(c.claim, ok)
+                              for c, ok in check_shapes(app, matrix)]
+        cost_results[app] = [
+            (c.claim, ok) for c, ok in check_cost_shapes(
+                app, cost_matrix(results, "hour"),
+                cost_matrix(results, "second"))]
+
+    anchors = {}
+    if "broadband" in sweeps:
+        matrix = makespan_matrix(sweeps["broadband"])
+        if ("nfs", 4) in matrix:
+            anchors["broadband NFS @ 4 nodes (s)"] = (
+                TEXT_ANCHORS["broadband.nfs.4node_seconds"],
+                matrix[("nfs", 4)])
+
+    return ReproductionReport(
+        sweeps=sweeps,
+        table1_text=format_table1(profiles),
+        table1_matches=table1_matches,
+        shape_results=shape_results,
+        cost_results=cost_results,
+        anchors=anchors,
+    )

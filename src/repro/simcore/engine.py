@@ -1,0 +1,151 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .errors import SimulationDeadlock
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+#: Default priority for newly queued events.  Lower sorts earlier at the
+#: same timestamp; interrupts use priority 0 so they pre-empt same-time
+#: ordinary events.
+NORMAL_PRIORITY = 1
+
+
+class Environment:
+    """Holds simulation state and drives event processing.
+
+    Typical use::
+
+        env = Environment()
+
+        def producer(env, store):
+            while True:
+                yield env.timeout(1.0)
+                yield store.put("item")
+
+        env.process(producer(env, store))
+        env.run(until=100.0)
+
+    Time is a float in arbitrary units; this project uses seconds
+    throughout.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        # Heap entries: (time, priority, sequence, event)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between resumptions)."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Spawn a process from a generator; returns the Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling (internal API used by events) ---------------------------
+
+    def _queue_event(self, event: Event, delay: float = 0.0,
+                     priority: int = NORMAL_PRIORITY) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- run loop ------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationDeadlock("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody waited on: surface the error loudly
+            # rather than losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until that simulation time;
+        * an :class:`Event` — run until that event is processed, and
+          return its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            finished = []
+
+            def _mark(ev: Event) -> None:
+                finished.append(ev)
+
+            if sentinel.callbacks is None:
+                # Already processed.
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            sentinel.callbacks.append(_mark)
+            while not finished:
+                if not self._queue:
+                    raise SimulationDeadlock(
+                        f"event {sentinel!r} will never fire: queue is empty"
+                    )
+                self.step()
+            if not sentinel._ok:
+                sentinel._defused = True
+                raise sentinel._value
+            return sentinel._value
+
+        # Numeric deadline.
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,224 @@
+"""Max-min fair flow network.
+
+Models a set of capacitated links (NIC transmit/receive sides, a shared
+service endpoint, a core switch) carrying concurrent byte flows.  Each
+flow traverses an ordered set of links; whenever the flow population
+changes, bandwidth is reallocated by progressive filling (water-filling)
+to the max-min fair allocation, the textbook model of TCP-like fair
+sharing on a star topology.
+
+This is the substrate used for all network transfers in the EC2
+simulation: NFS client/server traffic, GlusterFS peer reads, PVFS
+stripe traffic, and S3 GET/PUT payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+_TIME_EPS = 1e-9
+
+
+class Link:
+    """A capacitated, unidirectional link (bytes per second)."""
+
+    __slots__ = ("name", "capacity", "_flows")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError(f"capacity must be finite and > 0, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        # Insertion-ordered (dict keys) so allocation arithmetic is
+        # bit-reproducible across processes.
+        self._flows: Dict["_Flow", None] = {}
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently routed over this link."""
+        return len(self._flows)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} cap={self.capacity:.3g}B/s flows={len(self._flows)}>"
+
+
+class _Flow:
+    __slots__ = ("links", "bytes_left", "rate", "event", "max_rate", "eps")
+
+    def __init__(self, links: Sequence[Link], nbytes: float, event: Event,
+                 max_rate: Optional[float]) -> None:
+        self.links = list(links)
+        self.bytes_left = float(nbytes)
+        self.rate = 0.0
+        self.event = event
+        self.max_rate = max_rate
+        # Completion tolerance must scale with the transfer size:
+        # float subtraction across many progress updates leaves a
+        # relative residue (~1e-12 of the size), which for GB-scale
+        # flows dwarfs any absolute epsilon.
+        self.eps = max(1e-9, nbytes * 1e-9)
+
+
+class FlowNetwork:
+    """A collection of links carrying max-min fairly shared flows."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._flows: Dict[_Flow, None] = {}
+        self._last_update = env.now
+        self._wake_token = 0
+        #: Total bytes delivered across all completed+running flows.
+        self.total_bytes_moved = 0.0
+        #: Total flows ever started.
+        self.total_flows = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight flows."""
+        return len(self._flows)
+
+    def transfer(self, links: Sequence[Link], nbytes: float,
+                 max_rate: Optional[float] = None) -> Event:
+        """Start a flow of ``nbytes`` over ``links``.
+
+        Parameters
+        ----------
+        links:
+            The capacitated links the flow traverses (order irrelevant).
+        nbytes:
+            Payload size in bytes.
+        max_rate:
+            Optional per-flow rate ceiling (bytes/s) — models per-stream
+            limits such as a single S3 connection's throughput.
+
+        Returns an event that fires on delivery of the last byte.
+        """
+        if nbytes < 0 or not math.isfinite(nbytes):
+            raise ValueError(f"nbytes must be finite and >= 0, got {nbytes}")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError(f"max_rate must be > 0, got {max_rate}")
+        self.total_flows += 1
+        done = Event(self.env)
+        if nbytes == 0:
+            done.succeed()
+            return done
+        self._advance()
+        flow = _Flow(links, nbytes, done, max_rate)
+        self._flows[flow] = None
+        for link in flow.links:
+            link._flows[flow] = None
+        self._reallocate()
+        self._reschedule()
+        return flow.event
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                moved = flow.rate * elapsed
+                flow.bytes_left -= moved
+                self.total_bytes_moved += moved
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Progressive filling to the max-min fair allocation."""
+        unfrozen: Dict[_Flow, None] = dict.fromkeys(self._flows)
+        if not unfrozen:
+            return
+        residual: Dict[Link, float] = {}
+        link_unfrozen: Dict[Link, int] = {}
+        links: Dict[Link, None] = {}
+        for flow in unfrozen:
+            flow.rate = 0.0
+            for link in flow.links:
+                links[link] = None
+                residual.setdefault(link, link.capacity)
+                link_unfrozen[link] = link_unfrozen.get(link, 0) + 1
+
+        while unfrozen:
+            # Fair share offered by each link still serving unfrozen flows.
+            bottleneck_share = float("inf")
+            for link in links:
+                n = link_unfrozen.get(link, 0)
+                if n > 0:
+                    share = residual[link] / n
+                    if share < bottleneck_share:
+                        bottleneck_share = share
+            # Rate-capped flows below the bottleneck share freeze at
+            # their cap instead (they are their own bottleneck).
+            capped = [f for f in unfrozen
+                      if f.max_rate is not None and f.max_rate < bottleneck_share]
+            if capped:
+                for flow in capped:
+                    self._freeze(flow, flow.max_rate, unfrozen,
+                                 residual, link_unfrozen)
+                continue
+            if not math.isfinite(bottleneck_share):
+                # Flows with no links at all: unconstrained; should not
+                # happen in practice but terminate rather than spin.
+                for flow in list(unfrozen):
+                    self._freeze(flow, flow.max_rate or float("inf"),
+                                 unfrozen, residual, link_unfrozen)
+                break
+            # Freeze every unfrozen flow on a bottleneck link.
+            frozen_any = False
+            for link in list(links):
+                n = link_unfrozen.get(link, 0)
+                if n > 0 and residual[link] / n <= bottleneck_share * (1 + 1e-12):
+                    for flow in [f for f in link._flows if f in unfrozen]:
+                        self._freeze(flow, bottleneck_share, unfrozen,
+                                     residual, link_unfrozen)
+                        frozen_any = True
+            if not frozen_any:  # pragma: no cover - numerical safety valve
+                for flow in list(unfrozen):
+                    self._freeze(flow, bottleneck_share, unfrozen,
+                                 residual, link_unfrozen)
+
+    @staticmethod
+    def _freeze(flow: _Flow, rate: float, unfrozen: Dict["_Flow", None],
+                residual: Dict[Link, float], link_unfrozen: Dict[Link, int]) -> None:
+        flow.rate = rate
+        unfrozen.pop(flow, None)
+        for link in flow.links:
+            residual[link] = max(0.0, residual[link] - rate)
+            link_unfrozen[link] -= 1
+
+    def _reschedule(self) -> None:
+        finished = [f for f in self._flows if f.bytes_left <= f.eps]
+        for flow in finished:
+            self._flows.pop(flow, None)
+            for link in flow.links:
+                link._flows.pop(flow, None)
+            flow.event.succeed()
+        if finished:
+            self._reallocate()
+        if not self._flows:
+            return
+        next_in = min(
+            (f.bytes_left / f.rate) for f in self._flows if f.rate > 0
+        ) if any(f.rate > 0 for f in self._flows) else None
+        if next_in is None:  # pragma: no cover - all flows stalled
+            return
+        self._wake_token += 1
+        token = self._wake_token
+        # Floor the delay so the clock always advances between wakeups
+        # (a zero-elapsed wake would make no progress and spin).
+        wake = self.env.timeout(max(next_in, 1e-9))
+        wake.callbacks.append(lambda _ev, t=token: self._on_wake(t))
+
+    def _on_wake(self, token: int) -> None:
+        if token != self._wake_token:
+            return
+        self._advance()
+        self._reschedule()

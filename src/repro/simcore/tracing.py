@@ -1,0 +1,107 @@
+"""Lightweight structured tracing for simulation runs.
+
+Every subsystem (scheduler, storage, disks, billing) emits
+:class:`TraceRecord` rows into a shared :class:`TraceCollector`.  The
+profiler (`repro.profiling.wfprof`) and the experiment result tables are
+built entirely from these traces, mirroring how the paper derives
+Table I from ptrace-based task profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped observation.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the observation (seconds).
+    category:
+        Coarse stream name, e.g. ``"task"``, ``"storage"``, ``"disk"``.
+    event:
+        Event name within the category, e.g. ``"start"``, ``"read"``.
+    fields:
+        Free-form payload (task id, bytes, node name, ...).
+    """
+
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with default."""
+        return self.fields.get(key, default)
+
+
+class TraceCollector:
+    """Accumulates trace records and answers simple queries.
+
+    Collection can be disabled wholesale (``enabled=False``) for large
+    benchmark sweeps where only aggregate counters are needed.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
+        """Record an observation (no-op when disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, category, event, fields)
+        self.records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every subsequent record."""
+        self._subscribers.append(callback)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def select(self, category: Optional[str] = None,
+               event: Optional[str] = None,
+               **field_filters: Any) -> List[TraceRecord]:
+        """Records matching the given category/event/field values."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if any(rec.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None,
+              event: Optional[str] = None, **field_filters: Any) -> int:
+        """Number of matching records."""
+        return len(self.select(category, event, **field_filters))
+
+    def sum_field(self, key: str, category: Optional[str] = None,
+                  event: Optional[str] = None, **field_filters: Any) -> float:
+        """Sum of a numeric field over matching records."""
+        return float(sum(rec.fields.get(key, 0.0)
+                         for rec in self.select(category, event, **field_filters)))
+
+    def clear(self) -> None:
+        """Drop all collected records (subscribers stay)."""
+        self.records.clear()
+
+
+#: A collector that drops everything — handy default for benchmarks.
+NULL_COLLECTOR = TraceCollector(enabled=False)

@@ -1,0 +1,96 @@
+"""Storage systems: the paper's five data-sharing options (plus two).
+
+* :class:`LocalDiskStorage` — single-node RAID0 baseline ("Local");
+* :class:`S3Storage` — Amazon S3 with the whole-file caching client;
+* :class:`NFSStorage` — central server, async write-back, page cache;
+* :class:`GlusterFSStorage` — NUFA and distribute translator layouts;
+* :class:`PVFSStorage` — striped parallel FS (2.6.3 behaviour);
+* :class:`XtreemFSStorage` — the WAN file system the paper abandoned.
+
+All implement :class:`StorageSystem`; :func:`make_storage` builds one
+by name for a given cluster.
+"""
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .base import StorageStats, StorageSystem
+from .files import FileMetadata, FileState, Namespace, WriteOnceViolation
+from .gluster import GlusterFSStorage
+from .local import LocalDiskStorage
+from .nfs import NFSStorage
+from .p2p import DirectTransferStorage
+from .pvfs import PVFSStorage
+from .s3 import S3Storage
+from .xtreemfs import XtreemFSStorage
+
+#: Names accepted by :func:`make_storage`, in the paper's order.
+STORAGE_NAMES = (
+    "local",
+    "s3",
+    "nfs",
+    "glusterfs-nufa",
+    "glusterfs-distribute",
+    "pvfs",
+    "xtreemfs",
+    "p2p",
+)
+
+
+def make_storage(name, env, cloud=None, nfs_server=None, trace=None):
+    """Construct a storage system by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`STORAGE_NAMES`.
+    env:
+        Simulation environment.
+    cloud:
+        Required for ``s3`` and ``xtreemfs`` (they attach a service
+        endpoint to the cluster network).
+    nfs_server:
+        The dedicated server :class:`~repro.cloud.node.VMInstance`,
+        required for ``nfs``.
+    """
+    if name == "local":
+        return LocalDiskStorage(env, trace=trace)
+    if name == "s3":
+        if cloud is None:
+            raise ValueError("s3 requires the EC2Cloud (service endpoint)")
+        return S3Storage(env, cloud, trace=trace)
+    if name == "nfs":
+        if nfs_server is None:
+            raise ValueError("nfs requires a dedicated server instance")
+        return NFSStorage(env, nfs_server, trace=trace)
+    if name == "glusterfs-nufa":
+        return GlusterFSStorage(env, layout="nufa", trace=trace)
+    if name == "glusterfs-distribute":
+        return GlusterFSStorage(env, layout="distribute", trace=trace)
+    if name == "pvfs":
+        return PVFSStorage(env, trace=trace)
+    if name == "xtreemfs":
+        if cloud is None:
+            raise ValueError("xtreemfs requires the EC2Cloud (service endpoint)")
+        return XtreemFSStorage(env, cloud, trace=trace)
+    if name == "p2p":
+        return DirectTransferStorage(env, trace=trace)
+    raise ValueError(f"unknown storage system {name!r}; known: {STORAGE_NAMES}")
+
+
+__all__ = [
+    "DirectTransferStorage",
+    "FileMetadata",
+    "FileState",
+    "GlusterFSStorage",
+    "LocalDiskStorage",
+    "NFSStorage",
+    "Namespace",
+    "PVFSStorage",
+    "S3Storage",
+    "STORAGE_NAMES",
+    "StorageStats",
+    "StorageSystem",
+    "WriteOnceViolation",
+    "XtreemFSStorage",
+    "make_storage",
+]

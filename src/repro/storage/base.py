@@ -1,0 +1,177 @@
+"""The common storage-system interface.
+
+Each of the paper's data-sharing options implements this interface.
+The executor interacts with storage in exactly two ways:
+
+* :meth:`StorageSystem.read` — make a file's bytes flow to a program
+  running on a node (through whatever path the system implies:
+  local disk, central server, peer node, stripes, or object store);
+* :meth:`StorageSystem.write` — persist a program's freshly produced
+  file from a node.
+
+Both are generators driven with ``yield from`` inside the executing
+task's process, so all contention (disks, NICs, server queues) is
+shared with everything else happening on the cluster.
+
+Systems advertise an access ``mode``:
+
+``"posix"``
+    Mountable file system; programs read/write it directly
+    (NFS, GlusterFS, PVFS, XtreemFS, local disk).
+``"object"``
+    No POSIX interface; the workflow system must wrap each job with
+    stage-in (GET) and stage-out (PUT) steps through the local disk
+    (Amazon S3).  See §IV.A of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from .files import FileMetadata, Namespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+    from ..simcore.engine import Environment
+
+
+@dataclass
+class StorageStats:
+    """Aggregate operation counters, filled in by every implementation."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    remote_reads: int = 0
+    remote_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: S3-specific request counters (drive the fee model).
+    get_requests: int = 0
+    put_requests: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for result tables."""
+        return dict(self.__dict__)
+
+
+class StorageSystem(abc.ABC):
+    """Abstract data-sharing option."""
+
+    #: Human-readable system name, e.g. ``"glusterfs-nufa"``.
+    name: str = "abstract"
+    #: ``"posix"`` or ``"object"`` (see module docstring).
+    mode: str = "posix"
+    #: Minimum worker count for a valid deployment (GlusterFS and PVFS
+    #: need at least two nodes to construct a file system, §V).
+    min_nodes: int = 1
+    #: Maximum worker count (local disk works only on a single node).
+    max_nodes: Optional[int] = None
+    #: Whether programs read this file system through the Linux page
+    #: cache (False for PVFS 2.6.3's direct-style client and for S3,
+    #: whose caching client already keeps whole files on local disk).
+    uses_page_cache: bool = True
+
+    def __init__(self, env: "Environment",
+                 trace: Optional[TraceCollector] = None) -> None:
+        self.env = env
+        self.trace = trace if trace is not None else NULL_COLLECTOR
+        self.stats = StorageStats()
+        self.namespace = Namespace()
+        self._deployed = False
+
+    # -- deployment --------------------------------------------------------
+
+    def deploy(self, workers: List["VMInstance"]) -> None:
+        """Wire the system to the cluster's worker nodes."""
+        n = len(workers)
+        if n < self.min_nodes:
+            raise ValueError(
+                f"{self.name} needs >= {self.min_nodes} nodes, got {n}")
+        if self.max_nodes is not None and n > self.max_nodes:
+            raise ValueError(
+                f"{self.name} supports <= {self.max_nodes} nodes, got {n}")
+        self.workers = list(workers)
+        self._deployed = True
+        if self.uses_page_cache:
+            from .pagecache import NodePageCache
+            self._page_caches = {w.name: NodePageCache(w) for w in workers}
+        else:
+            self._page_caches = None
+        self._on_deploy()
+
+    def _on_deploy(self) -> None:
+        """Hook for subclass deployment work (placement maps, servers)."""
+
+    def _require_deployed(self) -> None:
+        if not self._deployed:
+            raise RuntimeError(f"{self.name} used before deploy()")
+
+    # -- data path -----------------------------------------------------------
+
+    def stage_input(self, meta: FileMetadata) -> None:
+        """Pre-stage an input file (before the clock starts, as in the
+        paper: input transfer time is excluded from makespans)."""
+        self._require_deployed()
+        self.namespace.declare(meta, available=True)
+        self._place_input(meta)
+
+    def _place_input(self, meta: FileMetadata) -> None:
+        """Hook: record where the pre-staged file physically lives."""
+
+    def declare_output(self, meta: FileMetadata) -> None:
+        """Declare a file the workflow will produce."""
+        self._require_deployed()
+        self.namespace.declare(meta, available=False)
+
+    @abc.abstractmethod
+    def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        """Deliver ``meta``'s bytes to a program on ``node`` (generator)."""
+
+    @abc.abstractmethod
+    def write(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        """Persist ``meta`` produced by a program on ``node`` (generator)."""
+
+    # -- client page cache --------------------------------------------------------
+
+    def _page_cache_hit(self, node: "VMInstance", meta: FileMetadata) -> bool:
+        """Whether ``meta`` is fully resident in ``node``'s page cache."""
+        if self._page_caches is None:
+            return False
+        return self._page_caches[node.name].lookup(meta.name)
+
+    def _page_cache_insert(self, node: "VMInstance", meta: FileMetadata) -> None:
+        """Record that ``meta``'s pages are now resident on ``node``."""
+        if self._page_caches is not None:
+            self._page_caches[node.name].insert(meta.name, meta.size)
+
+    def page_cache_of(self, node: "VMInstance"):
+        """The node's page cache (None when the system bypasses it)."""
+        if self._page_caches is None:
+            return None
+        return self._page_caches[node.name]
+
+    # -- common accounting ------------------------------------------------------
+
+    def _count_read(self, meta: FileMetadata, remote: bool) -> None:
+        self.stats.reads += 1
+        self.stats.bytes_read += meta.size
+        if remote:
+            self.stats.remote_reads += 1
+        self.trace.emit(self.env.now, "storage", "read", system=self.name,
+                        file=meta.name, nbytes=meta.size, remote=remote)
+
+    def _count_write(self, meta: FileMetadata, remote: bool) -> None:
+        self.stats.writes += 1
+        self.stats.bytes_written += meta.size
+        if remote:
+            self.stats.remote_writes += 1
+        self.trace.emit(self.env.now, "storage", "write", system=self.name,
+                        file=meta.name, nbytes=meta.size, remote=remote)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,152 @@
+"""GlusterFS in the two configurations the paper deploys (§IV.C).
+
+GlusterFS composes *translators* into a file system.  The paper uses
+two all-peer configurations (every node is both client and server,
+exporting its local RAID0 volume):
+
+``NUFA`` (non-uniform file access)
+    All writes to **new** files go to the local disk; reads go to
+    whichever node created the file.  Because the workloads are
+    write-once, every write is local.  This gives Broadband's chained
+    "mini workflow" transformations good locality: each stage's outputs
+    are produced where the next stage *may* run.
+
+``distribute``
+    Files are placed by filename hash, spreading reads *and* writes
+    uniformly across the cluster; a write is remote with probability
+    (n-1)/n.
+
+The model is the translator decision ("who owns this file?") plus the
+physical path it implies: local disk access, or a peer transfer plus
+the peer's disk.  A small per-operation latency covers the FUSE +
+lookup overhead (larger when the owning node is remote).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from .base import StorageSystem
+from .files import FileMetadata
+from .pagecache import HIT_LATENCY as PC_HIT_LATENCY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+
+
+class GlusterFSStorage(StorageSystem):
+    """Peer-to-peer GlusterFS volume over all worker nodes."""
+
+    mode = "posix"
+    min_nodes = 2
+
+    #: FUSE + translator stack overhead for an operation served locally.
+    LOCAL_OP_LATENCY = 0.0012
+    #: Lookup + network round-trip overhead for a remote-owner operation.
+    REMOTE_OP_LATENCY = 0.0030
+
+    def __init__(self, env, layout: str = "nufa", trace=None) -> None:
+        super().__init__(env, trace=trace)
+        if layout not in ("nufa", "distribute"):
+            raise ValueError(f"layout must be 'nufa' or 'distribute', got {layout!r}")
+        self.layout = layout
+        self.name = f"glusterfs-{layout}"
+        #: file name -> owning worker (which holds the one replica).
+        self._owner: Dict[str, "VMInstance"] = {}
+        self._stage_counter = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def _hash_owner(self, name: str) -> "VMInstance":
+        return self.workers[zlib.crc32(name.encode()) % len(self.workers)]
+
+    def _place_input(self, meta: FileMetadata) -> None:
+        if self.layout == "distribute":
+            owner = self._hash_owner(meta.name)
+        else:
+            # NUFA: inputs are staged through the shared mount; the
+            # stage-in process writes from each node in turn
+            # (round-robin), spreading the input set.
+            owner = self.workers[self._stage_counter % len(self.workers)]
+            self._stage_counter += 1
+        self._owner[meta.name] = owner
+        owner.disk._touched.add((self.name, meta.name))
+
+    def owner_of(self, name: str) -> "VMInstance":
+        """The worker holding the file's replica."""
+        return self._owner[name]
+
+    # -- data path ----------------------------------------------------------------
+
+    def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        self._require_deployed()
+        if self._page_cache_hit(node, meta):
+            self._count_read(meta, remote=False)
+            self.stats.cache_hits += 1
+            yield self.env.timeout(PC_HIT_LATENCY)
+            return
+        self.stats.cache_misses += 1
+        owner = self._owner[meta.name]
+        remote = owner is not node
+        self._count_read(meta, remote=remote)
+        yield self.env.timeout(
+            self.REMOTE_OP_LATENCY if remote else self.LOCAL_OP_LATENCY)
+        if remote:
+            # The owner's brick is an ordinary file on the owner's
+            # local file system, so a hot file is served from the
+            # owner's kernel page cache — only the wire is paid.
+            owner_pc = self._page_caches[owner.name]
+            if owner_pc.lookup(meta.name):
+                yield from self._peer_transfer(owner, node, meta.size)
+            else:
+                # Cold: the owner reads its disk and streams to the
+                # client; disk and wire pipeline, the slower dominates.
+                disk_ev = self.env.process(
+                    self._owner_disk_read(owner, meta.size),
+                    name=f"gluster-read:{meta.name}")
+                net_ev = self.env.process(
+                    self._peer_transfer(owner, node, meta.size),
+                    name=f"gluster-net:{meta.name}")
+                yield disk_ev & net_ev
+                owner_pc.insert(meta.name, meta.size)
+        else:
+            yield from node.disk.read(meta.size)
+        self._page_cache_insert(node, meta)
+
+    def write(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        self._require_deployed()
+        if self.layout == "nufa":
+            owner = node  # writes to new files always go local
+        else:
+            owner = self._hash_owner(meta.name)
+        self._owner[meta.name] = owner
+        remote = owner is not node
+        self._count_write(meta, remote=remote)
+        yield self.env.timeout(
+            self.REMOTE_OP_LATENCY if remote else self.LOCAL_OP_LATENCY)
+        if remote:
+            net_ev = self.env.process(
+                self._peer_transfer(node, owner, meta.size),
+                name=f"gluster-wnet:{meta.name}")
+            disk_ev = self.env.process(
+                self._owner_disk_write(owner, meta),
+                name=f"gluster-wdisk:{meta.name}")
+            yield net_ev & disk_ev
+            # The landed file is hot in the owner's page cache too.
+            self._page_caches[owner.name].insert(meta.name, meta.size)
+        else:
+            yield from node.disk.write((self.name, meta.name), meta.size)
+        self._page_cache_insert(node, meta)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _owner_disk_read(self, owner: "VMInstance", nbytes: float) -> Generator:
+        yield from owner.disk.read(nbytes)
+
+    def _owner_disk_write(self, owner: "VMInstance", meta: FileMetadata) -> Generator:
+        yield from owner.disk.write((self.name, meta.name), meta.size)
+
+    def _peer_transfer(self, src: "VMInstance", dst: "VMInstance",
+                       nbytes: float) -> Generator:
+        yield from src.network.transfer(src.nic, dst.nic, nbytes)

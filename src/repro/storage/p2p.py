@@ -1,0 +1,154 @@
+"""Direct node-to-node transfers: the paper's future-work mode (§VIII).
+
+    "In this work we only considered workflow environments in which a
+    shared storage system was used to communicate data between workflow
+    tasks.  In the future we plan to investigate configurations in
+    which files can be transferred directly from one computational node
+    to another."
+
+This module implements that configuration so the repository can answer
+the question the paper poses.  The workflow system tracks where every
+file was produced; a consumer task pulls each missing input straight
+from the producer's node into its local disk cache (one hop, no
+central service, no translator stack), and outputs simply stay where
+they were written.  Like the S3 client cache, correctness rests on the
+workloads' write-once discipline; unlike S3, there is no object-store
+round-trip, no request fees, and reads of co-located data are purely
+local.
+
+``benchmarks/bench_p2p_future_work.py`` compares it against the
+paper's best systems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, Set, Tuple
+
+from ..simcore.events import Event
+from .base import StorageSystem
+from .files import FileMetadata
+from .pagecache import HIT_LATENCY as PC_HIT_LATENCY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+
+
+class DirectTransferStorage(StorageSystem):
+    """WMS-managed peer-to-peer data movement with per-node caching."""
+
+    name = "p2p"
+    mode = "posix"
+    min_nodes = 1
+
+    #: Registry lookup + connection setup per remote pull.
+    PULL_LATENCY = 0.004
+
+    def __init__(self, env, trace=None) -> None:
+        super().__init__(env, trace=trace)
+        #: file name -> node names holding a replica.
+        self._replicas: Dict[str, Set[str]] = {}
+        #: producing node of each file (for diagnostics).
+        self._producer: Dict[str, str] = {}
+        self._inflight: Dict[Tuple[str, str], Event] = {}
+        self._stage_counter = 0
+
+    def _on_deploy(self) -> None:
+        self._by_name = {w.name: w for w in self.workers}
+
+    def _place_input(self, meta: FileMetadata) -> None:
+        # Inputs are staged round-robin, as with GlusterFS NUFA.
+        owner = self.workers[self._stage_counter % len(self.workers)]
+        self._stage_counter += 1
+        self._replicas[meta.name] = {owner.name}
+        self._producer[meta.name] = owner.name
+        owner.disk._touched.add((self.name, meta.name))
+
+    # -- introspection -----------------------------------------------------
+
+    def replicas_of(self, name: str) -> Set[str]:
+        """Node names holding ``name``."""
+        return set(self._replicas.get(name, ()))
+
+    def cached_on(self, node: "VMInstance") -> Set[str]:
+        """Names resident on ``node`` (for the locality scheduler)."""
+        return {name for name, nodes in self._replicas.items()
+                if node.name in nodes}
+
+    # -- data path ----------------------------------------------------------------
+
+    def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        self._require_deployed()
+        local = node.name in self._replicas.get(meta.name, ())
+        self._count_read(meta, remote=not local)
+        if local:
+            if self._page_cache_hit(node, meta):
+                self.stats.cache_hits += 1
+                yield self.env.timeout(PC_HIT_LATENCY)
+                return
+            yield from node.disk.read(meta.size)
+            self._page_cache_insert(node, meta)
+            return
+        self.stats.cache_misses += 1
+        yield from self._pull(node, meta)
+        # The landed replica is hot; the program reads it from RAM.
+        if self._page_cache_hit(node, meta):
+            yield self.env.timeout(PC_HIT_LATENCY)
+        else:
+            yield from node.disk.read(meta.size)
+            self._page_cache_insert(node, meta)
+
+    def write(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        self._require_deployed()
+        self._count_write(meta, remote=False)
+        yield from node.disk.write((self.name, meta.name), meta.size)
+        self._page_cache_insert(node, meta)
+        self._replicas.setdefault(meta.name, set()).add(node.name)
+        self._producer.setdefault(meta.name, node.name)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _pull(self, node: "VMInstance", meta: FileMetadata) -> Generator:
+        """Fetch a replica from a peer, deduplicating concurrent pulls."""
+        key = (node.name, meta.name)
+        pending = self._inflight.get(key)
+        if pending is not None:
+            yield pending
+            return
+        holders = self._replicas.get(meta.name)
+        if not holders:
+            raise FileNotFoundError(f"no replica of {meta.name!r}")
+        done = Event(self.env)
+        self._inflight[key] = done
+        try:
+            yield self.env.timeout(self.PULL_LATENCY)
+            # Pull from the least-loaded holder's NIC (ties broken by
+            # name so runs are reproducible across processes).
+            source = min((self._by_name[h] for h in sorted(holders)),
+                         key=lambda w: w.nic.tx.active_flows)
+            stages = [self.env.process(
+                self._net(source, node, meta.size), name="p2p-net")]
+            # The source serves from its page cache when hot.
+            src_pc = self._page_caches[source.name]
+            if not src_pc.lookup(meta.name):
+                stages.append(self.env.process(
+                    self._src_disk(source, meta.size), name="p2p-disk"))
+                src_pc.insert(meta.name, meta.size)
+            # Landing write on the consumer.
+            stages.append(self.env.process(
+                self._dst_disk(node, meta), name="p2p-land"))
+            yield self.env.all_of(stages)
+            self._replicas[meta.name].add(node.name)
+            self._page_cache_insert(node, meta)
+        finally:
+            del self._inflight[key]
+            done.succeed()
+
+    def _net(self, src: "VMInstance", dst: "VMInstance",
+             nbytes: float) -> Generator:
+        yield from src.network.transfer(src.nic, dst.nic, nbytes)
+
+    def _src_disk(self, src: "VMInstance", nbytes: float) -> Generator:
+        yield from src.disk.read(nbytes)
+
+    def _dst_disk(self, dst: "VMInstance", meta: FileMetadata) -> Generator:
+        yield from dst.disk.write((self.name, meta.name), meta.size)

@@ -1,0 +1,102 @@
+"""Client-side page cache.
+
+Programs on a worker node read mounted file systems (local disk, NFS,
+GlusterFS) through the Linux page cache: a file read or written
+recently on *this node* is served from RAM, skipping disks and the
+network.  The workloads are write-once, so cached contents never go
+stale (NFS close-to-open revalidation always succeeds).
+
+The crucial coupling modelled here is with **task memory pressure**:
+page-cache capacity is whatever physical memory the resident tasks are
+not using.  Montage's small tasks leave gigabytes for caching;
+Broadband's >1 GB simulation codes squeeze the cache down to the
+floor, which is why its re-read-heavy I/O keeps going back to the
+(remote) storage system — and why S3's *disk-based* whole-file cache,
+which does not compete with task memory, wins for Broadband.
+
+PVFS gets no page cache: its 2.6.3 kernel client bypasses the page
+cache entirely (direct-style I/O), one of the reasons the paper finds
+it slow on small files.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+
+#: The kernel keeps at least this much cache even under memory
+#: pressure (reclaim never quite empties it).
+MIN_CACHE_BYTES = 200_000_000
+#: Fraction of *free* memory the page cache may occupy.
+FREE_MEMORY_FRACTION = 0.40
+#: In-RAM service time for a cached read (copy + syscall).
+HIT_LATENCY = 0.0003
+
+
+class NodePageCache:
+    """LRU page cache of one node for one mounted file system."""
+
+    def __init__(self, node: "VMInstance") -> None:
+        self.node = node
+        self._lru: "OrderedDict[str, float]" = OrderedDict()
+        self._bytes = 0.0
+        self.hits = 0
+        self.misses = 0
+
+    # -- capacity --------------------------------------------------------
+
+    def capacity(self) -> float:
+        """Current capacity: free node memory not claimed by tasks."""
+        return max(MIN_CACHE_BYTES,
+                   self.node.memory.level * FREE_MEMORY_FRACTION)
+
+    @property
+    def cached_bytes(self) -> float:
+        """Bytes currently cached."""
+        return self._bytes
+
+    # -- operations ---------------------------------------------------------
+
+    def lookup(self, name: str) -> bool:
+        """True (and refresh LRU) if ``name`` is fully cached.
+
+        Re-applies the capacity bound first, so cache contents shrink
+        when running tasks have claimed the memory since the last
+        access (kernel reclaim under pressure).
+        """
+        self.shrink()
+        if name in self._lru:
+            self._lru.move_to_end(name)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, name: str, size: float) -> None:
+        """Cache ``name`` (no-op for files larger than capacity)."""
+        cap = self.capacity()
+        if size > cap:
+            return
+        if name in self._lru:
+            self._lru.move_to_end(name)
+            return
+        self._lru[name] = size
+        self._bytes += size
+        self.shrink()
+
+    def shrink(self) -> None:
+        """Evict LRU entries down to current capacity (called on
+        insert and by the executor when tasks claim memory)."""
+        cap = self.capacity()
+        while self._bytes > cap and self._lru:
+            _, size = self._lru.popitem(last=False)
+            self._bytes -= size
+
+    def invalidate(self, name: str) -> None:
+        """Drop one entry (file deleted)."""
+        size = self._lru.pop(name, None)
+        if size is not None:
+            self._bytes -= size

@@ -1,0 +1,44 @@
+"""Workflow management: DAGs, planning, release, and scheduling.
+
+The Pegasus/DAGMan/Condor stack of the paper, rebuilt for the
+simulation:
+
+* :class:`Workflow` / :class:`Task` — abstract workflow description;
+* :class:`PegasusMapper` — abstract → executable planning (file
+  resolution, S3 job wrapping);
+* :class:`DAGMan` — dependency-ordered job release;
+* :class:`CondorPool` — locality-blind FIFO slots (the paper's
+  scheduler); :class:`LocalityAwarePool` — the data-aware ablation;
+* :class:`PegasusWMS` — the submit-host facade returning
+  :class:`WorkflowRun` records.
+"""
+
+from .clustering import cluster_horizontal
+from .condor import CondorPool, LocalityAwarePool
+from .dag import Task, Workflow, WorkflowValidationError
+from .dagman import DAGMan, WorkflowFailedError
+from .executor import JobRecord, JobTooLargeError, TaskFailedError, execute_job
+from .failures import FailureInjector
+from .mapper import ExecutableJob, ExecutablePlan, PegasusMapper
+from .wms import PegasusWMS, WorkflowRun
+
+__all__ = [
+    "CondorPool",
+    "cluster_horizontal",
+    "DAGMan",
+    "ExecutableJob",
+    "ExecutablePlan",
+    "JobRecord",
+    "JobTooLargeError",
+    "LocalityAwarePool",
+    "PegasusMapper",
+    "FailureInjector",
+    "PegasusWMS",
+    "TaskFailedError",
+    "WorkflowFailedError",
+    "Task",
+    "Workflow",
+    "WorkflowRun",
+    "WorkflowValidationError",
+    "execute_job",
+]

@@ -1,0 +1,109 @@
+"""Horizontal task clustering (Pegasus-style).
+
+Pegasus can merge many short tasks of the same transformation into one
+scheduled job to amortise scheduling and data-access overheads.  The
+paper ran *unclustered* workflows (each of Montage's 10,429 tasks was
+its own Condor job); clustering is the standard mitigation for exactly
+the per-file and per-job overheads that hurt S3 and PVFS in Fig. 2 —
+so this module lets the repository ask the obvious follow-up: *how
+much of the storage-system gap would clustering have closed?*
+(`benchmarks/bench_clustering_ablation.py`).
+
+:func:`cluster_horizontal` rewrites a workflow, merging up to
+``factor`` same-transformation, same-level tasks into one task whose
+compute time is the sum, whose memory is the max, and whose file sets
+are the unions.  Dependency structure is preserved (a clustered task
+depends on everything any member depended on), so the result is a
+valid workflow over the *same* logical files.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from .dag import Task, Workflow
+
+
+def cluster_horizontal(workflow: Workflow,
+                       factor: int,
+                       transformations: Optional[Sequence[str]] = None,
+                       name_suffix: str = "clustered") -> Workflow:
+    """A copy of ``workflow`` with same-level tasks merged.
+
+    Parameters
+    ----------
+    workflow:
+        The source workflow (unmodified).
+    factor:
+        Maximum tasks merged into one cluster (``1`` returns an
+        equivalent workflow).
+    transformations:
+        Only cluster these executables (default: all).  Singleton
+        stages (e.g. ``mBgModel``) are unaffected either way.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    wanted = set(transformations) if transformations is not None else None
+
+    levels = workflow.levels()
+    groups: Dict[tuple, List[Task]] = defaultdict(list)
+    singles: List[Task] = []
+    for task in workflow.tasks.values():
+        if wanted is not None and task.transformation not in wanted:
+            singles.append(task)
+        else:
+            groups[(task.transformation, levels[task.id])].append(task)
+
+    out = Workflow(f"{workflow.name}-{name_suffix}x{factor}")
+    for name, meta in workflow.files.items():
+        out.add_file(
+            name, meta.size,
+            is_input=name in workflow.input_files,
+            temporary=name in workflow.temp_files,
+            final=name in workflow.final_files,
+        )
+
+    def add_merged(members: List[Task], index: int) -> None:
+        if len(members) == 1:
+            out.add_task(Task(
+                members[0].id, members[0].transformation,
+                members[0].cpu_seconds, members[0].memory_bytes,
+                list(members[0].inputs), list(members[0].outputs)))
+            return
+        inputs: List[str] = []
+        outputs: List[str] = []
+        seen_in, seen_out = set(), set()
+        for t in members:
+            for f in t.inputs:
+                if f not in seen_in:
+                    seen_in.add(f)
+                    inputs.append(f)
+            for f in t.outputs:
+                if f not in seen_out:
+                    seen_out.add(f)
+                    outputs.append(f)
+        # Files produced and consumed inside the cluster stay as plain
+        # reads/writes (the cluster still materialises them), but they
+        # must not appear as cluster inputs (self-dependency).
+        inputs = [f for f in inputs if f not in seen_out]
+        out.add_task(Task(
+            f"{members[0].transformation}_cluster_{index}",
+            members[0].transformation,
+            sum(t.cpu_seconds for t in members),
+            max(t.memory_bytes for t in members),
+            inputs, outputs))
+
+    cluster_index = 0
+    for (_transformation, _level), members in sorted(
+            groups.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        members.sort(key=lambda t: t.id)
+        for i in range(0, len(members), factor):
+            add_merged(members[i:i + factor], cluster_index)
+            cluster_index += 1
+    for task in singles:
+        out.add_task(Task(task.id, task.transformation, task.cpu_seconds,
+                          task.memory_bytes, list(task.inputs),
+                          list(task.outputs)))
+    out.validate()
+    return out

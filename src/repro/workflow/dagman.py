@@ -1,0 +1,119 @@
+"""DAGMan: dependency-driven job release.
+
+DAGMan walks the executable plan, submitting a job to the Condor queue
+the moment its last prerequisite finishes, and reports completion of
+the whole DAG.  Failed attempts are retried up to ``retries`` times
+(DAGMan's standard behaviour); a job that exhausts its retries fails
+the whole run, surfacing :class:`WorkflowFailedError` to whoever waits
+on :attr:`DAGMan.done`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Set
+
+from ..simcore.events import Event
+from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from .condor import CondorPool
+from .executor import JobRecord
+from .mapper import ExecutablePlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simcore.engine import Environment
+    from .mapper import ExecutableJob
+
+
+class WorkflowFailedError(RuntimeError):
+    """A job exhausted its retries; the DAG cannot complete."""
+
+
+class DAGMan:
+    """Releases jobs of one plan in dependency order."""
+
+    def __init__(self, env: "Environment", plan: ExecutablePlan,
+                 pool: CondorPool,
+                 retries: int = 3,
+                 trace: TraceCollector = NULL_COLLECTOR) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.env = env
+        self.plan = plan
+        self.pool = pool
+        self.retries = retries
+        self.trace = trace
+        self._unfinished_parents: Dict[str, int] = {
+            jid: len(ps) for jid, ps in plan.parents.items()
+        }
+        self._completed: Set[str] = set()
+        self._submitted: Set[str] = set()
+        self._failed_attempts: Dict[str, int] = {}
+        #: Fires when the last job of the DAG completes (or fails with
+        #: :class:`WorkflowFailedError` when retries run out).
+        self.done: Event = Event(env)
+        pool.set_completion_callback(self._on_job_complete)
+        pool.set_failure_callback(self._on_job_failed)
+
+    # -- driving --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Submit all root jobs and start the slot pool."""
+        self.trace.emit(self.env.now, "dagman", "start",
+                        n_jobs=self.plan.n_jobs)
+        self.pool.start()
+        if not self.plan.jobs:
+            self.done.succeed()
+            return
+        for jid in self.plan.roots():
+            self._submit(jid)
+
+    @property
+    def n_completed(self) -> int:
+        """Jobs finished so far."""
+        return len(self._completed)
+
+    @property
+    def progress(self) -> float:
+        """Completed fraction in [0, 1]."""
+        if not self.plan.jobs:
+            return 1.0
+        return len(self._completed) / self.plan.n_jobs
+
+    # -- internals ----------------------------------------------------------------
+
+    def _submit(self, jid: str) -> None:
+        if jid in self._submitted:
+            raise AssertionError(f"job {jid} submitted twice")
+        self._submitted.add(jid)
+        self.pool.submit(self.plan.jobs[jid])
+
+    def _on_job_failed(self, job: "ExecutableJob", record: JobRecord) -> None:
+        jid = job.id
+        failures = self._failed_attempts.get(jid, 0) + 1
+        self._failed_attempts[jid] = failures
+        self.trace.emit(self.env.now, "dagman", "retry", task=jid,
+                        failures=failures, retries=self.retries)
+        if failures <= self.retries:
+            self.pool.submit(job)  # resubmit at the back of the queue
+            return
+        if not self.done.triggered:
+            self.done.fail(WorkflowFailedError(
+                f"job {jid} failed {failures} times "
+                f"(retry limit {self.retries})"))
+
+    def _on_job_complete(self, job: "ExecutableJob", record: JobRecord) -> None:
+        jid = job.id
+        if jid in self._completed:
+            raise AssertionError(f"job {jid} completed twice")
+        self._completed.add(jid)
+        self.trace.emit(self.env.now, "dagman", "complete", task=jid,
+                        done=len(self._completed), total=self.plan.n_jobs)
+        # Sorted so release (and hence scheduling) order never depends
+        # on set iteration order — runs are bit-reproducible across
+        # processes regardless of PYTHONHASHSEED.
+        for child in sorted(self.plan.children[jid]):
+            self._unfinished_parents[child] -= 1
+            if self._unfinished_parents[child] == 0:
+                self._submit(child)
+        if len(self._completed) == self.plan.n_jobs \
+                and not self.done.triggered:
+            self.done.succeed()

@@ -1,0 +1,143 @@
+"""Per-job execution on a worker node.
+
+A job's lifetime on its slot is the sequential pipeline the paper's
+task wrappers produce:
+
+1. claim peak memory from the node (this gates Broadband's >1 GB
+   tasks: a 7 GB c1.xlarge can hold only a few at once);
+2. read every input through the storage system (for S3, this is the
+   caching client's GET + the program's local read);
+3. compute for ``cpu_seconds``;
+4. write every output through the storage system (for S3: local write
+   + PUT).
+
+The write-once namespace brackets every transfer, so any scheduling or
+storage bug that would corrupt the data-flow fails the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+    from ..simcore.engine import Environment
+    from ..storage.base import StorageSystem
+    from .mapper import ExecutableJob
+
+
+class JobTooLargeError(RuntimeError):
+    """A task's memory demand exceeds the node's physical memory."""
+
+
+class TaskFailedError(RuntimeError):
+    """A task attempt crashed (transient failure injected by the
+    failure model).  DAGMan decides whether to retry."""
+
+
+@dataclass
+class JobRecord:
+    """Observed execution of one job (feeds the profiler and results)."""
+
+    task_id: str
+    transformation: str
+    node: str
+    submit_time: float
+    start_time: float = 0.0
+    end_time: float = 0.0
+    read_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    write_seconds: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    memory_bytes: float = 0.0
+    #: Which attempt this record describes (1 = first try).
+    attempt: int = 1
+    #: True when this attempt crashed before producing its outputs.
+    failed: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock runtime on the slot."""
+        return self.end_time - self.start_time
+
+    @property
+    def io_seconds(self) -> float:
+        """Time spent in storage operations."""
+        return self.read_seconds + self.write_seconds
+
+    @property
+    def queue_delay(self) -> float:
+        """Time between submission and slot start."""
+        return self.start_time - self.submit_time
+
+
+def execute_job(env: "Environment", job: "ExecutableJob",
+                node: "VMInstance", storage: "StorageSystem",
+                record: JobRecord,
+                cpu_jitter_factor: float = 1.0,
+                fail_this_attempt: bool = False,
+                trace: TraceCollector = NULL_COLLECTOR) -> Generator:
+    """Run one job on ``node`` (the caller holds the CPU slot).
+
+    With ``fail_this_attempt`` the task crashes at the end of its
+    compute phase — after consuming resources, before producing any
+    output — modelling the transient failures DAGMan retries.
+    """
+    task = job.task
+    ns = storage.namespace
+
+    if task.memory_bytes > node.memory.capacity:
+        raise JobTooLargeError(
+            f"task {task.id} needs {task.memory_bytes / 1e9:.1f} GB but "
+            f"{node.name} has {node.memory.capacity / 1e9:.1f} GB")
+
+    # 1. memory gate ------------------------------------------------------
+    if task.memory_bytes > 0:
+        yield node.memory.get(task.memory_bytes)
+    record.start_time = env.now
+    record.memory_bytes = task.memory_bytes
+    trace.emit(env.now, "task", "start", task=task.id, node=node.name,
+               transformation=task.transformation)
+    try:
+        # 2. stage/read inputs --------------------------------------------
+        t0 = env.now
+        for meta in job.inputs:
+            ns.begin_read(meta.name)
+            try:
+                yield from storage.read(node, meta)
+            finally:
+                ns.end_read(meta.name)
+            record.bytes_read += meta.size
+        record.read_seconds = env.now - t0
+
+        # 3. compute --------------------------------------------------------
+        t0 = env.now
+        cpu = task.cpu_seconds * cpu_jitter_factor
+        if cpu > 0:
+            yield env.timeout(cpu)
+        record.cpu_seconds = env.now - t0
+        if fail_this_attempt:
+            record.failed = True
+            trace.emit(env.now, "task", "failed", task=task.id,
+                       node=node.name, attempt=record.attempt)
+            raise TaskFailedError(
+                f"task {task.id} crashed (attempt {record.attempt})")
+
+        # 4. write outputs ----------------------------------------------------
+        t0 = env.now
+        for meta in job.outputs:
+            ns.begin_write(meta.name)
+            yield from storage.write(node, meta)
+            ns.end_write(meta.name)
+            record.bytes_written += meta.size
+        record.write_seconds = env.now - t0
+    finally:
+        if task.memory_bytes > 0:
+            node.memory.put(task.memory_bytes)
+        record.end_time = env.now
+        trace.emit(env.now, "task", "end", task=task.id, node=node.name,
+                   duration=record.end_time - record.start_time)

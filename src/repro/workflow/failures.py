@@ -1,0 +1,50 @@
+"""Transient-failure injection.
+
+Real EC2 runs see occasional task crashes (flaky nodes, storage
+hiccups, OOM kills); Condor/DAGMan masks them with retries.  The paper
+reports completed runs, so failure injection is off by default — it
+exists so the test suite can prove the retry machinery keeps workflows
+correct (write-once discipline included) under fault load, and so
+users can study makespan inflation vs failure rate.
+
+Failures are deterministic per ``(seed, task, attempt)``: re-running an
+experiment reproduces the exact same crash pattern.
+"""
+
+from __future__ import annotations
+
+from ..simcore.rand import substream
+
+
+class FailureInjector:
+    """Decides which task attempts crash.
+
+    Parameters
+    ----------
+    rate:
+        Per-attempt crash probability in [0, 1).
+    seed:
+        Experiment seed; draws come from a named substream so failure
+        patterns never perturb other random components.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._seed = seed
+        self.injected = 0
+
+    def should_fail(self, task_id: str, attempt: int) -> bool:
+        """Whether this attempt of ``task_id`` crashes."""
+        if self.rate <= 0.0:
+            return False
+        rng = substream(self._seed, "failure", task_id, attempt)
+        fail = bool(rng.random() < self.rate)
+        if fail:
+            self.injected += 1
+        return fail
+
+
+#: Injector that never fails anything (the default).
+NO_FAILURES = FailureInjector(0.0)

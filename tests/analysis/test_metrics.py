@@ -1,0 +1,89 @@
+"""Tests for run analytics."""
+
+import pytest
+
+from repro.analysis import (
+    critical_path_seconds,
+    makespan_lower_bound,
+    parallel_efficiency,
+    phase_timeline,
+    speedup_curve,
+    stragglers,
+    utilization,
+)
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.workflow import Task, Workflow
+from repro.workflow.executor import JobRecord
+
+
+def rec(start, end, cpu=None, io=0.0, submit=None, task="t"):
+    r = JobRecord(task_id=task, transformation="x", node="n0",
+                  submit_time=submit if submit is not None else start)
+    r.start_time, r.end_time = start, end
+    r.cpu_seconds = cpu if cpu is not None else (end - start)
+    r.read_seconds = io
+    return r
+
+
+def chain_wf():
+    wf = Workflow("chain")
+    wf.add_file("f0", 1.0, is_input=True)
+    wf.add_file("f1", 1.0)
+    wf.add_file("f2", 1.0)
+    wf.add_task(Task("a", "x", 10.0, inputs=["f0"], outputs=["f1"]))
+    wf.add_task(Task("b", "x", 20.0, inputs=["f1"], outputs=["f2"]))
+    # A parallel side task.
+    wf.add_file("g", 1.0)
+    wf.add_task(Task("c", "x", 5.0, inputs=["f0"], outputs=["g"]))
+    return wf
+
+
+def test_critical_path():
+    wf = chain_wf()
+    assert critical_path_seconds(wf) == 30.0
+    assert critical_path_seconds(wf, {"a": 1.0, "b": 1.0, "c": 50.0}) == 50.0
+
+
+def test_makespan_lower_bound():
+    wf = chain_wf()
+    # total work 35 over 100 slots -> critical path dominates.
+    assert makespan_lower_bound(wf, 100) == 30.0
+    # 1 slot -> total work dominates.
+    assert makespan_lower_bound(wf, 1) == 35.0
+
+
+def test_speedup_and_efficiency():
+    m = {1: 100.0, 2: 50.0, 4: 40.0}
+    s = speedup_curve(m)
+    assert s == {1: 1.0, 2: 2.0, 4: 2.5}
+    e = parallel_efficiency(m)
+    assert e[2] == pytest.approx(1.0)
+    assert e[4] == pytest.approx(0.625)
+    assert speedup_curve({}) == {}
+
+
+def test_utilization_from_real_run():
+    r = run_experiment(ExperimentConfig("synthetic", "local", 1),
+                       workflow=build_synthetic(24, width=8, seed=0))
+    u = utilization(r.run)
+    assert u.total_slots == 8
+    assert 0 < u.busy_fraction <= 1.0
+    assert u.cpu_fraction + u.io_fraction <= u.busy_fraction + 1e-9
+    assert u.mean_queue_delay >= 0
+    assert u.p95_queue_delay >= u.mean_queue_delay * 0.5
+
+
+def test_phase_timeline_counts_overlaps():
+    records = [rec(0, 100), rec(50, 150), rec(200, 210)]
+    tl = phase_timeline(records, bucket_seconds=100.0)
+    assert tl[0] == (0.0, 2)     # both long tasks overlap bucket 0
+    assert tl[1][1] == 1         # only the second in [100, 200)
+    assert tl[2][1] == 1         # the short one in [200, 300)
+    assert phase_timeline([]) == []
+
+
+def test_stragglers():
+    records = [rec(0, float(i), task=f"t{i}") for i in range(10)]
+    tail = stragglers(records, k=3)
+    assert [r.task_id for r in tail] == ["t7", "t8", "t9"]

@@ -1,0 +1,235 @@
+"""Tests that the application generators match the paper's statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    APP_BUILDERS,
+    build_app,
+    build_broadband,
+    build_epigenome,
+    build_montage,
+    build_synthetic,
+)
+
+GB = 1e9
+
+
+# ----------------------------------------------------------------- montage
+
+def test_montage_task_count_matches_paper():
+    wf = build_montage()
+    assert wf.n_tasks == 10429  # §II: "contains 10,429 tasks"
+
+
+def test_montage_transformation_breakdown():
+    wf = build_montage()
+    counts = {}
+    for t in wf.tasks.values():
+        counts[t.transformation] = counts.get(t.transformation, 0) + 1
+    assert counts == {
+        "mProjectPP": 2102,
+        "mDiffFit": 6172,
+        "mConcatFit": 1,
+        "mBgModel": 1,
+        "mBackground": 2102,
+        "mImgtbl": 17,
+        "mAdd": 17,
+        "mShrink": 16,
+        "mJPEG": 1,
+    }
+
+
+def test_montage_io_volumes_match_paper():
+    wf = build_montage()
+    assert wf.input_bytes() == pytest.approx(4.2 * GB, rel=0.02)
+    assert wf.output_bytes() == pytest.approx(7.9 * GB, rel=0.02)
+
+
+def test_montage_file_population():
+    """Thousands of 1-10 MB files (paper: ~29,000 file accesses)."""
+    wf = build_montage()
+    assert wf.n_files > 20_000
+    small = [m for m in wf.files.values() if 1e5 <= m.size <= 10e6]
+    assert len(small) > 15_000
+
+
+def test_montage_is_valid_dag():
+    wf = build_montage()
+    wf.validate()
+    # mProjectPP tasks are roots; mJPEG is the single sink.
+    assert wf.parents("mProjectPP_0") == set()
+    assert wf.children("mJPEG") == set()
+    # mBgModel gates all mBackground tasks.
+    assert "mBgModel" in wf.parents("mBackground_0")
+
+
+def test_montage_scales_with_degrees():
+    small = build_montage(degrees=1.0)
+    small.validate()
+    assert small.n_tasks < 400
+    assert small.n_tasks >= 10  # still a real workflow
+
+
+def test_montage_rejects_bad_degrees():
+    with pytest.raises(ValueError):
+        build_montage(degrees=0)
+
+
+# ----------------------------------------------------------------- broadband
+
+def test_broadband_task_count_matches_paper():
+    wf = build_broadband()
+    assert wf.n_tasks == 768  # 6 sources x 8 sites x 16 tasks
+
+
+def test_broadband_io_volumes_match_paper():
+    wf = build_broadband()
+    assert wf.input_bytes() == pytest.approx(6.0 * GB, rel=0.02)
+    assert wf.output_bytes() == pytest.approx(303e6, rel=0.02)
+
+
+def test_broadband_memory_limited_per_paper():
+    """>75% of runtime in tasks needing >1 GB (paper §II)."""
+    wf = build_broadband()
+    heavy = sum(t.cpu_seconds for t in wf.tasks.values()
+                if t.memory_bytes > 1 * GB)
+    assert heavy / wf.total_cpu_seconds() > 0.75
+
+
+def test_broadband_generates_many_small_files():
+    """Paper §V.C: >5,000 (small) files."""
+    wf = build_broadband()
+    assert wf.n_files > 5_000
+
+
+def test_broadband_input_reuse():
+    """The velocity model is read by every low-frequency stage."""
+    wf = build_broadband()
+    readers = [t for t in wf.tasks.values()
+               if "velocity_model.dat" in t.inputs]
+    assert len(readers) == 48 * 3  # 3 lf stages per combination
+
+
+def test_broadband_chain_structure():
+    wf = build_broadband()
+    wf.validate()
+    # lf chain: stage j+1 depends on stage j.
+    assert "lf_sim_s0k0_0" in wf.parents("lf_sim_s0k0_1")
+    assert "lf_sim_s0k0_1" in wf.parents("lf_sim_s0k0_2")
+
+
+def test_broadband_scaling():
+    wf = build_broadband(n_sources=2, n_sites=2)
+    assert wf.n_tasks == 4 * 16
+    with pytest.raises(ValueError):
+        build_broadband(n_sources=0)
+
+
+# ----------------------------------------------------------------- epigenome
+
+def test_epigenome_task_count_matches_paper():
+    wf = build_epigenome()
+    assert wf.n_tasks == 529
+
+
+def test_epigenome_transformation_breakdown():
+    wf = build_epigenome()
+    counts = {}
+    for t in wf.tasks.values():
+        counts[t.transformation] = counts.get(t.transformation, 0) + 1
+    assert counts == {
+        "fastqSplit": 7,
+        "filterContams": 128,
+        "sol2sanger": 128,
+        "fastq2bfq": 128,
+        "map": 128,
+        "mapMerge": 8,
+        "maqIndex": 1,
+        "pileup": 1,
+    }
+
+
+def test_epigenome_io_volumes_match_paper():
+    wf = build_epigenome()
+    assert wf.input_bytes() == pytest.approx(1.9 * GB, rel=0.02)
+    assert wf.output_bytes() == pytest.approx(300e6, rel=0.02)
+
+
+def test_epigenome_cpu_dominates():
+    """99% of runtime in the CPU: compute seconds dwarf the I/O at any
+    plausible bandwidth (paper §II)."""
+    wf = build_epigenome()
+    total_bytes = sum(
+        sum(wf.files[f].size for f in t.inputs + t.outputs)
+        for t in wf.tasks.values())
+    io_estimate = total_bytes / 100e6  # generous 100 MB/s
+    assert wf.total_cpu_seconds() > 10 * io_estimate
+
+
+def test_epigenome_mappers_share_reference():
+    wf = build_epigenome()
+    readers = [t for t in wf.tasks.values() if "reference.bfa" in t.inputs]
+    assert len(readers) == 128
+    assert all(t.transformation == "map" for t in readers)
+
+
+def test_epigenome_custom_chunks():
+    wf = build_epigenome(chunks_per_lane=[2, 3])
+    assert wf.n_tasks == 2 + 4 * 5 + 2 + 1 + 1 + 1
+    with pytest.raises(ValueError):
+        build_epigenome(chunks_per_lane=[])
+    with pytest.raises(ValueError):
+        build_epigenome(chunks_per_lane=[0])
+
+
+# ----------------------------------------------------------------- registry
+
+def test_build_app_registry():
+    for name in ("montage", "broadband", "epigenome"):
+        assert name in APP_BUILDERS
+        wf = build_app(name)
+        wf.validate()
+    with pytest.raises(ValueError, match="unknown application"):
+        build_app("hpl")
+
+
+# ----------------------------------------------------------------- synthetic
+
+def test_synthetic_basic():
+    wf = build_synthetic(30, width=5, seed=1)
+    wf.validate()
+    assert wf.n_tasks == 30
+
+
+def test_synthetic_reproducible():
+    a = build_synthetic(20, seed=7)
+    b = build_synthetic(20, seed=7)
+    assert [t.cpu_seconds for t in a.tasks.values()] == \
+           [t.cpu_seconds for t in b.tasks.values()]
+
+
+def test_synthetic_seed_changes_draws():
+    a = build_synthetic(20, seed=1)
+    b = build_synthetic(20, seed=2)
+    assert [t.cpu_seconds for t in a.tasks.values()] != \
+           [t.cpu_seconds for t in b.tasks.values()]
+
+
+def test_synthetic_validation():
+    with pytest.raises(ValueError):
+        build_synthetic(0)
+    with pytest.raises(ValueError):
+        build_synthetic(10, file_size=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 60), st.integers(1, 8), st.integers(1, 4),
+       st.integers(0, 100))
+def test_property_synthetic_always_valid(n, width, fan_in, seed):
+    wf = build_synthetic(n, width=width, fan_in=fan_in, seed=seed)
+    wf.validate()
+    assert wf.n_tasks == n
+    order = wf.topological_order()
+    assert len(order) == n

@@ -1,0 +1,154 @@
+"""Unit tests for billing meters, the EC2 facade, and provisioning."""
+
+import pytest
+
+from repro.cloud import BillingMeter, ContextBroker, EC2Cloud, get_instance_type
+from repro.simcore import Environment
+
+
+C1 = get_instance_type("c1.xlarge")
+M1 = get_instance_type("m1.xlarge")
+
+
+def test_partial_hour_rounds_up():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    m.terminate("a", at=1800.0)  # half an hour
+    cost = m.resource_cost()
+    assert cost.per_hour == pytest.approx(0.68)
+    assert cost.per_second == pytest.approx(0.68 * 0.5)
+    assert cost.billed_hours == 1
+
+
+def test_exact_hour_not_overbilled():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    m.terminate("a", at=3600.0)
+    cost = m.resource_cost()
+    assert cost.per_hour == pytest.approx(0.68)
+    assert cost.per_second == pytest.approx(0.68)
+
+
+def test_just_over_hour_bills_two():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    m.terminate("a", at=3601.0)
+    assert m.resource_cost().billed_hours == 2
+
+
+def test_zero_length_bills_one_hour():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    m.terminate("a", at=0.0)
+    assert m.resource_cost().per_hour == pytest.approx(0.68)
+
+
+def test_multiple_instances_and_types():
+    m = BillingMeter()
+    for i in range(4):
+        m.launch(f"w{i}", C1, at=0.0)
+    m.launch("nfs", M1, at=0.0)
+    m.terminate_all(at=1000.0)
+    cost = m.resource_cost()
+    assert cost.per_hour == pytest.approx(4 * 0.68 + 0.68)
+    assert cost.by_type["c1.xlarge"] == pytest.approx(4 * 0.68)
+    assert cost.by_type["m1.xlarge"] == pytest.approx(0.68)
+
+
+def test_per_second_never_exceeds_per_hour():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    m.terminate("a", at=5000.0)
+    cost = m.resource_cost()
+    assert cost.per_second <= cost.per_hour
+
+
+def test_open_interval_needs_at():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    with pytest.raises(ValueError):
+        m.resource_cost()
+    assert m.resource_cost(at=100.0).per_hour == pytest.approx(0.68)
+
+
+def test_double_launch_and_bad_terminate():
+    m = BillingMeter()
+    m.launch("a", C1, at=0.0)
+    with pytest.raises(ValueError):
+        m.launch("a", C1, at=1.0)
+    with pytest.raises(ValueError):
+        m.terminate("b", at=1.0)
+    with pytest.raises(ValueError):
+        m.terminate("a", at=-1.0)
+
+
+# ------------------------------------------------------------------ EC2
+
+def test_launch_and_terminate_instances():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    vms = cloud.launch_many("c1.xlarge", 3)
+    assert len(vms) == 3
+    assert [v.name for v in vms] == ["worker-0", "worker-1", "worker-2"]
+    env.run(until=100.0)
+    cloud.terminate_all()
+    cost = cloud.billing.resource_cost()
+    assert cost.per_hour == pytest.approx(3 * 0.68)
+
+
+def test_launch_count_validation():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    with pytest.raises(ValueError):
+        cloud.launch_many("c1.xlarge", 0)
+
+
+def test_boot_delay_in_range():
+    env = Environment()
+    cloud = EC2Cloud(env, seed=3)
+    vm = cloud.launch("c1.xlarge")
+    env.run(until=env.process(cloud.boot(vm)))
+    assert 70.0 <= env.now <= 90.0
+
+
+# ------------------------------------------------------------- Broker
+
+def test_provision_workers_only():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    broker = ContextBroker(cloud)
+    cluster = broker.provision_now(4)
+    assert len(cluster) == 4
+    assert cluster.total_slots == 32
+    assert cluster.service_nodes == []
+    assert len(cluster.all_nodes) == 4
+
+
+def test_provision_with_nfs_server():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    broker = ContextBroker(cloud)
+    cluster = broker.provision_now(2, service_type="m1.xlarge", n_service=1)
+    assert len(cluster.service_nodes) == 1
+    assert cluster.service_nodes[0].itype.name == "m1.xlarge"
+    assert cluster.total_slots == 16  # service node adds no slots
+
+
+def test_provision_with_boot_takes_time():
+    env = Environment()
+    cloud = EC2Cloud(env, seed=1)
+    broker = ContextBroker(cloud)
+    cluster = env.run(until=env.process(
+        broker.provision(4, simulate_boot=True)))
+    assert len(cluster) == 4
+    assert 70.0 <= env.now <= 95.0 + broker.CONTEXTUALIZE_DELAY
+
+
+def test_provision_validation():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    broker = ContextBroker(cloud)
+    with pytest.raises(ValueError):
+        broker.provision_now(0)
+    with pytest.raises(ValueError):
+        broker.provision_now(1, n_service=1)  # missing service_type

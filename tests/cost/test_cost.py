@@ -1,0 +1,74 @@
+"""Tests for the §VI cost model."""
+
+import pytest
+
+from repro.cloud import BillingMeter, get_instance_type
+from repro.cost import S3Fees, WorkflowCost, compute_cost
+from repro.cost.pricing import S3_GET_PRICE, S3_PUT_PRICE
+from repro.storage.base import StorageStats
+
+C1 = get_instance_type("c1.xlarge")
+M1 = get_instance_type("m1.xlarge")
+
+
+def test_s3_request_fees_match_schedule():
+    fees = S3Fees(put_requests=1000, get_requests=10000,
+                  stored_gb=0.0, duration_seconds=0.0)
+    # $0.01 per 1,000 PUTs + $0.01 per 10,000 GETs.
+    assert fees.request_cost == pytest.approx(0.02)
+
+
+def test_s3_storage_cost_negligible_for_paper_runs():
+    """Paper: storage cost << $0.01 for the applications tested."""
+    fees = S3Fees(put_requests=0, get_requests=0,
+                  stored_gb=30.0, duration_seconds=3600.0)
+    assert fees.storage_cost < 0.01
+
+
+def test_montage_scale_s3_fee_about_28_cents():
+    """Paper: Montage S3 surcharge ~ $0.28."""
+    # Montage pushes/pulls ~23k files; the paper's measured mix.
+    fees = S3Fees(put_requests=23_000, get_requests=50_000,
+                  stored_gb=30.0, duration_seconds=3000.0)
+    assert 0.2 <= fees.total <= 0.4
+
+
+def test_compute_cost_s3_only_for_s3():
+    meter = BillingMeter()
+    meter.launch("w0", C1, at=0.0)
+    meter.terminate("w0", at=1000.0)
+    stats = StorageStats(get_requests=100, put_requests=100)
+    c_s3 = compute_cost(meter, stats, "s3", makespan=1000.0, stored_gb=1.0)
+    c_nfs = compute_cost(meter, stats, "nfs", makespan=1000.0)
+    assert c_s3.s3_fees is not None
+    assert c_nfs.s3_fees is None
+    assert c_s3.per_hour_total > c_nfs.per_hour_total
+
+
+def test_nfs_extra_node_is_68_cents():
+    """Paper: the dedicated m1.xlarge adds $0.68 per workflow."""
+    without = BillingMeter()
+    with_nfs = BillingMeter()
+    for meter in (without, with_nfs):
+        for i in range(4):
+            meter.launch(f"w{i}", C1, at=0.0)
+    with_nfs.launch("nfs", M1, at=0.0)
+    without.terminate_all(at=1800.0)
+    with_nfs.terminate_all(at=1800.0)
+    stats = StorageStats()
+    base = compute_cost(without, stats, "glusterfs-nufa", makespan=1800.0)
+    nfs = compute_cost(with_nfs, stats, "nfs", makespan=1800.0)
+    assert nfs.per_hour_total - base.per_hour_total == pytest.approx(0.68)
+
+
+def test_per_second_total_below_per_hour():
+    meter = BillingMeter()
+    meter.launch("w0", C1, at=0.0)
+    meter.terminate("w0", at=600.0)
+    cost = compute_cost(meter, StorageStats(), "local", makespan=600.0)
+    assert cost.per_second_total < cost.per_hour_total
+
+
+def test_fee_constants():
+    assert S3_PUT_PRICE == pytest.approx(1e-5)
+    assert S3_GET_PRICE == pytest.approx(1e-6)

@@ -1,0 +1,169 @@
+"""Tests for the experiment configuration and runner."""
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_NODE_COUNTS,
+    PAPER_STORAGE_SYSTEMS,
+    paper_matrix,
+    run_experiment,
+    run_sweep,
+)
+from repro.experiments.results import (
+    cost_matrix,
+    format_bar_chart,
+    format_figure_table,
+    makespan_matrix,
+    speedup_table,
+    to_csv,
+)
+
+
+def small_wf(app_name="any"):
+    return build_synthetic(n_tasks=24, width=8, cpu_seconds=5.0, seed=1)
+
+
+# ------------------------------------------------------------- config
+
+def test_config_label():
+    cfg = ExperimentConfig("montage", "nfs", 4)
+    assert cfg.label == "montage/nfs@4"
+
+
+def test_config_validity_rules():
+    assert ExperimentConfig("m", "local", 1).is_valid()[0]
+    assert not ExperimentConfig("m", "local", 2).is_valid()[0]
+    assert not ExperimentConfig("m", "pvfs", 1).is_valid()[0]
+    assert not ExperimentConfig("m", "glusterfs-nufa", 1).is_valid()[0]
+    assert ExperimentConfig("m", "s3", 1).is_valid()[0]
+    with pytest.raises(ValueError):
+        ExperimentConfig("m", "nfs", 0)
+
+
+def test_config_with():
+    cfg = ExperimentConfig("montage", "nfs", 4)
+    cfg2 = cfg.with_(n_workers=8)
+    assert cfg2.n_workers == 8 and cfg2.app == "montage"
+    assert cfg.n_workers == 4  # original untouched
+
+
+def test_paper_matrix_counts():
+    cells = paper_matrix("montage")
+    # local@1 + s3x4 + nfsx4 + (nufa+dist+pvfs)x3 = 1+4+4+9 = 18
+    assert len(cells) == 18
+    assert all(c.is_valid()[0] for c in cells)
+    labels = {c.label for c in cells}
+    assert "montage/local@1" in labels
+    assert "montage/glusterfs-nufa@1" not in labels
+
+
+def test_paper_matrix_without_local():
+    cells = paper_matrix("montage", include_local=False)
+    assert not any(c.storage == "local" for c in cells)
+
+
+# ------------------------------------------------------------- runner
+
+def test_run_experiment_invalid_config_rejected():
+    with pytest.raises(ValueError, match="invalid experiment"):
+        run_experiment(ExperimentConfig("montage", "local", 4))
+
+
+@pytest.mark.parametrize("storage,nodes", [
+    ("local", 1), ("s3", 2), ("nfs", 2),
+    ("glusterfs-nufa", 2), ("glusterfs-distribute", 2), ("pvfs", 2),
+])
+def test_run_experiment_all_systems(storage, nodes):
+    cfg = ExperimentConfig("synthetic", storage, nodes)
+    result = run_experiment(cfg, workflow=small_wf())
+    assert result.makespan > 0
+    assert result.run.n_jobs == 24
+    assert result.cost.per_hour_total > 0
+    assert result.cost.per_second_total <= result.cost.per_hour_total
+
+
+def test_run_experiment_is_deterministic():
+    cfg = ExperimentConfig("synthetic", "glusterfs-nufa", 2, seed=5)
+    a = run_experiment(cfg, workflow=small_wf())
+    b = run_experiment(cfg, workflow=small_wf())
+    assert a.makespan == b.makespan
+
+
+def test_nfs_run_bills_extra_server():
+    cfg = ExperimentConfig("synthetic", "nfs", 2)
+    r_nfs = run_experiment(cfg, workflow=small_wf())
+    r_gfs = run_experiment(cfg.with_(storage="glusterfs-nufa"),
+                           workflow=small_wf())
+    # Same worker count but NFS pays for the m1.xlarge server too.
+    assert r_nfs.cost.resource.per_hour == pytest.approx(
+        r_gfs.cost.resource.per_hour + 0.68)
+
+
+def test_s3_run_reports_fees():
+    cfg = ExperimentConfig("synthetic", "s3", 1)
+    r = run_experiment(cfg, workflow=small_wf())
+    assert r.cost.s3_fees is not None
+    assert r.run.storage_stats.put_requests == 24  # one PUT per output
+
+
+def test_traces_collected_when_requested():
+    cfg = ExperimentConfig("synthetic", "local", 1, collect_traces=True)
+    r = run_experiment(cfg, workflow=small_wf())
+    assert r.trace is not None
+    assert r.trace.count("task", "end") == 24
+
+
+def test_sweep_with_factory_and_progress():
+    cells = [ExperimentConfig("synthetic", "local", 1),
+             ExperimentConfig("synthetic", "nfs", 2)]
+    seen = []
+    results = run_sweep(cells, workflow_factory=small_wf,
+                        progress=seen.append)
+    assert len(results) == 2 and len(seen) == 2
+
+
+def test_summary_row_fields():
+    r = run_experiment(ExperimentConfig("synthetic", "local", 1),
+                       workflow=small_wf())
+    row = r.summary_row()
+    assert row["storage"] == "local" and row["jobs"] == 24
+    assert row["makespan_s"] > 0
+
+
+# ------------------------------------------------------------- results
+
+def _results():
+    cells = [ExperimentConfig("synthetic", "local", 1),
+             ExperimentConfig("synthetic", "glusterfs-nufa", 2)]
+    return run_sweep(cells, workflow_factory=small_wf)
+
+
+def test_matrices_and_tables():
+    results = _results()
+    m = makespan_matrix(results)
+    assert ("local", 1) in m and ("glusterfs-nufa", 2) in m
+    c = cost_matrix(results, per="hour")
+    assert all(v > 0 for v in c.values())
+    with pytest.raises(ValueError):
+        cost_matrix(results, per="day")
+    table = format_figure_table(m, title="T")
+    assert "T" in table and "local" in table
+    chart = format_bar_chart(m, title="B")
+    assert "#" in chart
+
+
+def test_to_csv():
+    results = _results()
+    csv_text = to_csv(results)
+    assert csv_text.startswith("app,")
+    assert len(csv_text.strip().splitlines()) == 3
+    assert to_csv([]) == ""
+
+
+def test_speedup_table():
+    m = {("nfs", 1): 100.0, ("nfs", 2): 50.0, ("nfs", 4): 30.0}
+    s = speedup_table(m, "nfs")
+    assert s == {1: 1.0, 2: 2.0, 4: pytest.approx(100 / 30)}
+    assert speedup_table(m, "s3") == {}

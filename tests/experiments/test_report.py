@@ -1,0 +1,59 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.experiments import build_report
+from repro.experiments.report import ReproductionReport
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # One app, tiny synthetic workflow: exercises the whole pipeline
+    # in a couple of seconds.  Shape checks will mostly fail on this
+    # stand-in workload — the test asserts plumbing, not physics.
+    factory = lambda app: build_synthetic(  # noqa: E731
+        n_tasks=24, width=8, cpu_seconds=5.0, seed=1)
+    return build_report(apps=("epigenome",), workflow_factory=factory)
+
+
+def test_report_structure(quick_report):
+    assert set(quick_report.sweeps) == {"epigenome"}
+    assert len(quick_report.sweeps["epigenome"]) == 18  # full matrix
+    assert "TABLE I" in quick_report.table1_text
+    assert "epigenome" in quick_report.table1_matches
+    assert quick_report.shape_results["epigenome"]
+    assert quick_report.cost_results["epigenome"]
+
+
+def test_report_markdown_rendering(quick_report):
+    text = quick_report.to_markdown()
+    assert text.startswith("# Reproduction report")
+    assert "## Fig. 3 — epigenome makespan" in text
+    assert "## Fig. 6 — epigenome cost" in text
+    assert "per-hour billing" in text
+    assert text.count("[PASS]") + text.count("[FAIL]") == (
+        len(quick_report.shape_results["epigenome"])
+        + len(quick_report.cost_results["epigenome"]))
+    assert "**Overall:" in text
+
+
+def test_all_pass_reflects_verdicts(quick_report):
+    # Construct a report object with forced verdicts.
+    fake = ReproductionReport(
+        sweeps={}, table1_text="", table1_matches={"a": True},
+        shape_results={"a": [("claim", True)]},
+        cost_results={"a": [("claim", True)]}, anchors={})
+    assert fake.all_pass
+    fake.shape_results["a"].append(("bad", False))
+    assert not fake.all_pass
+
+
+def test_progress_callback_invoked():
+    messages = []
+    factory = lambda app: build_synthetic(  # noqa: E731
+        n_tasks=6, width=6, cpu_seconds=1.0, seed=0)
+    build_report(apps=("epigenome",), workflow_factory=factory,
+                 progress=messages.append)
+    assert any("profiling" in m for m in messages)
+    assert any("sweeping" in m for m in messages)

@@ -1,0 +1,80 @@
+"""Tests for the wfprof analog (paper Table I)."""
+
+import pytest
+
+from repro.profiling import (
+    ApplicationProfile,
+    format_table1,
+    profile_records,
+)
+from repro.workflow.executor import JobRecord
+
+GB = 1e9
+
+
+def rec(transformation="x", cpu=1.0, io=0.0, rd=0.0, wr=0.0, mem=0.0):
+    r = JobRecord(task_id="t", transformation=transformation,
+                  node="n0", submit_time=0.0)
+    r.start_time, r.end_time = 0.0, cpu + io
+    r.cpu_seconds = cpu
+    r.read_seconds = io
+    r.bytes_read, r.bytes_written = rd, wr
+    r.memory_bytes = mem
+    return r
+
+
+def test_aggregation():
+    records = [rec("a", cpu=2.0, io=1.0, rd=100, wr=50, mem=1 * GB),
+               rec("a", cpu=2.0, io=1.0, rd=100, wr=50, mem=2 * GB),
+               rec("b", cpu=10.0, io=0.0, mem=0.5 * GB)]
+    p = profile_records("app", records)
+    assert p.n_tasks == 3
+    assert p.cpu_seconds == 14.0
+    assert p.io_seconds == 2.0
+    assert p.bytes_read == 200
+    assert p.transformations["a"].count == 2
+    assert p.transformations["a"].peak_memory == 2 * GB
+    assert p.transformations["a"].mean_runtime == pytest.approx(3.0)
+
+
+def test_cpu_bound_profile_rates_high_cpu():
+    p = profile_records("cpu-app", [rec(cpu=99.0, io=1.0, mem=0.7 * GB)])
+    assert p.cpu_rating == "High"
+    assert p.io_rating == "Low"
+    assert p.memory_rating == "Medium"
+
+
+def test_io_bound_profile_rates_high_io():
+    p = profile_records("io-app", [rec(cpu=1.0, io=9.0, mem=0.1 * GB)])
+    assert p.io_rating == "High"
+    assert p.cpu_rating == "Low"
+    assert p.memory_rating == "Low"
+
+
+def test_memory_weighting_by_busy_time():
+    """A long-running 3 GB task defines the app even among many tiny
+    short ones."""
+    records = [rec(cpu=100.0, mem=3 * GB)] + \
+              [rec(cpu=0.1, mem=0.1 * GB) for _ in range(50)]
+    p = profile_records("mem-app", records)
+    assert p.memory_rating == "High"
+
+
+def test_empty_records():
+    p = profile_records("empty", [])
+    assert p.n_tasks == 0
+    assert p.io_fraction == 0.0
+    assert p.cpu_fraction == 0.0
+
+
+def test_format_table1():
+    p1 = profile_records("montage", [rec(cpu=1.0, io=9.0, mem=0.1 * GB)])
+    p2 = profile_records("epigenome", [rec(cpu=9.0, io=0.2, mem=0.7 * GB)])
+    out = format_table1([p1, p2])
+    assert "TABLE I" in out
+    assert "montage" in out and "High" in out
+
+
+def test_ratings_dict_keys():
+    p = profile_records("x", [rec()])
+    assert set(p.ratings()) == {"I/O", "Memory", "CPU"}

@@ -1,0 +1,151 @@
+"""Unit tests for the processor-sharing channel."""
+
+import pytest
+
+from repro.simcore import Environment, FairShareChannel
+
+
+def test_single_job_runs_at_full_rate():
+    env = Environment()
+    ch = FairShareChannel(env)
+    done = []
+
+    def proc(env):
+        yield ch.submit(10.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_two_equal_jobs_share_equally():
+    env = Environment()
+    ch = FairShareChannel(env)
+    done = []
+
+    def proc(env, tag):
+        yield ch.submit(10.0)
+        done.append((tag, env.now))
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    # Both present from t=0, each at rate 1/2 -> both finish at 20.
+    assert [t for _, t in done] == [pytest.approx(20.0), pytest.approx(20.0)]
+
+
+def test_short_job_departure_speeds_up_long_job():
+    env = Environment()
+    ch = FairShareChannel(env)
+    finish = {}
+
+    def proc(env, tag, work):
+        yield ch.submit(work)
+        finish[tag] = env.now
+
+    env.process(proc(env, "short", 5.0))
+    env.process(proc(env, "long", 10.0))
+    env.run()
+    # Shared until short has done 5 units: at rate 1/2 that is t=10.
+    # Long then has 5 left at full rate: finishes at 15.
+    assert finish["short"] == pytest.approx(10.0)
+    assert finish["long"] == pytest.approx(15.0)
+
+
+def test_late_arrival_slows_existing_job():
+    env = Environment()
+    ch = FairShareChannel(env)
+    finish = {}
+
+    def first(env):
+        yield ch.submit(10.0)
+        finish["first"] = env.now
+
+    def second(env):
+        yield env.timeout(5.0)
+        yield ch.submit(10.0)
+        finish["second"] = env.now
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    # first: 5 done alone by t=5, remaining 5 at rate 1/2 -> t=15.
+    # second: 5 done by t=15 (rate 1/2), remaining 5 alone -> t=20.
+    assert finish["first"] == pytest.approx(15.0)
+    assert finish["second"] == pytest.approx(20.0)
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    ch = FairShareChannel(env)
+    done = []
+
+    def proc(env):
+        yield ch.submit(0.0)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_negative_or_nan_work_rejected():
+    env = Environment()
+    ch = FairShareChannel(env)
+    with pytest.raises(ValueError):
+        ch.submit(-1.0)
+    with pytest.raises(ValueError):
+        ch.submit(float("nan"))
+    with pytest.raises(ValueError):
+        ch.submit(float("inf"))
+
+
+def test_conservation_of_work():
+    """Total completion time of a batch equals total work (work-conserving)."""
+    env = Environment()
+    ch = FairShareChannel(env)
+    works = [1.0, 2.0, 3.0, 4.0]
+    last = []
+
+    def proc(env, w):
+        yield ch.submit(w)
+        last.append(env.now)
+
+    for w in works:
+        env.process(proc(env, w))
+    env.run()
+    # PS is work conserving: the last completion is exactly sum(works).
+    assert max(last) == pytest.approx(sum(works))
+    assert ch.total_work_done == pytest.approx(sum(works))
+
+
+def test_utilisation_counters():
+    env = Environment()
+    ch = FairShareChannel(env)
+
+    def proc(env):
+        yield ch.submit(4.0)
+
+    env.process(proc(env))
+    env.process(proc(env))
+    env.run()
+    assert ch.total_ops == 2
+    assert ch.total_work_done == pytest.approx(8.0)
+    assert ch.active_ops == 0
+
+
+def test_many_staggered_jobs_all_complete():
+    env = Environment()
+    ch = FairShareChannel(env)
+    completed = []
+
+    def proc(env, i):
+        yield env.timeout(i * 0.1)
+        yield ch.submit(1.0 + (i % 5))
+        completed.append(i)
+
+    for i in range(100):
+        env.process(proc(env, i))
+    env.run()
+    assert len(completed) == 100

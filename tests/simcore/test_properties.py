@@ -1,0 +1,134 @@
+"""Property-based tests for the simulation kernel's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Environment, FairShareChannel, FlowNetwork, Link
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),   # arrival
+    st.floats(min_value=0.01, max_value=30.0, allow_nan=False),  # work
+), min_size=1, max_size=20))
+def test_channel_work_conservation(jobs):
+    """A PS channel (beta=0) is work-conserving: the last completion is
+    never earlier than total work after the last arrival gap, and total
+    delivered service equals total submitted work."""
+    env = Environment()
+    ch = FairShareChannel(env)
+    finish = []
+
+    def proc(arrival, work):
+        yield env.timeout(arrival)
+        yield ch.submit(work)
+        finish.append(env.now)
+
+    for arrival, work in jobs:
+        env.process(proc(arrival, work))
+    env.run()
+    assert len(finish) == len(jobs)
+    total_work = sum(w for _, w in jobs)
+    assert ch.total_work_done == pytest.approx(total_work, rel=1e-6)
+    # Completion can't beat the dedicated-service bound.
+    first_arrival = min(a for a, _ in jobs)
+    assert max(finish) >= first_arrival + total_work * 0.999 \
+        or max(a for a, _ in jobs) > first_arrival
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=30.0, allow_nan=False),
+), min_size=1, max_size=15),
+    st.floats(min_value=0.0, max_value=0.4))
+def test_channel_contention_never_speeds_up(jobs, beta):
+    """Adding a contention penalty can only delay completions."""
+
+    def run_with(beta_value):
+        env = Environment()
+        ch = FairShareChannel(env, contention_beta=beta_value)
+        finish = {}
+
+        def proc(i, arrival, work):
+            yield env.timeout(arrival)
+            yield ch.submit(work)
+            finish[i] = env.now
+
+        for i, (a, w) in enumerate(jobs):
+            env.process(proc(i, a, w))
+        env.run()
+        return finish
+
+    ideal = run_with(0.0)
+    penalised = run_with(beta)
+    for i in ideal:
+        assert penalised[i] >= ideal[i] - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1,
+                max_size=12),
+       st.floats(min_value=10.0, max_value=200.0))
+def test_flownet_shared_link_conservation(sizes, capacity):
+    """Flows sharing one link: busy-period throughput equals capacity,
+    so the last completion is exactly total bytes / capacity when all
+    flows start together."""
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", capacity)
+    finish = []
+
+    def proc(nbytes):
+        yield net.transfer([link], nbytes)
+        finish.append(env.now)
+
+    for s in sizes:
+        env.process(proc(s))
+    env.run()
+    assert max(finish) == pytest.approx(sum(sizes) / capacity, rel=1e-6)
+    assert net.total_bytes_moved == pytest.approx(sum(sizes), rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 8), st.floats(min_value=10.0, max_value=500.0))
+def test_flownet_fair_split_equal_flows(n, capacity):
+    """n identical flows over one link all finish together at n*size/C."""
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link("l", capacity)
+    size = 100.0
+    finish = []
+
+    def proc():
+        yield net.transfer([link], size)
+        finish.append(env.now)
+
+    for _ in range(n):
+        env.process(proc())
+    env.run()
+    expected = n * size / capacity
+    assert all(t == pytest.approx(expected, rel=1e-6) for t in finish)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 5))
+def test_flownet_bottleneck_respected(n_flows, ratio):
+    """No flow ever moves faster than its narrowest link allows."""
+    env = Environment()
+    net = FlowNetwork(env)
+    wide = Link("wide", 100.0 * ratio)
+    finish = []
+
+    def proc(i):
+        narrow = Link(f"n{i}", 10.0)
+        t0 = env.now
+        yield net.transfer([wide, narrow], 100.0)
+        finish.append(env.now - t0)
+
+    for i in range(n_flows):
+        env.process(proc(i))
+    env.run()
+    for t in finish:
+        assert t >= 100.0 / 10.0 - 1e-6  # narrow-link bound

@@ -1,0 +1,98 @@
+"""Unit tests for trace collection and deterministic random streams."""
+
+import numpy as np
+import pytest
+
+from repro.simcore import NULL_COLLECTOR, TraceCollector, jittered, substream
+
+
+def test_emit_and_select():
+    tc = TraceCollector()
+    tc.emit(1.0, "task", "start", task="t1", node="n0")
+    tc.emit(2.0, "task", "end", task="t1", node="n0")
+    tc.emit(1.5, "storage", "read", nbytes=100)
+    assert len(tc) == 3
+    assert len(tc.select("task")) == 2
+    assert len(tc.select("task", "start")) == 1
+    assert tc.select("task", task="t1")[0].get("node") == "n0"
+
+
+def test_count_and_sum():
+    tc = TraceCollector()
+    for i in range(5):
+        tc.emit(float(i), "storage", "read", nbytes=10.0 * i)
+    assert tc.count("storage", "read") == 5
+    assert tc.sum_field("nbytes", "storage", "read") == pytest.approx(100.0)
+
+
+def test_field_filter_mismatch():
+    tc = TraceCollector()
+    tc.emit(0.0, "a", "x", k=1)
+    assert tc.count("a", "x", k=2) == 0
+
+
+def test_disabled_collector_drops_everything():
+    tc = TraceCollector(enabled=False)
+    tc.emit(0.0, "a", "x")
+    assert len(tc) == 0
+    NULL_COLLECTOR.emit(0.0, "a", "x")
+    assert len(NULL_COLLECTOR) == 0
+
+
+def test_subscribe_sees_records():
+    tc = TraceCollector()
+    seen = []
+    tc.subscribe(seen.append)
+    tc.emit(0.0, "a", "x", v=3)
+    assert len(seen) == 1 and seen[0].get("v") == 3
+
+
+def test_clear_keeps_subscribers():
+    tc = TraceCollector()
+    seen = []
+    tc.subscribe(seen.append)
+    tc.emit(0.0, "a", "x")
+    tc.clear()
+    assert len(tc) == 0
+    tc.emit(1.0, "a", "y")
+    assert len(seen) == 2
+
+
+def test_record_get_default():
+    tc = TraceCollector()
+    tc.emit(0.0, "a", "x")
+    assert tc.records[0].get("missing", 42) == 42
+
+
+# ----------------------------------------------------------------- rand
+
+def test_substream_reproducible():
+    a = substream(7, "disk", 0).random(5)
+    b = substream(7, "disk", 0).random(5)
+    assert np.allclose(a, b)
+
+
+def test_substream_independent_names():
+    a = substream(7, "disk", 0).random(5)
+    b = substream(7, "disk", 1).random(5)
+    assert not np.allclose(a, b)
+
+
+def test_substream_seed_changes_stream():
+    a = substream(1, "x").random(5)
+    b = substream(2, "x").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_jittered_deterministic_without_rng():
+    assert jittered(None, 10.0, 0.5) == 10.0
+    rng = substream(0, "j")
+    assert jittered(rng, 10.0, 0.0) == 10.0
+
+
+def test_jittered_stays_positive():
+    rng = substream(0, "j")
+    vals = [jittered(rng, 10.0, 0.5) for _ in range(1000)]
+    assert all(v > 0 for v in vals)
+    # Mean should remain near the nominal value.
+    assert 8.0 < float(np.mean(vals)) < 12.0

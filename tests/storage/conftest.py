@@ -1,0 +1,33 @@
+"""Shared fixtures for storage-system tests."""
+
+import pytest
+
+from repro.cloud import EC2Cloud
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cloud(env):
+    return EC2Cloud(env, seed=0)
+
+
+@pytest.fixture
+def workers4(cloud):
+    return cloud.launch_many("c1.xlarge", 4)
+
+
+@pytest.fixture
+def worker1(cloud):
+    return cloud.launch_many("c1.xlarge", 1)
+
+
+def run(env, gen):
+    """Drive a generator to completion; return elapsed sim time."""
+    t0 = env.now
+    env.run(until=env.process(gen))
+    return env.now - t0

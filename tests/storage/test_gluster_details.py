@@ -1,0 +1,105 @@
+"""Detailed GlusterFS model tests: brick page caches, placement."""
+
+import pytest
+
+from repro.cloud import MB, EC2Cloud
+from repro.simcore import Environment
+from repro.storage import FileMetadata, GlusterFSStorage
+
+from .conftest import run
+
+
+def make(env, cloud, layout="nufa", n=4):
+    workers = cloud.launch_many("c1.xlarge", n)
+    fs = GlusterFSStorage(env, layout=layout)
+    fs.deploy(workers)
+    return fs, workers
+
+
+def test_remote_read_served_from_owner_page_cache(env, cloud):
+    """A file hot on its owner's brick costs only the wire."""
+    fs, workers = make(env, cloud)
+    meta = FileMetadata("f", 50 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)   # hot on worker-0
+        reads_before = workers[0].disk.reads
+        t0 = env.now
+        yield from fs.read(workers[1], meta)
+        return workers[0].disk.reads - reads_before, env.now - t0
+
+    disk_reads, elapsed = env.run(until=env.process(proc()))
+    assert disk_reads == 0                      # owner served from RAM
+    assert elapsed == pytest.approx(50 / 125, rel=0.05)  # wire only
+
+
+def test_remote_read_cold_hits_owner_disk(env, cloud):
+    fs, workers = make(env, cloud)
+    meta = FileMetadata("f", 50 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)
+        fs.page_cache_of(workers[0]).invalidate(meta.name)
+        reads_before = workers[0].disk.reads
+        yield from fs.read(workers[1], meta)
+        return workers[0].disk.reads - reads_before
+
+    assert env.run(until=env.process(proc())) == 1
+
+
+def test_distribute_remote_write_lands_in_owner_cache(env, cloud):
+    fs, workers = make(env, cloud, layout="distribute")
+    # Find a name whose hash owner differs from the writer.
+    writer = workers[0]
+    name = next(f"x{i}" for i in range(64)
+                if fs._hash_owner(f"x{i}") is not writer)
+    meta = FileMetadata(name, 10 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(writer, meta)
+
+    run(env, proc())
+    owner = fs.owner_of(name)
+    assert owner is not writer
+    assert fs.page_cache_of(owner).lookup(name)
+    # The writer keeps its own written pages resident too.
+    assert fs.page_cache_of(writer).lookup(name)
+
+
+def test_nufa_distribute_placement_difference(env, cloud):
+    """NUFA: all outputs of one node stay on it; distribute scatters."""
+    env2, cloud2 = Environment(), None
+    from repro.cloud import EC2Cloud as _EC2
+    cloud2 = _EC2(env2)
+    nufa, w_nufa = make(env, cloud, layout="nufa")
+    dist, w_dist = make(env2, cloud2, layout="distribute")
+    metas = [FileMetadata(f"f{i}", MB) for i in range(32)]
+    for fs_, workers_, env_ in ((nufa, w_nufa, env), (dist, w_dist, env2)):
+        for m in metas:
+            fs_.declare_output(m)
+
+        def write_all(fs__, node):
+            for m in metas:
+                yield from fs__.write(node, m)
+
+        env_.run(until=env_.process(write_all(fs_, workers_[0])))
+    assert {nufa.owner_of(m.name).name for m in metas} == {w_nufa[0].name}
+    assert len({dist.owner_of(m.name).name for m in metas}) > 1
+
+
+def test_stats_track_remote_fraction(env, cloud):
+    fs, workers = make(env, cloud, layout="distribute")
+    metas = [FileMetadata(f"g{i}", MB) for i in range(40)]
+    for m in metas:
+        fs.declare_output(m)
+
+    def proc():
+        for m in metas:
+            yield from fs.write(workers[0], m)
+
+    run(env, proc())
+    # ~3/4 of hash placements are remote on 4 nodes.
+    assert 0.5 <= fs.stats.remote_writes / fs.stats.writes <= 0.95

@@ -1,0 +1,172 @@
+"""Unit + property tests for the write-once namespace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import FileMetadata, FileState, Namespace, WriteOnceViolation
+
+
+def test_declare_and_lookup():
+    ns = Namespace()
+    meta = ns.declare(FileMetadata("a.dat", 100.0))
+    assert ns.lookup("a.dat") is meta
+    assert "a.dat" in ns
+    assert len(ns) == 1
+    assert ns.state("a.dat") is FileState.PENDING
+
+
+def test_prestaged_is_available():
+    ns = Namespace()
+    ns.declare(FileMetadata("in.dat", 50.0), available=True)
+    assert ns.state("in.dat") is FileState.AVAILABLE
+
+
+def test_redeclare_identical_is_noop():
+    ns = Namespace()
+    ns.declare(FileMetadata("a", 1.0))
+    ns.declare(FileMetadata("a", 1.0))
+    assert len(ns) == 1
+
+
+def test_redeclare_conflicting_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("a", 1.0))
+    with pytest.raises(WriteOnceViolation):
+        ns.declare(FileMetadata("a", 2.0))
+
+
+def test_redeclare_available_upgrades():
+    ns = Namespace()
+    ns.declare(FileMetadata("a", 1.0))
+    ns.declare(FileMetadata("a", 1.0), available=True)
+    assert ns.state("a") is FileState.AVAILABLE
+
+
+def test_write_lifecycle():
+    ns = Namespace()
+    ns.declare(FileMetadata("out", 10.0))
+    ns.begin_write("out")
+    assert ns.state("out") is FileState.WRITING
+    ns.end_write("out")
+    assert ns.state("out") is FileState.AVAILABLE
+
+
+def test_double_write_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("out", 10.0))
+    ns.begin_write("out")
+    ns.end_write("out")
+    with pytest.raises(WriteOnceViolation):
+        ns.begin_write("out")
+
+
+def test_concurrent_write_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("out", 10.0))
+    ns.begin_write("out")
+    with pytest.raises(WriteOnceViolation):
+        ns.begin_write("out")
+
+
+def test_read_before_available_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("f", 10.0))
+    with pytest.raises(WriteOnceViolation):
+        ns.begin_read("f")
+    ns.begin_write("f")
+    with pytest.raises(WriteOnceViolation):
+        ns.begin_read("f")
+
+
+def test_concurrent_reads_allowed():
+    ns = Namespace()
+    ns.declare(FileMetadata("f", 10.0), available=True)
+    ns.begin_read("f")
+    ns.begin_read("f")
+    ns.end_read("f")
+    ns.end_read("f")
+
+
+def test_unbalanced_end_read_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("f", 10.0), available=True)
+    with pytest.raises(WriteOnceViolation):
+        ns.end_read("f")
+
+
+def test_end_write_without_begin_rejected():
+    ns = Namespace()
+    ns.declare(FileMetadata("f", 10.0))
+    with pytest.raises(WriteOnceViolation):
+        ns.end_write("f")
+
+
+def test_undeclared_file_keyerror():
+    ns = Namespace()
+    with pytest.raises(KeyError):
+        ns.begin_write("nope")
+    with pytest.raises(KeyError):
+        ns.begin_read("nope")
+    with pytest.raises(KeyError):
+        ns.lookup("nope")
+
+
+def test_metadata_validation():
+    with pytest.raises(ValueError):
+        FileMetadata("", 1.0)
+    with pytest.raises(ValueError):
+        FileMetadata("x", -1.0)
+
+
+def test_total_bytes_by_state():
+    ns = Namespace()
+    ns.declare(FileMetadata("in", 100.0), available=True)
+    ns.declare(FileMetadata("out", 50.0))
+    assert ns.total_bytes() == 150.0
+    assert ns.total_bytes(FileState.AVAILABLE) == 100.0
+    assert ns.total_bytes(FileState.PENDING) == 50.0
+
+
+# ------------------------------------------------------------- property
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["w", "r"]), st.integers(0, 9)),
+    max_size=60,
+))
+def test_property_write_once_always_enforced(ops):
+    """Random interleavings of write/read attempts on 10 files: a file
+    accepts exactly one write, never while read, and reads succeed only
+    when available — regardless of order."""
+    ns = Namespace()
+    for i in range(10):
+        ns.declare(FileMetadata(f"f{i}", 1.0))
+    written = set()
+    for op, i in ops:
+        name = f"f{i}"
+        if op == "w":
+            if name in written:
+                with pytest.raises(WriteOnceViolation):
+                    ns.begin_write(name)
+            else:
+                ns.begin_write(name)
+                ns.end_write(name)
+                written.add(name)
+        else:
+            if name in written:
+                ns.begin_read(name)
+                ns.end_read(name)
+            else:
+                with pytest.raises(WriteOnceViolation):
+                    ns.begin_read(name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                          allow_nan=False), max_size=30))
+def test_property_total_bytes_is_sum(sizes):
+    ns = Namespace()
+    for i, s in enumerate(sizes):
+        ns.declare(FileMetadata(f"f{i}", s), available=True)
+    assert ns.total_bytes() == pytest.approx(sum(sizes))

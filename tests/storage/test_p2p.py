@@ -1,0 +1,134 @@
+"""Tests for the direct-transfer (future-work §VIII) storage mode."""
+
+import pytest
+
+from repro.cloud import MB, EC2Cloud
+from repro.simcore import Environment
+from repro.storage import DirectTransferStorage, FileMetadata, make_storage
+
+from .conftest import run
+
+
+def _p2p(env, cloud, n):
+    workers = cloud.launch_many("c1.xlarge", n)
+    fs = DirectTransferStorage(env)
+    fs.deploy(workers)
+    return fs, workers
+
+
+def test_write_stays_local(env, cloud):
+    fs, workers = _p2p(env, cloud, 4)
+    meta = FileMetadata("f", 10 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[2], meta)
+
+    run(env, proc())
+    assert fs.replicas_of("f") == {workers[2].name}
+    assert fs.stats.remote_writes == 0
+    assert workers[2].disk.writes == 1
+
+
+def test_remote_read_pulls_and_caches(env, cloud):
+    fs, workers = _p2p(env, cloud, 2)
+    meta = FileMetadata("f", 50 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)
+        yield from fs.read(workers[1], meta)   # pull across the wire
+        yield from fs.read(workers[1], meta)   # now a local replica
+
+    run(env, proc())
+    assert fs.replicas_of("f") == {workers[0].name, workers[1].name}
+    assert fs.stats.remote_reads == 1
+    assert fs.stats.cache_hits >= 1
+
+
+def test_concurrent_pulls_deduplicated(env, cloud):
+    fs, workers = _p2p(env, cloud, 2)
+    meta = FileMetadata("f", 40 * MB)
+    fs.declare_output(meta)
+
+    def writer():
+        yield from fs.write(workers[0], meta)
+
+    run(env, writer())
+    net_flows_before = workers[0].network.flows.total_flows
+
+    def reader():
+        yield from fs.read(workers[1], meta)
+
+    env.process(reader())
+    env.process(reader())
+    env.run()
+    # One wire transfer served both concurrent readers.
+    assert workers[0].network.flows.total_flows == net_flows_before + 1
+
+
+def test_pull_prefers_less_loaded_holder(env, cloud):
+    fs, workers = _p2p(env, cloud, 3)
+    meta = FileMetadata("f", 20 * MB)
+    fs.declare_output(meta)
+
+    def seed():
+        yield from fs.write(workers[0], meta)
+        yield from fs.read(workers[1], meta)  # replica now on 0 and 1
+
+    run(env, seed())
+    assert len(fs.replicas_of("f")) == 2
+
+    def reader():
+        yield from fs.read(workers[2], meta)
+
+    run(env, reader())
+    assert workers[2].name in fs.replicas_of("f")
+
+
+def test_missing_file_raises(env, cloud):
+    fs, workers = _p2p(env, cloud, 2)
+    meta = FileMetadata("ghost", MB)
+
+    def proc():
+        yield from fs.read(workers[0], meta)
+
+    with pytest.raises(FileNotFoundError):
+        run(env, proc())
+
+
+def test_inputs_staged_round_robin(env, cloud):
+    fs, workers = _p2p(env, cloud, 4)
+    for i in range(8):
+        fs.stage_input(FileMetadata(f"in{i}", MB))
+    holders = [next(iter(fs.replicas_of(f"in{i}"))) for i in range(8)]
+    assert holders == [w.name for w in workers] * 2
+
+
+def test_factory_and_locality_inspection(env, cloud):
+    fs = make_storage("p2p", env)
+    workers = cloud.launch_many("c1.xlarge", 2)
+    fs.deploy(workers)
+    meta = FileMetadata("f", MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)
+
+    run(env, proc())
+    assert "f" in fs.cached_on(workers[0])
+    assert "f" not in fs.cached_on(workers[1])
+
+
+def test_end_to_end_workflow_on_p2p(env, cloud):
+    from repro.apps import build_synthetic
+    from repro.workflow import PegasusWMS
+
+    workers = cloud.launch_many("c1.xlarge", 4)
+    fs = DirectTransferStorage(env)
+    fs.deploy(workers)
+    wms = PegasusWMS(env, workers, fs)
+    wf = build_synthetic(n_tasks=40, width=10, seed=2)
+    result = wms.execute(wf)
+    assert result.n_jobs == 40
+    assert result.makespan > 0

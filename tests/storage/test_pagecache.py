@@ -1,0 +1,112 @@
+"""Unit tests for the client page-cache model."""
+
+import pytest
+
+from repro.cloud import GB, MB, ClusterNetwork, VMInstance, get_instance_type
+from repro.simcore import Environment
+from repro.storage.pagecache import MIN_CACHE_BYTES, NodePageCache
+
+
+def make_node(env=None):
+    env = env or Environment()
+    net = ClusterNetwork(env)
+    return env, VMInstance(env, get_instance_type("c1.xlarge"), net)
+
+
+def test_lookup_miss_then_hit():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    assert not pc.lookup("f")
+    pc.insert("f", 10 * MB)
+    assert pc.lookup("f")
+    assert pc.hits == 1 and pc.misses == 1
+
+
+def test_capacity_tracks_free_memory():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    free_cap = pc.capacity()
+    assert free_cap > 2 * GB  # 7 GB node, mostly free
+
+    def claim(env):
+        yield node.memory.get(6.5 * GB)
+
+    env.process(claim(env))
+    env.run()
+    assert pc.capacity() < free_cap / 5  # pressure shrank the cache
+
+
+def test_memory_pressure_evicts_on_lookup():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    pc.insert("big", 1.5 * GB)
+    assert pc.lookup("big")
+
+    def claim(env):
+        yield node.memory.get(6.5 * GB)
+
+    env.process(claim(env))
+    env.run()
+    # Capacity collapsed to the floor; the big file must be evicted.
+    assert not pc.lookup("big")
+    assert pc.cached_bytes == 0
+
+
+def test_file_larger_than_capacity_never_cached():
+    env, node = make_node()
+
+    def claim(env):
+        yield node.memory.get(6.8 * GB)
+
+    env.process(claim(env))
+    env.run()
+    pc = NodePageCache(node)
+    pc.insert("huge", 1 * GB)  # capacity is now ~MIN_CACHE_BYTES
+    assert not pc.lookup("huge")
+
+
+def test_min_cache_floor_keeps_small_files():
+    """Even under full memory pressure, small hot files (Epigenome's
+    reference index) stay cached."""
+    env, node = make_node()
+
+    def claim(env):
+        yield node.memory.get(6.9 * GB)
+
+    env.process(claim(env))
+    env.run()
+    pc = NodePageCache(node)
+    assert pc.capacity() == MIN_CACHE_BYTES
+    pc.insert("ref", 15 * MB)
+    assert pc.lookup("ref")
+
+
+def test_lru_eviction_order():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    cap = pc.capacity()
+    size = cap / 3
+    pc.insert("a", size)
+    pc.insert("b", size)
+    pc.lookup("a")          # refresh a
+    pc.insert("c", size)
+    pc.insert("d", size)    # evicts LRU = b
+    assert pc.lookup("a")
+    assert not pc.lookup("b")
+
+
+def test_invalidate():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    pc.insert("f", MB)
+    pc.invalidate("f")
+    assert not pc.lookup("f")
+    pc.invalidate("ghost")  # no-op
+
+
+def test_duplicate_insert_no_double_count():
+    env, node = make_node()
+    pc = NodePageCache(node)
+    pc.insert("f", 10 * MB)
+    pc.insert("f", 10 * MB)
+    assert pc.cached_bytes == 10 * MB

@@ -1,0 +1,508 @@
+"""Behavioural tests for each storage-system model."""
+
+import pytest
+
+from repro.cloud import MB, EC2Cloud
+from repro.simcore import Environment
+from repro.storage import (
+    FileMetadata,
+    GlusterFSStorage,
+    LocalDiskStorage,
+    NFSStorage,
+    PVFSStorage,
+    S3Storage,
+    STORAGE_NAMES,
+    XtreemFSStorage,
+    make_storage,
+)
+
+from .conftest import run
+
+
+# ----------------------------------------------------------------- local
+
+def test_local_read_write_use_node_disk(env, worker1):
+    fs = LocalDiskStorage(env)
+    fs.deploy(worker1)
+    node = worker1[0]
+    meta = FileMetadata("f", 80 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(node, meta)   # 80 MB at 80 MB/s first-write
+        yield from fs.read(node, meta)    # just written: page-cache hit
+        fs.page_cache_of(node).invalidate(meta.name)
+        yield from fs.read(node, meta)    # cold: 80 MB at ~310 MB/s
+
+    elapsed = run(env, proc())
+    assert elapsed == pytest.approx(1.0 + 80 / 310.2, rel=0.02)
+    assert node.disk.writes == 1 and node.disk.reads == 1
+    assert fs.stats.cache_hits == 1
+
+
+def test_local_rejects_multiple_nodes(env, workers4):
+    fs = LocalDiskStorage(env)
+    with pytest.raises(ValueError, match="<= 1 nodes"):
+        fs.deploy(workers4)
+
+
+def test_use_before_deploy_rejected(env, worker1):
+    fs = LocalDiskStorage(env)
+    meta = FileMetadata("f", MB)
+    with pytest.raises(RuntimeError, match="before deploy"):
+        fs.stage_input(meta)
+
+
+# ------------------------------------------------------------------- nfs
+
+def _nfs(env, cloud, n_workers):
+    workers = cloud.launch_many("c1.xlarge", n_workers)
+    server = cloud.launch("m1.xlarge", name="nfs-server")
+    fs = NFSStorage(env, server)
+    fs.deploy(workers)
+    return fs, workers, server
+
+
+def test_nfs_write_lands_in_server_cache(env, cloud):
+    fs, workers, server = _nfs(env, cloud, 1)
+    meta = FileMetadata("f", 100 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)
+
+    elapsed = run(env, proc())
+    # Async write: completes at ~wire speed (125 MB/s), well before the
+    # server disk could absorb it at first-write speed.
+    assert elapsed == pytest.approx(100 / 125, rel=0.05)
+    assert fs.cached_bytes == 100 * MB
+    env.run()  # drain background flush
+    assert fs.flushes_completed == 1
+    assert server.disk.bytes_written == 100 * MB
+
+
+def test_nfs_cached_read_skips_server_disk(env, cloud):
+    fs, workers, server = _nfs(env, cloud, 1)
+    meta = FileMetadata("f", 50 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers[0], meta)
+        reads_before = server.disk.reads
+        yield from fs.read(workers[0], meta)
+        return server.disk.reads - reads_before
+
+    disk_reads = env.run(until=env.process(proc()))
+    assert disk_reads == 0
+    assert fs.stats.cache_hits == 1
+
+
+def test_nfs_cold_read_hits_server_disk(env, cloud):
+    fs, workers, server = _nfs(env, cloud, 1)
+    meta = FileMetadata("in", 50 * MB)
+    fs.stage_input(meta)
+
+    def proc():
+        yield from fs.read(workers[0], meta)
+
+    run(env, proc())
+    assert server.disk.reads == 1
+    assert fs.stats.cache_misses == 1
+
+
+def test_nfs_server_nic_is_contended(env, cloud):
+    """Reads from many clients share the server NIC: 4 clients pulling
+    cached files take ~4x longer than one."""
+    fs, workers, server = _nfs(env, cloud, 4)
+    metas = [FileMetadata(f"f{i}", 125 * MB) for i in range(4)]
+    for m in metas:
+        fs.declare_output(m)
+
+    def write_all():
+        for m in metas:
+            yield from fs.write(workers[0], m)
+
+    run(env, write_all())
+    t0 = env.now
+    finish = []
+
+    def reader(w, m):
+        yield from fs.read(w, m)
+        finish.append(env.now - t0)
+
+    # Readers that did NOT write the files (no client page cache).
+    for w, m in zip(workers[1:], metas[:3]):
+        env.process(reader(w, m))
+    env.run()
+    # 3 x 125 MB through one 125 MB/s server NIC: ~3 s, not ~1 s.
+    assert all(t == pytest.approx(3.0, rel=0.1) for t in finish)
+
+
+def test_nfs_dirty_throttling_blocks_writers(env, cloud):
+    """Writers outrunning the server disk eventually stall on the
+    dirty quota."""
+    fs, workers, server = _nfs(env, cloud, 2)
+    # Dirty quota: 80% * 16 GB * 40% = 5.12 GB.  Write 8 GB rapidly.
+    metas = [FileMetadata(f"big{i}", 1000 * MB) for i in range(8)]
+    for m in metas:
+        fs.declare_output(m)
+
+    def writer(w, batch):
+        for m in batch:
+            yield from fs.write(w, m)
+
+    env.process(writer(workers[0], metas[:4]))
+    env.process(writer(workers[1], metas[4:]))
+    env.run()
+    # All flushed in the end.
+    assert fs.flushes_completed == 8
+    assert server.disk.bytes_written == pytest.approx(8000 * MB)
+
+
+# ---------------------------------------------------------------- gluster
+
+def test_gluster_needs_two_nodes(env, worker1):
+    fs = GlusterFSStorage(env, layout="nufa")
+    with pytest.raises(ValueError, match=">= 2 nodes"):
+        fs.deploy(worker1)
+
+
+def test_gluster_bad_layout():
+    env = Environment()
+    with pytest.raises(ValueError, match="layout"):
+        GlusterFSStorage(env, layout="stripe")
+
+
+def test_gluster_nufa_writes_are_local(env, workers4):
+    fs = GlusterFSStorage(env, layout="nufa")
+    fs.deploy(workers4)
+    meta = FileMetadata("out", 10 * MB)
+    fs.declare_output(meta)
+    writer = workers4[2]
+
+    def proc():
+        yield from fs.write(writer, meta)
+
+    run(env, proc())
+    assert fs.owner_of("out") is writer
+    assert fs.stats.remote_writes == 0
+    assert writer.disk.writes == 1
+
+
+def test_gluster_distribute_places_by_hash(env, workers4):
+    fs = GlusterFSStorage(env, layout="distribute")
+    fs.deploy(workers4)
+    metas = [FileMetadata(f"f{i}", MB) for i in range(64)]
+    for m in metas:
+        fs.declare_output(m)
+
+    def proc():
+        for m in metas:
+            yield from fs.write(workers4[0], m)
+
+    run(env, proc())
+    owners = {fs.owner_of(m.name).name for m in metas}
+    # Hashing should spread 64 files over all 4 nodes.
+    assert len(owners) == 4
+    # ~3/4 of writes should have been remote.
+    assert 32 <= fs.stats.remote_writes <= 60
+
+
+def test_gluster_remote_read_crosses_network(env, workers4):
+    fs = GlusterFSStorage(env, layout="nufa")
+    fs.deploy(workers4)
+    meta = FileMetadata("f", 50 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers4[0], meta)
+        t0 = env.now
+        yield from fs.read(workers4[1], meta)
+        return env.now - t0
+
+    elapsed = env.run(until=env.process(proc()))
+    # Remote read at wire speed 125 MB/s (disk read at 310 overlaps).
+    assert elapsed == pytest.approx(50 / 125, rel=0.05)
+    assert fs.stats.remote_reads == 1
+
+
+def test_gluster_local_read_uses_local_disk(env, workers4):
+    fs = GlusterFSStorage(env, layout="nufa")
+    fs.deploy(workers4)
+    meta = FileMetadata("f", 31 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers4[0], meta)
+        t_hit0 = env.now
+        yield from fs.read(workers4[0], meta)   # page-cache hit
+        hit_time = env.now - t_hit0
+        fs.page_cache_of(workers4[0]).invalidate(meta.name)
+        t0 = env.now
+        yield from fs.read(workers4[0], meta)   # local disk read
+        return hit_time, env.now - t0
+
+    hit_time, elapsed = env.run(until=env.process(proc()))
+    assert hit_time < 0.001
+    assert elapsed == pytest.approx(31 / 310.2, rel=0.1)
+
+
+def test_gluster_input_staging_round_robin(env, workers4):
+    fs = GlusterFSStorage(env, layout="nufa")
+    fs.deploy(workers4)
+    for i in range(8):
+        fs.stage_input(FileMetadata(f"in{i}", MB))
+    owners = [fs.owner_of(f"in{i}").name for i in range(8)]
+    assert owners == [w.name for w in workers4] * 2
+
+
+# ------------------------------------------------------------------- pvfs
+
+def test_pvfs_needs_two_nodes(env, worker1):
+    fs = PVFSStorage(env)
+    with pytest.raises(ValueError):
+        fs.deploy(worker1)
+
+
+def test_pvfs_create_cost_grows_with_nodes(env, cloud):
+    workers2 = cloud.launch_many("c1.xlarge", 2, name_prefix="a")
+    workers8 = cloud.launch_many("c1.xlarge", 8, name_prefix="b")
+    fs2, fs8 = PVFSStorage(env), PVFSStorage(env)
+    fs2.deploy(workers2)
+    fs8.deploy(workers8)
+    meta = FileMetadata("tiny", 1000.0)  # metadata-dominated
+    fs2.declare_output(meta)
+    fs8.declare_output(FileMetadata("tiny8", 1000.0))
+
+    def t(fs, m, node):
+        t0 = env.now
+        yield from fs.write(node, m)
+        return env.now - t0
+
+    t2 = env.run(until=env.process(t(fs2, meta, workers2[0])))
+    t8 = env.run(until=env.process(t(fs8, FileMetadata("tiny8", 1000.0), workers8[0])))
+    assert t8 > t2  # per-server create cost
+
+
+def test_pvfs_small_file_on_one_server(env, workers4):
+    fs = PVFSStorage(env)
+    fs.deploy(workers4)
+    meta = FileMetadata("small", 1000.0)  # < 64 KB stripe
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers4[0], meta)
+
+    run(env, proc())
+    touched = [w for w in workers4 if w.disk.writes > 0]
+    assert len(touched) == 1
+
+
+def test_pvfs_large_file_striped_everywhere(env, workers4):
+    fs = PVFSStorage(env)
+    fs.deploy(workers4)
+    meta = FileMetadata("big", 40 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(workers4[0], meta)
+
+    run(env, proc())
+    for w in workers4:
+        assert w.disk.bytes_written == pytest.approx(10 * MB)
+
+
+def test_pvfs_striped_read_parallel(env, workers4):
+    fs = PVFSStorage(env)
+    fs.deploy(workers4)
+    meta = FileMetadata("big", 40 * MB)
+    fs.stage_input(meta)
+
+    def proc():
+        t0 = env.now
+        yield from fs.read(workers4[0], meta)
+        return env.now - t0
+
+    elapsed = env.run(until=env.process(proc()))
+    # Stripes move in parallel, but the client protocol stream paces
+    # the read at PER_STREAM_BW: 40 MB at 40 MB/s = 1 s.
+    assert elapsed == pytest.approx(40 * MB / fs.PER_STREAM_BW, rel=0.05)
+
+
+# --------------------------------------------------------------------- s3
+
+def _s3(env, cloud, n):
+    workers = cloud.launch_many("c1.xlarge", n)
+    fs = S3Storage(env, cloud)
+    fs.deploy(workers)
+    return fs, workers
+
+
+def test_s3_write_is_double_write(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    node = workers[0]
+    meta = FileMetadata("out", 10 * MB)
+    meta2 = FileMetadata("out2", 10 * MB)
+    fs.declare_output(meta)
+    fs.declare_output(meta2)
+
+    def proc():
+        yield from fs.write(node, meta)
+        # Under memory pressure, the PUT read-back hits the disk.
+        fs.page_cache_of(node).invalidate(meta2.name)
+
+    run(env, proc())
+    assert node.disk.writes == 1          # program -> disk
+    # Read-back served from the still-resident pages (write-back cache).
+    assert node.disk.reads == 0
+    assert fs.stats.put_requests == 1
+    assert fs.in_bucket("out")
+
+    def proc2():
+        yield from fs.write(node, meta2)
+
+    fs.page_cache_of(node).shrink()
+    run(env, proc2())
+    # Evict the pages, force a fresh read for a later consumer.
+    fs.page_cache_of(node).invalidate(meta2.name)
+
+    def proc3():
+        yield from fs.read(node, meta2)
+
+    run(env, proc3())
+    assert node.disk.reads >= 1           # disk -> program after eviction
+
+
+def test_s3_read_miss_then_hit(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    node = workers[0]
+    meta = FileMetadata("in", 10 * MB)
+    fs.stage_input(meta)
+
+    def proc():
+        yield from fs.read(node, meta)   # miss: GET + disk landing write
+        yield from fs.read(node, meta)   # hit: RAM-resident local copy
+        fs.page_cache_of(node).invalidate(meta.name)
+        yield from fs.read(node, meta)   # hit, pages evicted: disk read
+        return None
+
+    run(env, proc())
+    assert fs.stats.get_requests == 1
+    assert fs.stats.cache_hits == 2
+    assert fs.stats.cache_misses == 1
+    assert node.disk.writes == 1
+    assert node.disk.reads == 1
+
+
+def test_s3_cache_is_per_node(env, cloud):
+    fs, workers = _s3(env, cloud, 2)
+    meta = FileMetadata("in", 5 * MB)
+    fs.stage_input(meta)
+
+    def proc():
+        yield from fs.read(workers[0], meta)
+        yield from fs.read(workers[1], meta)
+
+    run(env, proc())
+    assert fs.stats.get_requests == 2  # one per node
+
+
+def test_s3_concurrent_fetches_deduplicated(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    node = workers[0]
+    meta = FileMetadata("in", 20 * MB)
+    fs.stage_input(meta)
+
+    def reader():
+        yield from fs.read(node, meta)
+
+    env.process(reader())
+    env.process(reader())
+    env.run()
+    assert fs.stats.get_requests == 1  # second reader joined the first
+
+
+def test_s3_outputs_cached_for_reuse(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    node = workers[0]
+    meta = FileMetadata("out", 5 * MB)
+    fs.declare_output(meta)
+
+    def proc():
+        yield from fs.write(node, meta)
+        yield from fs.read(node, meta)
+
+    run(env, proc())
+    assert fs.stats.get_requests == 0  # output reused from cache
+
+
+def test_s3_missing_object_raises(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    meta = FileMetadata("ghost", MB)
+
+    def proc():
+        yield from fs.read(workers[0], meta)
+
+    with pytest.raises(FileNotFoundError):
+        run(env, proc())
+
+
+def test_s3_request_latency_dominates_small_files(env, cloud):
+    fs, workers = _s3(env, cloud, 1)
+    meta = FileMetadata("tiny", 1000.0)
+    fs.stage_input(meta)
+
+    def proc():
+        t0 = env.now
+        yield from fs.read(workers[0], meta)
+        return env.now - t0
+
+    elapsed = env.run(until=env.process(proc()))
+    assert elapsed >= fs.GET_LATENCY
+
+
+# --------------------------------------------------------------- xtreemfs
+
+def test_xtreemfs_much_slower_per_file(env, cloud):
+    workers = cloud.launch_many("c1.xlarge", 2)
+    xfs = XtreemFSStorage(env, cloud)
+    xfs.deploy(workers)
+    gfs = GlusterFSStorage(env, layout="nufa")
+    gfs.deploy(workers)
+    meta_x = FileMetadata("fx", 5 * MB)
+    meta_g = FileMetadata("fg", 5 * MB)
+    xfs.declare_output(meta_x)
+    gfs.declare_output(meta_g)
+
+    def timed(fs, meta):
+        t0 = env.now
+        yield from fs.write(workers[0], meta)
+        yield from fs.read(workers[1], meta)
+        return env.now - t0
+
+    tx = env.run(until=env.process(timed(xfs, meta_x)))
+    tg = env.run(until=env.process(timed(gfs, meta_g)))
+    assert tx > 2 * tg  # the paper's ">2x slower" observation
+
+
+# ---------------------------------------------------------------- factory
+
+def test_make_storage_all_names(env, cloud):
+    server = cloud.launch("m1.xlarge")
+    for name in STORAGE_NAMES:
+        fs = make_storage(name, env, cloud=cloud if name in ("s3", "xtreemfs") else None,
+                          nfs_server=server if name == "nfs" else None)
+        assert fs.name == name
+    # Only one s3/xtreemfs endpoint per network, so re-creating fails.
+    with pytest.raises(ValueError):
+        make_storage("s3", env)
+
+
+def test_make_storage_unknown(env):
+    with pytest.raises(ValueError, match="unknown storage system"):
+        make_storage("afs", env)
+
+
+def test_make_storage_missing_requirements(env):
+    with pytest.raises(ValueError, match="requires"):
+        make_storage("nfs", env)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "montage" in out and "glusterfs-nufa" in out
+    assert "10429 tasks" in out
+
+
+def test_run_command_small(capsys):
+    # Epigenome on local is the fastest full-size cell (~0.1 s of sim).
+    assert main(["run", "--app", "epigenome", "--storage", "local",
+                 "--nodes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "per-hour billing" in out
+
+
+def test_run_command_rejects_invalid_cell(capsys):
+    rc = main(["run", "--app", "epigenome", "--storage", "local",
+               "--nodes", "4"])
+    assert rc == 2
+    assert "single node" in capsys.readouterr().err
+
+
+def test_run_command_s3_reports_requests(capsys):
+    assert main(["run", "--app", "epigenome", "--storage", "s3",
+                 "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "S3 requests" in out and "GET" in out
+
+
+def test_run_unknown_choices_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "hpl", "--storage", "local"])
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "montage", "--storage", "afs"])

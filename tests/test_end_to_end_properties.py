@@ -1,0 +1,77 @@
+"""End-to-end property tests: random workflows on every storage system.
+
+These close the loop on the simulator's global invariants: any valid
+workflow, on any storage system and cluster size, must (a) complete
+every task exactly once, (b) never violate the write-once namespace
+(enforced at runtime — a violation raises), (c) respect basic physics:
+makespan at least the critical path and at least the slot-limited
+bound, and (d) be priced consistently across the two billing models.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import critical_path_seconds, makespan_lower_bound
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_experiment
+
+SYSTEMS = ["local", "s3", "nfs", "glusterfs-nufa",
+           "glusterfs-distribute", "pvfs", "p2p"]
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=6),      # storage index
+    st.integers(min_value=1, max_value=4),      # node count (1..4)
+    st.integers(min_value=5, max_value=35),     # task count
+    st.integers(min_value=0, max_value=10_000), # workflow seed
+)
+def test_property_any_workflow_completes_consistently(storage_idx, nodes,
+                                                      n_tasks, seed):
+    storage = SYSTEMS[storage_idx]
+    cfg = ExperimentConfig("synthetic", storage, nodes)
+    if not cfg.is_valid()[0]:
+        nodes = 2 if storage != "local" else 1
+        cfg = ExperimentConfig("synthetic", storage, nodes)
+    wf = build_synthetic(n_tasks=n_tasks, width=6, cpu_seconds=3.0,
+                         seed=seed)
+    result = run_experiment(cfg, workflow=wf)
+
+    # (a) every task ran exactly once.
+    assert result.run.n_jobs == n_tasks
+    assert len({r.task_id for r in result.run.records}) == n_tasks
+
+    # (c) physics: the makespan respects the classic lower bounds.
+    bound = makespan_lower_bound(wf, nodes * 8)
+    assert result.makespan >= bound * 0.999
+    assert result.makespan >= critical_path_seconds(wf) * 0.999
+
+    # (d) billing consistency.
+    assert result.cost.per_second_total <= result.cost.per_hour_total + 1e-9
+    assert result.cost.per_hour_total > 0
+
+    # Task records are internally consistent.
+    for r in result.run.records:
+        assert r.end_time >= r.start_time >= r.submit_time
+        assert r.cpu_seconds >= 0 and r.io_seconds >= 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000),
+       st.floats(min_value=0.05, max_value=0.3))
+def test_property_retries_preserve_invariants(seed, failure_rate):
+    """Under random transient failures, the workflow still completes
+    with every file produced exactly once (namespace would raise on
+    any double-write)."""
+    wf = build_synthetic(n_tasks=20, width=5, cpu_seconds=2.0, seed=seed)
+    result = run_experiment(
+        ExperimentConfig("synthetic", "glusterfs-nufa", 2,
+                         task_failure_rate=failure_rate, retries=25,
+                         seed=seed),
+        workflow=wf)
+    succeeded = [r for r in result.run.records if not r.failed]
+    assert len(succeeded) == 20
+    assert len({r.task_id for r in succeeded}) == 20

@@ -1,0 +1,160 @@
+"""Scaled-down end-to-end shape tests.
+
+The full paper matrix runs in ``benchmarks/``; these integration tests
+exercise the same pipeline on reduced workloads so the unit-test suite
+stays fast while still asserting the qualitative physics:
+
+* the S3 client cache exploits file reuse;
+* GlusterFS NUFA keeps writes local, distribute spreads them;
+* the NFS server saturates as clients multiply;
+* the memory gate limits Broadband-style concurrency;
+* costs follow the billing rules.
+"""
+
+import pytest
+
+from repro.apps import build_broadband, build_epigenome, build_montage
+from repro.experiments import ExperimentConfig, run_experiment
+
+GB = 1e9
+
+
+@pytest.fixture(scope="module")
+def montage_small():
+    return lambda: build_montage(degrees=2.0)
+
+
+@pytest.fixture(scope="module")
+def broadband_small():
+    return lambda: build_broadband(n_sources=2, n_sites=4)
+
+
+@pytest.fixture(scope="module")
+def epigenome_small():
+    return lambda: build_epigenome(chunks_per_lane=[5, 5, 5])
+
+
+def run(app, storage, nodes, wf_factory, **kw):
+    return run_experiment(
+        ExperimentConfig(app, storage, nodes, **kw),
+        workflow=wf_factory())
+
+
+def test_montage_gluster_beats_s3_and_pvfs(montage_small):
+    gfs = run("montage", "glusterfs-nufa", 4, montage_small)
+    s3 = run("montage", "s3", 4, montage_small)
+    pvfs = run("montage", "pvfs", 4, montage_small)
+    assert gfs.makespan < s3.makespan
+    assert gfs.makespan < pvfs.makespan
+
+
+def test_montage_gluster_scales(montage_small):
+    at2 = run("montage", "glusterfs-nufa", 2, montage_small)
+    at8 = run("montage", "glusterfs-nufa", 8, montage_small)
+    assert at8.makespan < at2.makespan
+
+
+def test_epigenome_storage_insensitive(epigenome_small):
+    makespans = [
+        run("epigenome", st, 4, epigenome_small).makespan
+        for st in ("s3", "nfs", "glusterfs-nufa", "pvfs")
+    ]
+    assert max(makespans) < 1.5 * min(makespans)
+
+
+def test_epigenome_scales_with_cores():
+    # A larger instance than the shared fixture so the per-chain
+    # critical path (~500 s) does not dominate the 4-node makespan.
+    factory = lambda: build_epigenome(chunks_per_lane=[12, 12, 12])  # noqa: E731
+    at1 = run("epigenome", "nfs", 1, factory)
+    at4 = run("epigenome", "nfs", 4, factory)
+    assert at4.makespan < 0.55 * at1.makespan
+
+
+def test_broadband_s3_cache_serves_reuse():
+    # Full-size Broadband (runs in ~1 s of wall time): the shared
+    # velocity model is read 144 times but fetched at most once per
+    # node, so cache hits dwarf the GETs for the reused inputs.
+    r = run_experiment(ExperimentConfig("broadband", "s3", 4))
+    stats = r.run.storage_stats
+    assert stats.cache_hits > 1000
+    # The 1.1 GB velocity model: <= 4 fetches (one per node) despite
+    # 144 reads.
+    velocity_reads = 3 * 48
+    assert stats.cache_hits > velocity_reads  # reuse clearly captured
+    # Every byte that hit the cache avoided the wire.
+    assert stats.remote_reads + stats.cache_hits == stats.reads
+
+
+def test_broadband_nufa_beats_distribute():
+    # Full-size Broadband: at the 2x4 toy scale the two layouts are
+    # within noise of each other; the paper's effect needs the real
+    # chain population.
+    nufa = run_experiment(
+        ExperimentConfig("broadband", "glusterfs-nufa", 4))
+    dist = run_experiment(
+        ExperimentConfig("broadband", "glusterfs-distribute", 4))
+    assert nufa.run.storage_stats.remote_writes == 0
+    assert dist.run.storage_stats.remote_writes > 0
+    assert nufa.makespan <= dist.makespan
+
+
+def test_nfs_saturates_with_clients(broadband_small):
+    """Per-core efficiency collapses as clients multiply on one server."""
+    at2 = run("broadband", "nfs", 2, broadband_small)
+    at8 = run("broadband", "nfs", 8, broadband_small)
+    speedup = at2.makespan / at8.makespan
+    assert speedup < 2.0  # nowhere near the 4x core increase
+
+
+def test_memory_gate_limits_broadband(broadband_small):
+    """Broadband cannot use all 8 slots: heavy tasks are memory-gated,
+    so doubling nodes helps it more than its slot count suggests."""
+    r = run("broadband", "glusterfs-nufa", 2, broadband_small)
+    # With 16 slots but ~4.x effective per node, the run must take
+    # longer than a slot-limited bound would allow.
+    wf = broadband_small()
+    slot_bound = wf.total_cpu_seconds() / 16
+    assert r.makespan > 1.3 * slot_bound
+
+
+def test_per_second_cost_tracks_makespan(epigenome_small):
+    fast = run("epigenome", "glusterfs-nufa", 8, epigenome_small)
+    slow = run("epigenome", "glusterfs-nufa", 2, epigenome_small)
+    # Same hourly rate per node: 8 nodes x shorter vs 2 x longer.
+    assert fast.cost.per_second_total == pytest.approx(
+        8 * 0.68 * fast.makespan / 3600, rel=0.01)
+    assert slow.cost.per_second_total == pytest.approx(
+        2 * 0.68 * slow.makespan / 3600, rel=0.01)
+
+
+def test_adding_nodes_rarely_reduces_cost(epigenome_small):
+    """Paper §VI: cost only decreases with added nodes when speedup is
+    superlinear — which it is not."""
+    costs = {}
+    for n in (2, 4, 8):
+        r = run("epigenome", "glusterfs-nufa", n, epigenome_small)
+        costs[n] = r.cost.per_second_total
+    assert costs[4] >= costs[2] * 0.98
+    assert costs[8] >= costs[4] * 0.98
+
+
+def test_locality_scheduler_no_worse_on_s3():
+    # Full-size Broadband: the toy instance has too little reuse for
+    # the matchmaking preference to show above noise.
+    fifo = run_experiment(
+        ExperimentConfig("broadband", "s3", 4, scheduler="fifo"))
+    aware = run_experiment(
+        ExperimentConfig("broadband", "s3", 4, scheduler="locality"))
+    assert aware.run.storage_stats.cache_hits > \
+        fifo.run.storage_stats.cache_hits
+    assert aware.run.storage_stats.get_requests < \
+        fifo.run.storage_stats.get_requests
+    assert aware.makespan <= fifo.makespan * 1.05
+
+
+def test_write_once_invariant_holds_across_systems(montage_small):
+    """No run may ever violate the namespace lifecycle (would raise)."""
+    for st in ("s3", "nfs", "glusterfs-distribute", "pvfs"):
+        result = run("montage", st, 2, montage_small)
+        assert result.run.n_jobs == montage_small().n_tasks

@@ -1,0 +1,91 @@
+"""Tests for horizontal task clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_montage, build_synthetic
+from repro.workflow import Task, Workflow, cluster_horizontal
+
+
+def fan_workflow(width=10):
+    wf = Workflow("fan")
+    wf.add_file("in", 1.0, is_input=True)
+    for i in range(width):
+        wf.add_file(f"o{i}", 1.0)
+        wf.add_task(Task(f"t{i}", "leaf", 2.0, memory_bytes=10.0,
+                         inputs=["in"], outputs=[f"o{i}"]))
+    return wf
+
+
+def test_factor_one_is_identity_shaped():
+    wf = fan_workflow()
+    cl = cluster_horizontal(wf, 1)
+    assert cl.n_tasks == wf.n_tasks
+    assert cl.n_files == wf.n_files
+    assert cl.total_cpu_seconds() == wf.total_cpu_seconds()
+
+
+def test_merging_preserves_work_and_files():
+    wf = fan_workflow(10)
+    cl = cluster_horizontal(wf, 4)
+    assert cl.n_tasks == 3  # 4 + 4 + 2
+    assert cl.total_cpu_seconds() == wf.total_cpu_seconds()
+    assert set(cl.files) == set(wf.files)
+    # Merged memory is the member max, not the sum.
+    assert all(t.memory_bytes == 10.0 for t in cl.tasks.values())
+
+
+def test_internal_files_not_cluster_inputs():
+    """A chain clustered into one task must not depend on itself."""
+    wf = Workflow("chain")
+    wf.add_file("f0", 1.0, is_input=True)
+    wf.add_file("f1", 1.0)
+    wf.add_file("f2", 1.0)
+    wf.add_task(Task("a", "step", 1.0, inputs=["f0"], outputs=["f1"]))
+    wf.add_task(Task("b", "other", 1.0, inputs=["f1"], outputs=["f2"]))
+    # Different levels & transformations -> never merged; sanity only.
+    cl = cluster_horizontal(wf, 8)
+    cl.validate()
+    assert cl.n_tasks == 2
+
+
+def test_selected_transformations_only():
+    wf = build_montage(degrees=1.0)
+    cl = cluster_horizontal(wf, 8, transformations=["mDiffFit"])
+    counts = {}
+    for t in cl.tasks.values():
+        counts[t.transformation] = counts.get(t.transformation, 0) + 1
+    orig_counts = {}
+    for t in wf.tasks.values():
+        orig_counts[t.transformation] = orig_counts.get(t.transformation, 0) + 1
+    assert counts["mDiffFit"] < orig_counts["mDiffFit"]
+    assert counts["mProjectPP"] == orig_counts["mProjectPP"]
+
+
+def test_montage_clusters_validate():
+    wf = build_montage(degrees=2.0)
+    for factor in (2, 8, 64):
+        cl = cluster_horizontal(wf, factor)
+        cl.validate()
+        assert cl.total_cpu_seconds() == pytest.approx(wf.total_cpu_seconds())
+        assert cl.input_bytes() == wf.input_bytes()
+        assert cl.output_bytes() == wf.output_bytes()
+
+
+def test_invalid_factor():
+    with pytest.raises(ValueError):
+        cluster_horizontal(fan_workflow(), 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 40), st.integers(1, 10), st.integers(0, 50))
+def test_property_clustering_preserves_validity(n, factor, seed):
+    wf = build_synthetic(n_tasks=n, width=6, seed=seed)
+    cl = cluster_horizontal(wf, factor)
+    cl.validate()
+    assert cl.total_cpu_seconds() == pytest.approx(wf.total_cpu_seconds())
+    # Dependencies respected: clustered topological order exists and
+    # every original file still has exactly one producer or is input.
+    order = cl.topological_order()
+    assert len(order) == cl.n_tasks

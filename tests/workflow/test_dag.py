@@ -1,0 +1,172 @@
+"""Unit + property tests for abstract workflow DAGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workflow import Task, Workflow, WorkflowValidationError
+
+
+def diamond():
+    """in -> a -> {f1, f2} -> b, c -> {g1, g2} -> d -> out"""
+    wf = Workflow("diamond")
+    wf.add_file("in", 100.0, is_input=True)
+    wf.add_file("f1", 10.0)
+    wf.add_file("f2", 10.0)
+    wf.add_file("g1", 5.0)
+    wf.add_file("g2", 5.0)
+    wf.add_file("out", 1.0)
+    wf.add_task(Task("a", "split", 1.0, inputs=["in"], outputs=["f1", "f2"]))
+    wf.add_task(Task("b", "work", 2.0, inputs=["f1"], outputs=["g1"]))
+    wf.add_task(Task("c", "work", 2.0, inputs=["f2"], outputs=["g2"]))
+    wf.add_task(Task("d", "merge", 1.0, inputs=["g1", "g2"], outputs=["out"]))
+    return wf
+
+
+def test_diamond_structure():
+    wf = diamond()
+    wf.validate()
+    assert wf.n_tasks == 4
+    assert wf.n_files == 6
+    assert wf.parents("a") == set()
+    assert wf.parents("b") == {"a"}
+    assert wf.parents("d") == {"b", "c"}
+    assert wf.children("a") == {"b", "c"}
+    assert wf.children("d") == set()
+    assert wf.producer_of("f1") == "a"
+    assert wf.producer_of("in") is None
+
+
+def test_topological_order_respects_deps():
+    wf = diamond()
+    order = wf.topological_order()
+    pos = {tid: i for i, tid in enumerate(order)}
+    assert pos["a"] < pos["b"] < pos["d"]
+    assert pos["a"] < pos["c"] < pos["d"]
+
+
+def test_levels():
+    wf = diamond()
+    levels = wf.levels()
+    assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+
+def test_byte_accounting():
+    wf = diamond()
+    assert wf.input_bytes() == 100.0
+    assert wf.output_bytes() == 1.0
+    assert wf.intermediate_bytes() == 30.0
+    assert wf.total_cpu_seconds() == 6.0
+
+
+def test_undeclared_file_rejected():
+    wf = Workflow("w")
+    with pytest.raises(WorkflowValidationError, match="undeclared file"):
+        wf.add_task(Task("t", "x", 1.0, inputs=["ghost"]))
+
+
+def test_duplicate_task_rejected():
+    wf = Workflow("w")
+    wf.add_file("f", 1.0)
+    wf.add_task(Task("t", "x", 1.0, outputs=["f"]))
+    with pytest.raises(WorkflowValidationError, match="duplicate"):
+        wf.add_task(Task("t", "x", 1.0))
+
+
+def test_two_producers_rejected():
+    wf = Workflow("w")
+    wf.add_file("f", 1.0)
+    wf.add_task(Task("t1", "x", 1.0, outputs=["f"]))
+    with pytest.raises(WorkflowValidationError, match="produced by both"):
+        wf.add_task(Task("t2", "x", 1.0, outputs=["f"]))
+
+
+def test_writing_workflow_input_rejected():
+    wf = Workflow("w")
+    wf.add_file("in", 1.0, is_input=True)
+    with pytest.raises(WorkflowValidationError, match="workflow input"):
+        wf.add_task(Task("t", "x", 1.0, outputs=["in"]))
+
+
+def test_orphan_input_rejected_by_validate():
+    wf = Workflow("w")
+    wf.add_file("f", 1.0)  # not an input, no producer
+    wf.add_task(Task("t", "x", 1.0, inputs=["f"]))
+    with pytest.raises(WorkflowValidationError, match="no producer"):
+        wf.validate()
+
+
+def test_cycle_detected():
+    wf = Workflow("w")
+    wf.add_file("a", 1.0)
+    wf.add_file("b", 1.0)
+    wf.add_task(Task("t1", "x", 1.0, inputs=["b"], outputs=["a"]))
+    wf.add_task(Task("t2", "x", 1.0, inputs=["a"], outputs=["b"]))
+    with pytest.raises(WorkflowValidationError, match="cycle"):
+        wf.validate()
+
+
+def test_control_edges():
+    wf = Workflow("w")
+    wf.add_file("f1", 1.0)
+    wf.add_file("f2", 1.0)
+    wf.add_task(Task("t1", "x", 1.0, outputs=["f1"]))
+    wf.add_task(Task("t2", "x", 1.0, outputs=["f2"]))
+    wf.add_control_edge("t1", "t2")
+    assert wf.parents("t2") == {"t1"}
+    assert wf.children("t1") == {"t2"}
+    with pytest.raises(WorkflowValidationError):
+        wf.add_control_edge("t1", "ghost")
+
+
+def test_file_redefinition_conflict():
+    wf = Workflow("w")
+    wf.add_file("f", 1.0)
+    wf.add_file("f", 1.0)  # identical: fine
+    with pytest.raises(WorkflowValidationError):
+        wf.add_file("f", 2.0)
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task("t", "x", -1.0)
+    with pytest.raises(ValueError):
+        Task("t", "x", 1.0, memory_bytes=-5)
+
+
+def test_describe():
+    wf = diamond()
+    desc = wf.describe()
+    assert "diamond" in desc and "4 tasks" in desc
+
+
+# ------------------------------------------------------------- property
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 1000))
+def test_property_random_layered_dag_is_valid(n, seed):
+    """Random layered DAGs validate and topo-sort consistently."""
+    import random
+    rng = random.Random(seed)
+    wf = Workflow("rand")
+    wf.add_file("in", 1.0, is_input=True)
+    names = ["in"]
+    for i in range(n):
+        out = f"f{i}"
+        wf.add_file(out, 1.0)
+        k = rng.randint(1, min(3, len(names)))
+        ins = rng.sample(names, k)
+        wf.add_task(Task(f"t{i}", "x", 1.0, inputs=ins, outputs=[out]))
+        names.append(out)
+    wf.validate()
+    order = wf.topological_order()
+    assert len(order) == n
+    pos = {tid: i for i, tid in enumerate(order)}
+    for tid in wf.tasks:
+        for p in wf.parents(tid):
+            assert pos[p] < pos[tid]
+    # levels are consistent with parents
+    levels = wf.levels()
+    for tid in wf.tasks:
+        for p in wf.parents(tid):
+            assert levels[p] < levels[tid]

@@ -1,0 +1,206 @@
+"""Integration tests: mapper + DAGMan + Condor + executor + storage."""
+
+import pytest
+
+from repro.cloud import GB, MB, EC2Cloud
+from repro.simcore import Environment, TraceCollector
+from repro.storage import (
+    GlusterFSStorage,
+    LocalDiskStorage,
+    NFSStorage,
+    S3Storage,
+)
+from repro.workflow import (
+    DAGMan,
+    CondorPool,
+    JobTooLargeError,
+    PegasusMapper,
+    PegasusWMS,
+    Task,
+    Workflow,
+)
+
+
+def build_env(n_workers=1, storage_name="local"):
+    env = Environment()
+    cloud = EC2Cloud(env)
+    workers = cloud.launch_many("c1.xlarge", n_workers)
+    if storage_name == "local":
+        fs = LocalDiskStorage(env)
+    elif storage_name == "s3":
+        fs = S3Storage(env, cloud)
+    elif storage_name == "nfs":
+        fs = NFSStorage(env, cloud.launch("m1.xlarge", name="nfs-server"))
+    elif storage_name == "gluster":
+        fs = GlusterFSStorage(env, layout="nufa")
+    else:
+        raise ValueError(storage_name)
+    fs.deploy(workers)
+    return env, cloud, workers, fs
+
+
+def chain_workflow(n=3, size=MB):
+    wf = Workflow("chain")
+    wf.add_file("f0", size, is_input=True)
+    prev = "f0"
+    for i in range(n):
+        out = f"f{i + 1}"
+        wf.add_file(out, size)
+        wf.add_task(Task(f"t{i}", "step", 1.0, inputs=[prev], outputs=[out]))
+        prev = out
+    return wf
+
+
+def fan_workflow(width=16, cpu=2.0, size=MB, memory=0.0):
+    wf = Workflow("fan")
+    wf.add_file("in", size, is_input=True)
+    for i in range(width):
+        wf.add_file(f"o{i}", size)
+        wf.add_task(Task(f"t{i}", "leaf", cpu, memory_bytes=memory,
+                         inputs=["in"], outputs=[f"o{i}"]))
+    return wf
+
+
+def test_chain_executes_in_order():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs)
+    run = wms.execute(chain_workflow(5))
+    assert run.n_jobs == 5
+    # Serial chain: completions strictly ordered.
+    ends = sorted((r.end_time, r.task_id) for r in run.records)
+    assert [t for _, t in ends] == [f"t{i}" for i in range(5)]
+    assert run.makespan > 5.0  # at least the CPU time
+
+
+def test_fan_uses_all_slots():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs, dispatch_latency=0.0)
+    run = wms.execute(fan_workflow(width=16, cpu=5.0, size=0.0))
+    # 16 x 5 s CPU-only tasks on 8 slots: two waves of ~5 s.
+    assert run.makespan == pytest.approx(10.0, rel=0.05)
+
+
+def test_memory_gating_limits_concurrency():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs, dispatch_latency=0.0)
+    # 3 GB tasks on a 7 GB node: only 2 at once despite 8 slots.
+    run = wms.execute(fan_workflow(width=4, cpu=5.0, size=0.0,
+                                   memory=3 * GB))
+    assert run.makespan == pytest.approx(10.0, rel=0.05)
+
+
+def test_oversized_task_fails_loudly():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs)
+    wf = fan_workflow(width=1, cpu=1.0, size=0.0, memory=16 * GB)
+    with pytest.raises(JobTooLargeError):
+        wms.execute(wf)
+
+
+def test_multi_node_spreads_jobs():
+    env, cloud, workers, fs = build_env(n_workers=4, storage_name="gluster")
+    wms = PegasusWMS(env, workers, fs, dispatch_latency=0.0)
+    run = wms.execute(fan_workflow(width=64, cpu=3.0))
+    counts = run.per_node_job_counts()
+    assert len(counts) == 4
+    assert sum(counts.values()) == 64
+    # FIFO over 32 slots should be roughly balanced.
+    assert all(8 <= c <= 24 for c in counts.values())
+
+
+def test_s3_jobs_are_wrapped():
+    env, cloud, workers, fs = build_env(storage_name="s3")
+    mapper = PegasusMapper()
+    plan = mapper.plan(chain_workflow(2), fs)
+    assert all(j.s3_wrapped for j in plan.jobs.values())
+    assert plan.n_jobs == 2
+
+
+def test_posix_jobs_not_wrapped():
+    env, cloud, workers, fs = build_env(storage_name="nfs")
+    plan = PegasusMapper().plan(chain_workflow(2), fs)
+    assert not any(j.s3_wrapped for j in plan.jobs.values())
+
+
+def test_run_record_accounting():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs)
+    run = wms.execute(chain_workflow(3, size=10 * MB))
+    for r in run.records:
+        assert r.end_time > r.start_time >= r.submit_time
+        assert r.bytes_read == 10 * MB
+        assert r.bytes_written == 10 * MB
+        assert r.cpu_seconds == pytest.approx(1.0)
+        assert r.read_seconds > 0 and r.write_seconds > 0
+    assert run.total_cpu_seconds() == pytest.approx(3.0)
+    assert 0 < run.io_fraction() < 1
+
+
+def test_empty_workflow_completes_immediately():
+    env, cloud, workers, fs = build_env()
+    wms = PegasusWMS(env, workers, fs)
+    run = wms.execute(Workflow("empty"))
+    assert run.makespan == 0.0
+    assert run.n_jobs == 0
+
+
+def test_dagman_progress_tracking():
+    env, cloud, workers, fs = build_env()
+    plan = PegasusMapper().plan(chain_workflow(4), fs)
+    pool = CondorPool(env, workers, fs)
+    dagman = DAGMan(env, plan, pool)
+    assert dagman.progress == 0.0
+    dagman.start()
+    env.run(until=dagman.done)
+    assert dagman.progress == 1.0
+    assert dagman.n_completed == 4
+
+
+def test_cpu_jitter_reproducible():
+    def one(seed):
+        env, cloud, workers, fs = build_env()
+        wms = PegasusWMS(env, workers, fs, seed=seed, cpu_jitter_sigma=0.2)
+        return wms.execute(fan_workflow(width=8, cpu=10.0)).makespan
+
+    assert one(1) == one(1)
+    assert one(1) != one(2)
+
+
+def test_deterministic_without_jitter():
+    def one():
+        env, cloud, workers, fs = build_env(n_workers=2, storage_name="gluster")
+        wms = PegasusWMS(env, workers, fs)
+        return wms.execute(fan_workflow(width=32, cpu=2.0)).makespan
+
+    assert one() == one()
+
+
+def test_trace_records_task_lifecycle():
+    env = Environment()
+    trace = TraceCollector()
+    cloud = EC2Cloud(env, trace=trace)
+    workers = cloud.launch_many("c1.xlarge", 1)
+    fs = LocalDiskStorage(env, trace=trace)
+    fs.deploy(workers)
+    wms = PegasusWMS(env, workers, fs, trace=trace)
+    wms.execute(chain_workflow(2))
+    assert trace.count("task", "start") == 2
+    assert trace.count("task", "end") == 2
+    assert trace.count("dagman", "complete") == 2
+
+
+def test_bad_scheduler_name():
+    env, cloud, workers, fs = build_env()
+    with pytest.raises(ValueError, match="scheduler"):
+        PegasusWMS(env, workers, fs, scheduler="random")
+
+
+def test_write_once_enforced_end_to_end():
+    """A malformed 'workflow' that writes a file twice is caught at
+    plan time (two producers)."""
+    from repro.workflow import WorkflowValidationError
+    wf = Workflow("bad")
+    wf.add_file("f", 1.0)
+    wf.add_task(Task("a", "x", 1.0, outputs=["f"]))
+    with pytest.raises(WorkflowValidationError):
+        wf.add_task(Task("b", "x", 1.0, outputs=["f"]))

@@ -1,0 +1,121 @@
+"""Tests for transient-failure injection and DAGMan retries."""
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.cloud import EC2Cloud
+from repro.simcore import Environment
+from repro.storage import LocalDiskStorage
+from repro.workflow import (
+    FailureInjector,
+    PegasusWMS,
+    Task,
+    Workflow,
+    WorkflowFailedError,
+)
+from repro.workflow.failures import NO_FAILURES
+
+
+def setup(task_failure_rate=0.0, retries=3, seed=0):
+    env = Environment()
+    cloud = EC2Cloud(env)
+    workers = cloud.launch_many("c1.xlarge", 1)
+    fs = LocalDiskStorage(env)
+    fs.deploy(workers)
+    wms = PegasusWMS(env, workers, fs, seed=seed,
+                     task_failure_rate=task_failure_rate,
+                     retries=retries)
+    return env, wms
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        FailureInjector(1.0)
+    with pytest.raises(ValueError):
+        FailureInjector(-0.1)
+    assert not NO_FAILURES.should_fail("t", 1)
+
+
+def test_injector_deterministic():
+    a = FailureInjector(0.5, seed=3)
+    b = FailureInjector(0.5, seed=3)
+    pattern_a = [a.should_fail("t", i) for i in range(50)]
+    pattern_b = [b.should_fail("t", i) for i in range(50)]
+    assert pattern_a == pattern_b
+    assert any(pattern_a) and not all(pattern_a)
+    assert a.injected == sum(pattern_a)
+
+
+def test_no_failures_identical_to_baseline():
+    _, wms0 = setup(task_failure_rate=0.0)
+    _, wms1 = setup(task_failure_rate=0.0)
+    wf = build_synthetic(20, width=5, seed=1)
+    assert wms0.execute(wf).makespan == wms1.execute(
+        build_synthetic(20, width=5, seed=1)).makespan
+
+
+def test_retries_mask_transient_failures():
+    env, wms = setup(task_failure_rate=0.15, retries=5, seed=7)
+    wf = build_synthetic(40, width=8, seed=2)
+    run = wms.execute(wf)
+    # All tasks eventually completed exactly once...
+    completed = [r for r in run.records if not r.failed]
+    assert len(completed) == 40
+    # ...and some attempts failed along the way.
+    failed = [r for r in run.records if r.failed]
+    assert len(failed) > 0
+    assert all(r.attempt >= 1 for r in failed)
+
+
+def test_failures_inflate_makespan():
+    wf_a = build_synthetic(40, width=8, seed=2)
+    wf_b = build_synthetic(40, width=8, seed=2)
+    _, clean_wms = setup(task_failure_rate=0.0)
+    _, flaky_wms = setup(task_failure_rate=0.2, retries=10, seed=5)
+    clean = clean_wms.execute(wf_a)
+    flaky = flaky_wms.execute(wf_b)
+    assert flaky.makespan > clean.makespan
+
+
+def test_retry_exhaustion_fails_the_workflow():
+    # rate ~0.97: a task will almost surely fail 1+retries times.
+    env, wms = setup(task_failure_rate=0.97, retries=1, seed=1)
+    wf = Workflow("tiny")
+    wf.add_file("o", 1.0)
+    wf.add_task(Task("only", "x", 1.0, outputs=["o"]))
+    with pytest.raises(WorkflowFailedError, match="retry limit"):
+        wms.execute(wf)
+
+
+def test_failed_attempt_produces_no_outputs():
+    """The write-once namespace stays clean across retries: the file is
+    written exactly once, by the successful attempt."""
+    env, wms = setup(task_failure_rate=0.6, retries=20, seed=11)
+    wf = build_synthetic(15, width=5, seed=3)
+    run = wms.execute(wf)
+    produced = {}
+    for r in run.records:
+        if not r.failed:
+            produced[r.task_id] = produced.get(r.task_id, 0) + 1
+    assert all(v == 1 for v in produced.values())
+    assert len(produced) == 15
+
+
+def test_retries_zero_means_no_second_chances():
+    env, wms = setup(task_failure_rate=0.4, retries=0, seed=2)
+    wf = build_synthetic(30, width=6, seed=4)
+    with pytest.raises(WorkflowFailedError):
+        wms.execute(wf)
+
+
+def test_dagman_rejects_negative_retries():
+    from repro.workflow import CondorPool, DAGMan, PegasusMapper
+    env = Environment()
+    cloud = EC2Cloud(env)
+    workers = cloud.launch_many("c1.xlarge", 1)
+    fs = LocalDiskStorage(env)
+    fs.deploy(workers)
+    plan = PegasusMapper().plan(build_synthetic(3, seed=0), fs)
+    pool = CondorPool(env, workers, fs)
+    with pytest.raises(ValueError):
+        DAGMan(env, plan, pool, retries=-1)

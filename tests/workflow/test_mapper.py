@@ -1,0 +1,85 @@
+"""Unit tests for the Pegasus mapper and executable plans."""
+
+import pytest
+
+from repro.cloud import MB, EC2Cloud
+from repro.simcore import Environment
+from repro.storage import LocalDiskStorage, S3Storage
+from repro.storage.files import FileState
+from repro.workflow import PegasusMapper, Task, Workflow
+
+
+def build(storage_kind="local", n=1):
+    env = Environment()
+    cloud = EC2Cloud(env)
+    workers = cloud.launch_many("c1.xlarge", n)
+    fs = S3Storage(env, cloud) if storage_kind == "s3" \
+        else LocalDiskStorage(env)
+    fs.deploy(workers)
+    return env, fs
+
+
+def diamond():
+    wf = Workflow("d")
+    wf.add_file("in", 10 * MB, is_input=True)
+    wf.add_file("m1", MB)
+    wf.add_file("m2", MB)
+    wf.add_file("out", MB)
+    wf.add_task(Task("split", "s", 1.0, inputs=["in"],
+                     outputs=["m1", "m2"]))
+    wf.add_task(Task("w1", "w", 1.0, inputs=["m1"], outputs=["out"]))
+    wf.add_task(Task("w2", "w", 1.0, inputs=["m2"]))
+    return wf
+
+
+def test_plan_structure():
+    env, fs = build()
+    plan = PegasusMapper().plan(diamond(), fs)
+    assert plan.n_jobs == 3
+    assert plan.roots() == ["split"]
+    assert plan.parents["w1"] == {"split"}
+    assert plan.children["split"] == {"w1", "w2"}
+    job = plan.jobs["split"]
+    assert job.input_bytes() == 10 * MB
+    assert job.output_bytes() == 2 * MB
+    assert job.id == "split"
+
+
+def test_plan_registers_files_with_storage():
+    env, fs = build()
+    PegasusMapper().plan(diamond(), fs)
+    ns = fs.namespace
+    assert ns.state("in") is FileState.AVAILABLE    # pre-staged
+    assert ns.state("m1") is FileState.PENDING      # declared
+    assert len(ns) == 4
+
+
+def test_plan_validates_workflow():
+    env, fs = build()
+    wf = Workflow("bad")
+    wf.add_file("orphan", 1.0)  # no producer, not an input
+    wf.add_task(Task("t", "x", 1.0, inputs=["orphan"]))
+    from repro.workflow import WorkflowValidationError
+    with pytest.raises(WorkflowValidationError):
+        PegasusMapper().plan(wf, fs)
+
+
+def test_plan_requires_deployed_storage():
+    env = Environment()
+    fs = LocalDiskStorage(env)
+    with pytest.raises(RuntimeError, match="before deploy"):
+        PegasusMapper().plan(diamond(), fs)
+
+
+def test_s3_wrapping_flag():
+    env, fs = build("s3")
+    plan = PegasusMapper().plan(diamond(), fs)
+    assert all(j.s3_wrapped for j in plan.jobs.values())
+
+
+def test_replanning_same_workflow_is_idempotent():
+    env, fs = build()
+    mapper = PegasusMapper()
+    a = mapper.plan(diamond(), fs)
+    b = mapper.plan(diamond(), fs)   # re-declares identical files: fine
+    assert a.n_jobs == b.n_jobs
