@@ -3,11 +3,18 @@
 Run single experiments or whole paper figures from the shell::
 
     repro-ec2 run --app montage --storage glusterfs-nufa --nodes 4
+    repro-ec2 run --app broadband --storage nfs --nodes 4 \\
+        --trace-out t.json --metrics-out m.json --timeline
+    repro-ec2 trace t.json
     repro-ec2 figure --app broadband
     repro-ec2 table1
     repro-ec2 list
 
 (Equivalently: ``python -m repro ...``.)
+
+``--trace-out`` writes a Chrome trace-event file: open it in
+``chrome://tracing`` or https://ui.perfetto.dev to see the run as a
+per-node Gantt of jobs, phases, and storage operations.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from .storage import STORAGE_NAMES
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    wants_telemetry = bool(args.trace_out or args.metrics_out
+                           or args.timeline)
     config = ExperimentConfig(
         app=args.app,
         storage=args.storage,
@@ -43,6 +52,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         seed=args.seed,
         cpu_jitter_sigma=args.jitter,
+        collect_traces=wants_telemetry,
     )
     ok, why = config.is_valid()
     if not ok:
@@ -61,6 +71,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  S3 requests: {stats.get_requests} GET, "
               f"{stats.put_requests} PUT "
               f"(fees ${result.cost.s3_fees.total:.2f})")
+    if args.trace_out:
+        from .telemetry import write_chrome_trace
+        n_spans = write_chrome_trace(args.trace_out, result.spans)
+        print(f"  wrote {n_spans} spans to {args.trace_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(result.metrics.to_json() + "\n")
+        print(f"  wrote {len(result.metrics)} metrics to "
+              f"{args.metrics_out}", file=sys.stderr)
+    if args.timeline:
+        from .telemetry import render_heatmap, render_node_gantt
+        print()
+        print(render_node_gantt(result.spans,
+                                title="per-node job concurrency"))
+        tl = result.timeline
+        cpu_series = [n for n in tl.names() if n.endswith(".cpu")]
+        print()
+        print(render_heatmap(tl, series=cpu_series, width=60,
+                             title="CPU busy fraction", normalize="global"))
+        server_series = [n for n in tl.names()
+                         if n.startswith(("nfs.", "s3."))]
+        if server_series:
+            print()
+            print(render_heatmap(tl, series=server_series, width=60,
+                                 title="storage server load"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import load_chrome_trace, summarize_chrome_trace
+    try:
+        doc = load_chrome_trace(args.file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_chrome_trace(doc, top=args.top))
     return 0
 
 
@@ -172,7 +220,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--jitter", type=float, default=0.0,
                        help="relative sigma of per-task CPU jitter")
+    p_run.add_argument("--trace-out", metavar="FILE",
+                       help="write a Chrome trace-event JSON of the run "
+                            "(chrome://tracing / Perfetto)")
+    p_run.add_argument("--metrics-out", metavar="FILE",
+                       help="write the metrics-registry snapshot as JSON")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print ASCII utilization heatmaps and the "
+                            "per-node job Gantt")
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser("trace",
+                             help="summarize a Chrome trace written by "
+                                  "'run --trace-out'")
+    p_trace.add_argument("file", help="trace-event JSON file")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="how many longest spans to list")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_fig = sub.add_parser("figure",
                            help="regenerate a paper figure (all cells)")

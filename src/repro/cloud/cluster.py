@@ -11,14 +11,11 @@ workflow layer schedules onto.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from .ec2 import EC2Cloud
 from .node import VMInstance
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..simcore.engine import Environment
 
 
 @dataclass

@@ -191,8 +191,9 @@ class BlockDevice:
 
     @property
     def busy_seconds(self) -> float:
-        """Cumulative dedicated-service time delivered."""
-        return self._channel.total_work_done
+        """Cumulative dedicated-service time delivered (projected to
+        now, so mid-run samplers see smooth utilization)."""
+        return self._channel.current_work_done()
 
     # -- internals -------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from .billing import BillingMeter
 from .network import ClusterNetwork, Endpoint
 from .node import VMInstance
-from .types import CATALOG, InstanceType, get_instance_type
+from .types import InstanceType, get_instance_type
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simcore.engine import Environment

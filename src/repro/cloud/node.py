@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..simcore.resources import Container, Resource
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from ..telemetry.spans import SpanBuilder
 from .disk import BlockDevice, make_node_disk
 from .network import ClusterNetwork, Endpoint
 from .types import GB, InstanceType
@@ -59,11 +60,20 @@ class VMInstance:
             initialized=initialized_disks, use_raid=use_raid,
             name=f"{self.name}.disk", trace=trace,
         )
+        #: Slots currently executing a job (maintained by the Condor
+        #: pool; ``cores`` is the capacity ledger, this is the live
+        #: occupancy the utilization sampler reads).
+        self.busy_slots = 0
         #: NIC endpoint on the cluster fabric.
         self.nic: Endpoint = network.attach(self.name, itype.nic_bw)
         self.network = network
         self.launched_at = env.now
         self.terminated_at: Optional[float] = None
+        # Lifetime span (launch -> terminate); spans left open by
+        # never-terminated instances are clamped at reconstruction.
+        self._spans = SpanBuilder(trace, env)
+        self._life_span = self._spans.begin(
+            "vm", self.name, node=self.name, itype=itype.name)
 
     # -- convenience -------------------------------------------------------
 
@@ -78,6 +88,11 @@ class VMInstance:
         return self.cores.available
 
     @property
+    def cpu_utilization(self) -> float:
+        """Fraction of slots currently running a job (0..1)."""
+        return self.busy_slots / self.itype.cores
+
+    @property
     def is_running(self) -> bool:
         """True until :meth:`terminate` is called."""
         return self.terminated_at is None
@@ -88,6 +103,7 @@ class VMInstance:
             return
         self.terminated_at = self.env.now
         self.network.detach(self.name)
+        self._spans.end(self._life_span)
         self.trace.emit(self.env.now, "vm", "terminate", node=self.name)
 
     def __repr__(self) -> str:

@@ -11,8 +11,8 @@ noted in §V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 #: Worker counts the paper sweeps (8-64 cores).
 PAPER_NODE_COUNTS = (1, 2, 4, 8)
@@ -47,8 +47,11 @@ class ExperimentConfig:
     retries: int = 3
     #: Zero-fill the ephemeral disks first (initialization ablation).
     initialized_disks: bool = False
-    #: Collect full traces (slower; needed by the profiler).
+    #: Collect full traces (slower; needed by the profiler and the
+    #: telemetry layer: metrics registry, spans, utilization sampler).
     collect_traces: bool = False
+    #: Utilization-sampler cadence, sim seconds (used when tracing).
+    sample_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:

@@ -9,7 +9,7 @@ regenerate (the data behind) EXPERIMENTS.md, exposed on the CLI as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..profiling import format_table1, profile_records

@@ -13,13 +13,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..apps import APP_BUILDERS
-from ..cloud.cluster import ContextBroker, VirtualCluster
+from ..cloud.cluster import ContextBroker
 from ..cloud.ec2 import EC2Cloud
 from ..cost.model import WorkflowCost, compute_cost
 from ..simcore.engine import Environment
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from ..storage import make_storage
-from ..storage.base import StorageStats
+from ..telemetry.metrics import NULL_REGISTRY, MetricsRegistry, install_trace_bridge
+from ..telemetry.sampler import Timeline, UtilizationSampler, attach_cluster
+from ..telemetry.spans import Span, SpanBuilder, spans_from_trace
 from ..workflow.dag import Workflow
 from ..workflow.wms import PegasusWMS, WorkflowRun
 from .config import ExperimentConfig
@@ -33,6 +35,10 @@ class ExperimentResult:
     run: WorkflowRun
     cost: WorkflowCost
     trace: Optional[TraceCollector] = None
+    #: Per-run instrument registry (None when telemetry was disabled).
+    metrics: Optional[MetricsRegistry] = None
+    #: Sampled utilization timelines (None when telemetry was disabled).
+    timeline: Optional[Timeline] = None
 
     @property
     def makespan(self) -> float:
@@ -43,6 +49,13 @@ class ExperimentResult:
     def label(self) -> str:
         """The cell label."""
         return self.config.label
+
+    @property
+    def spans(self) -> List[Span]:
+        """The reconstructed span forest (empty without a trace)."""
+        if self.trace is None:
+            return []
+        return spans_from_trace(self.trace)
 
     def summary_row(self) -> Dict[str, object]:
         """Flat dict for result tables / CSV export."""
@@ -71,8 +84,14 @@ def run_experiment(config: ExperimentConfig,
     if not ok:
         raise ValueError(f"invalid experiment {config.label}: {why}")
 
-    trace = TraceCollector() if config.collect_traces else NULL_COLLECTOR
+    telemetry_on = config.collect_traces
+    trace = TraceCollector() if telemetry_on else NULL_COLLECTOR
+    metrics = MetricsRegistry() if telemetry_on else NULL_REGISTRY
+    install_trace_bridge(metrics, trace)
     env = Environment()
+    spans = SpanBuilder(trace, env)
+    exp_span = spans.begin("experiment", config.label, app=config.app,
+                           storage=config.storage, nodes=config.n_workers)
     cloud = EC2Cloud(env, seed=config.seed, trace=trace)
     broker = ContextBroker(cloud, trace=trace)
 
@@ -95,6 +114,12 @@ def run_experiment(config: ExperimentConfig,
     if workflow is None:
         workflow = APP_BUILDERS[config.app]()
 
+    sampler: Optional[UtilizationSampler] = None
+    if telemetry_on:
+        sampler = UtilizationSampler(env, interval=config.sample_interval)
+        attach_cluster(sampler, cluster.all_nodes, storage=storage)
+        sampler.start()
+
     wms = PegasusWMS(
         env, cluster.workers, storage,
         scheduler=config.scheduler,
@@ -104,8 +129,12 @@ def run_experiment(config: ExperimentConfig,
         retries=config.retries,
         trace=trace,
     )
-    run = wms.execute(workflow)
+    run = wms.execute(workflow, parent_span=exp_span if telemetry_on else None)
+    if sampler is not None:
+        sampler.sample_now()  # final reading at workflow completion
+        sampler.stop()
     cloud.terminate_all()
+    spans.end(exp_span)
 
     stored_gb = workflow.total_files_bytes() / 1e9 \
         if hasattr(workflow, "total_files_bytes") else \
@@ -114,9 +143,20 @@ def run_experiment(config: ExperimentConfig,
         cloud.billing, storage.stats, storage.name,
         makespan=run.makespan, stored_gb=stored_gb, at=env.now,
     )
+    if telemetry_on:
+        makespan_g = metrics.gauge(
+            "experiment_makespan_seconds", "workflow wall-clock time")
+        makespan_g.set(run.makespan, app=config.app,
+                       storage=config.storage, nodes=config.n_workers)
+        cost_g = metrics.gauge(
+            "experiment_cost_usd", "run cost by billing model")
+        cost_g.set(cost.per_hour_total, billing="hour")
+        cost_g.set(cost.per_second_total, billing="second")
     return ExperimentResult(
         config=config, run=run, cost=cost,
-        trace=trace if config.collect_traces else None,
+        trace=trace if telemetry_on else None,
+        metrics=metrics if telemetry_on else None,
+        timeline=sampler.timeline if sampler is not None else None,
     )
 
 

@@ -24,7 +24,7 @@ busy time waiting on I/O vs computing; CPU-time-weighted peak memory).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..workflow.executor import JobRecord
 

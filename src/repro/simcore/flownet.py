@@ -15,7 +15,7 @@ stripe traffic, and S3 GET/PUT payloads.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .events import Event
 

@@ -15,7 +15,7 @@ would run at ``b`` MB/s alone on a device is submitted with
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict
 
 from .events import Event
 
@@ -110,6 +110,20 @@ class FairShareChannel:
         self._jobs[self._next_id] = _ChannelJob(work, done)
         self._reschedule()
         return done
+
+    def current_work_done(self) -> float:
+        """``total_work_done`` projected to the current instant.
+
+        The bookkeeping in :meth:`_advance` is lazy (it runs on submit
+        and wakeup only), so ``total_work_done`` can lag ``env.now``
+        while jobs are in flight; samplers reading utilization between
+        events need the projected value or rates appear to burst >1.
+        """
+        n = len(self._jobs)
+        if n == 0:
+            return self.total_work_done
+        elapsed = max(0.0, self.env.now - self._last_update)
+        return self.total_work_done + elapsed * self._service_rate(n)
 
     def estimated_finish(self, work: float) -> float:
         """Crude finish-time estimate if ``work`` were submitted now.

@@ -15,7 +15,7 @@ All follow the request/event idiom::
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, List, Optional
+from typing import TYPE_CHECKING, Any, List
 
 from .errors import NotPending
 from .events import Event

@@ -2,15 +2,21 @@
 
 Every subsystem (scheduler, storage, disks, billing) emits
 :class:`TraceRecord` rows into a shared :class:`TraceCollector`.  The
-profiler (`repro.profiling.wfprof`) and the experiment result tables are
-built entirely from these traces, mirroring how the paper derives
-Table I from ptrace-based task profiling.
+profiler (`repro.profiling.wfprof`), the span builder
+(`repro.telemetry.spans`), and the experiment result tables are built
+entirely from these traces, mirroring how the paper derives Table I
+from ptrace-based task profiling.
+
+Records are indexed by ``(category, event)`` as they arrive, so the
+query helpers (:meth:`TraceCollector.select`, ``count``, ``sum_field``)
+cost O(matching records), not O(all records) — trace-heavy runs issue
+thousands of queries and must not go quadratic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -43,13 +49,21 @@ class TraceCollector:
     """Accumulates trace records and answers simple queries.
 
     Collection can be disabled wholesale (``enabled=False``) for large
-    benchmark sweeps where only aggregate counters are needed.
+    benchmark sweeps where only aggregate counters are needed.  A
+    disabled collector is inert end to end: ``emit`` drops records and
+    ``subscribe`` is a no-op, so the shared :data:`NULL_COLLECTOR`
+    cannot accumulate state across runs.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        # (category, event) -> records, and category -> records.  Lists
+        # share the TraceRecord objects with ``records``; only the list
+        # overhead is duplicated.
+        self._by_cat_event: Dict[Tuple[str, str], List[TraceRecord]] = {}
+        self._by_category: Dict[str, List[TraceRecord]] = {}
 
     def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
         """Record an observation (no-op when disabled)."""
@@ -57,12 +71,40 @@ class TraceCollector:
             return
         rec = TraceRecord(time, category, event, fields)
         self.records.append(rec)
+        key = (category, event)
+        bucket = self._by_cat_event.get(key)
+        if bucket is None:
+            bucket = self._by_cat_event[key] = []
+        bucket.append(rec)
+        cat_bucket = self._by_category.get(category)
+        if cat_bucket is None:
+            cat_bucket = self._by_category[category] = []
+        cat_bucket.append(rec)
         for sub in self._subscribers:
             sub(rec)
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every subsequent record."""
+        """Invoke ``callback`` for every subsequent record.
+
+        On a disabled collector this is a no-op: nothing will ever be
+        emitted, and retaining callbacks on the module-global
+        :data:`NULL_COLLECTOR` would leak them across runs.
+        """
+        if not self.enabled:
+            return
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def n_subscribers(self) -> int:
+        """Number of registered callbacks."""
+        return len(self._subscribers)
 
     # -- queries ---------------------------------------------------------
 
@@ -72,36 +114,62 @@ class TraceCollector:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
+    def _candidates(self, category: Optional[str],
+                    event: Optional[str]) -> List[TraceRecord]:
+        """The smallest pre-indexed record list covering a query."""
+        if category is not None:
+            if event is not None:
+                return self._by_cat_event.get((category, event), [])
+            return self._by_category.get(category, [])
+        # Event-only queries are rare and have no dedicated index.
+        if event is not None:
+            return [r for r in self.records if r.event == event]
+        return self.records
+
     def select(self, category: Optional[str] = None,
                event: Optional[str] = None,
                **field_filters: Any) -> List[TraceRecord]:
         """Records matching the given category/event/field values."""
-        out = []
-        for rec in self.records:
-            if category is not None and rec.category != category:
-                continue
-            if event is not None and rec.event != event:
-                continue
-            if any(rec.fields.get(k) != v for k, v in field_filters.items()):
-                continue
-            out.append(rec)
-        return out
+        base = self._candidates(category, event)
+        if not field_filters:
+            return list(base)
+        return [rec for rec in base
+                if all(rec.fields.get(k) == v
+                       for k, v in field_filters.items())]
 
     def count(self, category: Optional[str] = None,
               event: Optional[str] = None, **field_filters: Any) -> int:
         """Number of matching records."""
-        return len(self.select(category, event, **field_filters))
+        base = self._candidates(category, event)
+        if not field_filters:
+            return len(base)
+        return sum(1 for rec in base
+                   if all(rec.fields.get(k) == v
+                          for k, v in field_filters.items()))
 
     def sum_field(self, key: str, category: Optional[str] = None,
                   event: Optional[str] = None, **field_filters: Any) -> float:
         """Sum of a numeric field over matching records."""
-        return float(sum(rec.fields.get(key, 0.0)
-                         for rec in self.select(category, event, **field_filters)))
+        base = self._candidates(category, event)
+        if field_filters:
+            base = [rec for rec in base
+                    if all(rec.fields.get(k) == v
+                           for k, v in field_filters.items())]
+        return float(sum(rec.fields.get(key, 0.0) for rec in base))
 
     def clear(self) -> None:
-        """Drop all collected records (subscribers stay)."""
+        """Drop all collected records (subscribers stay registered)."""
         self.records.clear()
+        self._by_cat_event.clear()
+        self._by_category.clear()
+
+    def reset(self) -> None:
+        """Drop records *and* subscribers — a fully fresh collector."""
+        self.clear()
+        self._subscribers.clear()
 
 
 #: A collector that drops everything — handy default for benchmarks.
+#: It is shared module-wide, and safe to share because a disabled
+#: collector refuses both records and subscriptions.
 NULL_COLLECTOR = TraceCollector(enabled=False)

@@ -11,7 +11,6 @@ All implement :class:`StorageSystem`; :func:`make_storage` builds one
 by name for a given cluster.
 """
 
-from typing import TYPE_CHECKING, List, Optional
 
 from .base import StorageStats, StorageSystem
 from .files import FileMetadata, FileState, Namespace, WriteOnceViolation

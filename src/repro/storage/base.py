@@ -27,8 +27,8 @@ Systems advertise an access ``mode``:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from .files import FileMetadata, Namespace
@@ -36,6 +36,7 @@ from .files import FileMetadata, Namespace
 if TYPE_CHECKING:  # pragma: no cover
     from ..cloud.node import VMInstance
     from ..simcore.engine import Environment
+    from ..telemetry.spans import SpanBuilder
 
 
 @dataclass
@@ -135,6 +136,39 @@ class StorageSystem(abc.ABC):
     @abc.abstractmethod
     def write(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         """Persist ``meta`` produced by a program on ``node`` (generator)."""
+
+    # -- telemetry hooks ----------------------------------------------------
+
+    def span_read(self, node: "VMInstance", meta: FileMetadata,
+                  spans: "SpanBuilder") -> Generator:
+        """:meth:`read` bracketed by a ``storage_op`` span.
+
+        The executor uses this form so every storage operation appears
+        in the span tree nested under the running job's read phase.
+        """
+        with spans.span("storage_op", f"read {meta.name}",
+                        op="read", storage=self.name, node=node.name,
+                        file=meta.name, nbytes=meta.size):
+            yield from self.read(node, meta)
+
+    def span_write(self, node: "VMInstance", meta: FileMetadata,
+                   spans: "SpanBuilder") -> Generator:
+        """:meth:`write` bracketed by a ``storage_op`` span."""
+        with spans.span("storage_op", f"write {meta.name}",
+                        op="write", storage=self.name, node=node.name,
+                        file=meta.name, nbytes=meta.size):
+            yield from self.write(node, meta)
+
+    def telemetry_probes(self, clock: Callable[[], float]
+                         ) -> List[Tuple[str, Callable[[], float]]]:
+        """Backend-specific utilization probes for the sampler.
+
+        Returns ``(series name, fn)`` pairs; ``clock`` supplies sim
+        time for rate-style probes.  The base system has no server
+        side, so the default is empty — NFS/S3 override this to expose
+        their central bottlenecks (see ``docs/observability.md``).
+        """
+        return []
 
     # -- client page cache --------------------------------------------------------
 

@@ -25,7 +25,7 @@ lookup overhead (larger when the owning node is remote).
 from __future__ import annotations
 
 import zlib
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator
 
 from .base import StorageSystem
 from .files import FileMetadata

@@ -26,7 +26,7 @@ behaviour to:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from ..simcore.pipes import FairShareChannel
 from ..simcore.resources import Container, Store
@@ -144,6 +144,26 @@ class NFSStorage(StorageSystem):
     def cached_bytes(self) -> float:
         """Bytes currently held in the server page cache."""
         return self._cache_bytes
+
+    # -- telemetry ------------------------------------------------------------
+
+    def telemetry_probes(self, clock):
+        """Server-side load signals.
+
+        ``nfs.rpc_util`` is the one that exposes the Broadband 2->4
+        node collapse: delivered nfsd service seconds per second
+        (0..1), pinned near 1.0 once the server saturates.
+        """
+        from ..telemetry.sampler import RateProbe
+        quota = self._dirty_quota
+        return [
+            ("nfs.rpc_queue", lambda: float(self._rpc.active_ops)),
+            ("nfs.rpc_util", RateProbe(
+                self._rpc.current_work_done, clock)),
+            ("nfs.dirty_bytes", lambda: quota.capacity - quota.level),
+            ("nfs.cached_bytes", lambda: self._cache_bytes),
+            ("nfs.disk_queue", lambda: float(self.server.disk.active_ops)),
+        ]
 
     # -- data path ----------------------------------------------------------------
 

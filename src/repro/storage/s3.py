@@ -21,7 +21,7 @@ $0.01 per 10,000 GETs).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Set, Tuple
 
 from ..simcore.events import Event
 from .base import StorageSystem
@@ -88,6 +88,19 @@ class S3Storage(StorageSystem):
     def in_bucket(self, name: str) -> bool:
         """Whether the object exists in S3."""
         return name in self._bucket
+
+    # -- telemetry ------------------------------------------------------------
+
+    def telemetry_probes(self, clock):
+        """Front-end load: concurrent streams and throughput per
+        direction (tx = GETs leaving S3, rx = PUTs arriving)."""
+        tx, rx = self.endpoint.tx, self.endpoint.rx
+        return [
+            ("s3.get_streams", lambda: float(tx.active_flows)),
+            ("s3.put_streams", lambda: float(rx.active_flows)),
+            ("s3.tx_bps", lambda: sum(f.rate for f in tx._flows)),
+            ("s3.rx_bps", lambda: sum(f.rate for f in rx._flows)),
+        ]
 
     # -- data path ----------------------------------------------------------------
 

@@ -1,0 +1,141 @@
+"""ASCII rendering of telemetry timelines and span Gantt charts.
+
+Everything renders as plain text so timelines drop straight into
+terminal output and ``benchmarks/output/`` artifacts, mirroring the
+repo's table/bar-chart reporting style.  The heatmap makes saturation
+effects legible at a glance::
+
+    nfs server RPC utilization (5 s/column)
+    nfs.rpc_util    |..:==++###%%%%%%%%%%%@@%%#+=:.|  max 0.98
+
+Dark cells are high load; the Broadband NFS 2->4 node collapse shows
+up as the 4-node row pinning dark for the entire run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .sampler import Timeline
+from .spans import Span, iter_spans
+
+#: Shade ramp, light to dark (10 levels).
+SHADES = " .:-=+*#%@"
+
+
+def _bucketize(times: Sequence[float], values: Sequence[float],
+               t0: float, t1: float, width: int) -> List[Optional[float]]:
+    """Average samples into ``width`` equal time buckets (None = no data)."""
+    sums = [0.0] * width
+    counts = [0] * width
+    spanlen = max(t1 - t0, 1e-12)
+    for t, v in zip(times, values):
+        idx = min(width - 1, int((t - t0) / spanlen * width))
+        sums[idx] += v
+        counts[idx] += 1
+    return [sums[i] / counts[i] if counts[i] else None for i in range(width)]
+
+
+def _shade_row(buckets: List[Optional[float]], vmax: float) -> str:
+    cells = []
+    for b in buckets:
+        if b is None:
+            cells.append(" ")
+        elif vmax <= 0:
+            cells.append(SHADES[0])
+        else:
+            level = min(len(SHADES) - 1,
+                        int(b / vmax * (len(SHADES) - 1) + 0.5))
+            cells.append(SHADES[level])
+    return "".join(cells)
+
+
+def render_heatmap(timeline: Timeline,
+                   series: Optional[Iterable[str]] = None,
+                   width: int = 60,
+                   title: str = "",
+                   normalize: str = "series") -> str:
+    """Render series as one shaded row each over a shared time axis.
+
+    ``normalize='series'`` scales each row to its own max (shape
+    comparison); ``'global'`` uses one scale across rows (magnitude
+    comparison, e.g. the same signal at 2 vs 4 nodes).
+    """
+    if normalize not in ("series", "global"):
+        raise ValueError("normalize must be 'series' or 'global'")
+    names = list(series) if series is not None else timeline.names()
+    if not names or not timeline.times:
+        return (title + "\n" if title else "") + "(no samples)"
+    t0, t1 = timeline.times[0], timeline.times[-1]
+    label_w = max(len(n) for n in names) + 2
+    per_col = (t1 - t0) / width if t1 > t0 else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':<{label_w}} t={t0:,.0f}..{t1:,.0f} s "
+                 f"({per_col:,.1f} s/column)")
+    rows = {n: _bucketize(timeline.times, timeline.values(n), t0, t1, width)
+            for n in names}
+    global_max = max((b for bs in rows.values() for b in bs
+                      if b is not None), default=0.0)
+    for n in names:
+        buckets = rows[n]
+        present = [b for b in buckets if b is not None]
+        vmax = global_max if normalize == "global" \
+            else (max(present) if present else 0.0)
+        lines.append(f"{n:<{label_w}}|{_shade_row(buckets, vmax)}| "
+                     f"max {max(present) if present else 0.0:,.3g}")
+    return "\n".join(lines)
+
+
+def render_timeline_summary(timeline: Timeline,
+                            series: Optional[Iterable[str]] = None) -> str:
+    """Mean/peak table over the sampled series."""
+    names = list(series) if series is not None else timeline.names()
+    if not names:
+        return "(no samples)"
+    label_w = max(len(n) for n in names) + 2
+    lines = [f"{'series':<{label_w}}{'mean':>12}{'peak':>12}"]
+    for n in names:
+        lines.append(f"{n:<{label_w}}{timeline.mean(n):>12,.3g}"
+                     f"{timeline.max(n):>12,.3g}")
+    return "\n".join(lines)
+
+
+def render_node_gantt(roots: Iterable[Span],
+                      category: str = "job",
+                      width: int = 60,
+                      title: str = "") -> str:
+    """Per-node occupancy Gantt from the span tree.
+
+    One row per node; each column is shaded by how many spans of
+    ``category`` (jobs by default) overlap that time slice, normalized
+    to the busiest slice — a compact picture of load balance and
+    stragglers.
+    """
+    spans = [s for s in iter_spans(roots)
+             if s.category == category and s.end is not None]
+    if not spans:
+        return (title + "\n" if title else "") + f"(no {category} spans)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    spanlen = max(t1 - t0, 1e-12)
+    by_node: Dict[str, List[int]] = {}
+    for s in spans:
+        node = str(s.fields.get("node", "?"))
+        counts = by_node.setdefault(node, [0] * width)
+        lo = min(width - 1, int((s.start - t0) / spanlen * width))
+        hi = min(width - 1, int((s.end - t0) / spanlen * width))
+        for i in range(lo, hi + 1):
+            counts[i] += 1
+    vmax = max(max(c) for c in by_node.values())
+    label_w = max(len(n) for n in by_node) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':<{label_w}} t={t0:,.0f}..{t1:,.0f} s, "
+                 f"shade = concurrent {category} spans (max {vmax})")
+    for node in sorted(by_node):
+        row = _shade_row([float(c) for c in by_node[node]], float(vmax))
+        lines.append(f"{node:<{label_w}}|{row}|")
+    return "\n".join(lines)

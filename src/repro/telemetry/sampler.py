@@ -1,0 +1,208 @@
+"""Per-node utilization timelines sampled on a sim-time cadence.
+
+A :class:`UtilizationSampler` is a simulation process that wakes on a
+fixed interval and evaluates a set of *probes* — zero-argument callables
+returning a float — recording every reading into a columnar
+:class:`Timeline`.  Probe factories cover the paper's interesting
+signals:
+
+* :func:`node_probes` — per-node CPU-core busy fraction, memory
+  pressure, NIC throughput (instantaneous flow rates), and ephemeral
+  disk queue depth / utilization;
+* storage backends advertise their own server-side probes through
+  :meth:`~repro.storage.base.StorageSystem.telemetry_probes` (NFS RPC
+  queue and service utilization, S3 front-end throughput, ...).
+
+This is what makes the Broadband NFS collapse *visible*: at 2 workers
+the NFS server's RPC utilization hovers mid-range, at 4 workers it
+pins near 1.0 for the whole run — the same signal the paper inferred
+from makespans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cloud.node import VMInstance
+    from ..simcore.engine import Environment
+    from ..storage.base import StorageSystem
+
+#: A probe: (series name, callable returning the current reading).
+Probe = Tuple[str, Callable[[], float]]
+
+#: Default sampling cadence, sim seconds.
+DEFAULT_INTERVAL = 5.0
+
+
+class Timeline:
+    """Columnar store of sampled series (shared time axis)."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.series: Dict[str, List[float]] = {}
+
+    def add_sample(self, time: float, values: Dict[str, float]) -> None:
+        """Append one synchronized reading of every series."""
+        self.times.append(time)
+        for name, value in values.items():
+            col = self.series.get(name)
+            if col is None:
+                # A series added mid-run backfills zeros for alignment.
+                col = self.series[name] = [0.0] * (len(self.times) - 1)
+            col.append(value)
+        for name, col in self.series.items():
+            if len(col) < len(self.times):
+                col.append(0.0)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def names(self) -> List[str]:
+        """All series names, sorted."""
+        return sorted(self.series)
+
+    def values(self, name: str) -> List[float]:
+        """The sampled values of one series."""
+        return self.series.get(name, [])
+
+    def mean(self, name: str, t0: Optional[float] = None,
+             t1: Optional[float] = None) -> float:
+        """Mean of a series over ``[t0, t1]`` (whole run by default).
+
+        This is the "sustained load" statistic used by the regression
+        tests: time-windowed so ramp-up/drain tails can be excluded.
+        """
+        vals = [v for t, v in zip(self.times, self.values(name))
+                if (t0 is None or t >= t0) and (t1 is None or t <= t1)]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def max(self, name: str) -> float:
+        """Peak of a series (0 when empty)."""
+        vals = self.values(name)
+        return max(vals) if vals else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form: time axis plus every series."""
+        return {"times": list(self.times),
+                "series": {k: list(v) for k, v in self.series.items()}}
+
+
+class RateProbe:
+    """Wraps a cumulative counter into a per-second rate reading."""
+
+    def __init__(self, fn: Callable[[], float],
+                 clock: Callable[[], float]) -> None:
+        self._fn = fn
+        self._clock = clock
+        self._last_value = fn()
+        self._last_time = clock()
+
+    def __call__(self) -> float:
+        now = self._clock()
+        value = self._fn()
+        dt = now - self._last_time
+        rate = (value - self._last_value) / dt if dt > 0 else 0.0
+        self._last_value = value
+        self._last_time = now
+        return rate
+
+
+class UtilizationSampler:
+    """Samples registered probes every ``interval`` sim seconds."""
+
+    def __init__(self, env: "Environment",
+                 interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.env = env
+        self.interval = interval
+        self.timeline = Timeline()
+        self._probes: List[Probe] = []
+        self._stopped = False
+        self._started = False
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge-style probe under ``name``."""
+        self._probes.append((name, fn))
+
+    def add_rate_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a probe over a cumulative counter; the recorded
+        series is the counter's per-second rate between samples."""
+        self._probes.append((name, RateProbe(fn, lambda: self.env.now)))
+
+    def add_probes(self, probes: Sequence[Probe]) -> None:
+        """Register many ``(name, fn)`` probes at once."""
+        self._probes.extend(probes)
+
+    @property
+    def n_probes(self) -> int:
+        """Registered probe count."""
+        return len(self._probes)
+
+    def start(self) -> None:
+        """Spawn the sampling process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._loop(), name="telemetry-sampler")
+
+    def stop(self) -> None:
+        """Stop sampling after the current tick."""
+        self._stopped = True
+
+    def sample_now(self) -> None:
+        """Take one sample immediately (also used by the loop)."""
+        values = {name: float(fn()) for name, fn in self._probes}
+        self.timeline.add_sample(self.env.now, values)
+
+    def _loop(self) -> Generator:
+        while not self._stopped:
+            self.sample_now()
+            yield self.env.timeout(self.interval)
+
+
+# ------------------------------------------------------------ factories
+
+def node_probes(node: "VMInstance",
+                clock: Callable[[], float]) -> List[Probe]:
+    """The standard per-node probe set.
+
+    ``<node>.cpu``            busy fraction of Condor slots (0..1)
+    ``<node>.mem``            claimed fraction of physical memory (0..1)
+    ``<node>.nic_tx_bps``     instantaneous transmit throughput, bytes/s
+    ``<node>.nic_rx_bps``     instantaneous receive throughput, bytes/s
+    ``<node>.disk_queue``     block-device operations in flight
+    ``<node>.disk_util``      delivered disk service seconds per second
+    """
+    name = node.name
+
+    def nic_rate(link) -> Callable[[], float]:
+        return lambda: sum(flow.rate for flow in link._flows)
+
+    return [
+        (f"{name}.cpu", lambda: node.cpu_utilization),
+        (f"{name}.mem",
+         lambda: 1.0 - node.memory.level / node.memory.capacity),
+        (f"{name}.nic_tx_bps", nic_rate(node.nic.tx)),
+        (f"{name}.nic_rx_bps", nic_rate(node.nic.rx)),
+        (f"{name}.disk_queue", lambda: float(node.disk.active_ops)),
+        (f"{name}.disk_util",
+         RateProbe(lambda: node.disk.busy_seconds, clock)),
+    ]
+
+
+def attach_cluster(sampler: UtilizationSampler,
+                   nodes: Sequence["VMInstance"],
+                   storage: Optional["StorageSystem"] = None) -> None:
+    """Wire the standard probe set for a cluster onto ``sampler``.
+
+    ``nodes`` should include service nodes (the dedicated NFS server)
+    so server-side saturation is observable; ``storage`` contributes
+    whatever backend-specific probes it advertises.
+    """
+    clock = lambda: sampler.env.now  # noqa: E731
+    for node in nodes:
+        sampler.add_probes(node_probes(node, clock))
+    if storage is not None:
+        sampler.add_probes(storage.telemetry_probes(clock))

@@ -59,6 +59,9 @@ class CondorPool:
         self._attempts: Dict[str, int] = {}
         self.records: List[JobRecord] = []
         self._started = False
+        #: Span id of the enclosing workflow span (set by the WMS) so
+        #: job spans nest under it in the telemetry tree.
+        self.span_parent: Optional[int] = None
 
     # -- schedd interface ------------------------------------------------------
 
@@ -105,18 +108,22 @@ class CondorPool:
                 submit_time=submit_time,
                 attempt=attempt,
             )
+            node.busy_slots += 1
             try:
                 yield from execute_job(
                     self.env, job, node, self.storage, record,
                     cpu_jitter_factor=self._cpu_jitter(job.id),
                     fail_this_attempt=self._failures.should_fail(
                         job.id, attempt),
-                    trace=self.trace)
+                    trace=self.trace,
+                    parent_span=self.span_parent)
             except TaskFailedError:
                 self.records.append(record)
                 if self._on_failure is not None:
                     self._on_failure(job, record)
                 continue
+            finally:
+                node.busy_slots -= 1
             self.records.append(record)
             if self._on_complete is not None:
                 self._on_complete(job, record)

@@ -14,7 +14,7 @@ the rare tasks ordered without a data exchange.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..storage.files import FileMetadata
 

@@ -17,10 +17,11 @@ storage bug that would corrupt the data-flow fails the simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
 
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from ..telemetry.spans import SpanBuilder
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cloud.node import VMInstance
@@ -80,15 +81,21 @@ def execute_job(env: "Environment", job: "ExecutableJob",
                 record: JobRecord,
                 cpu_jitter_factor: float = 1.0,
                 fail_this_attempt: bool = False,
-                trace: TraceCollector = NULL_COLLECTOR) -> Generator:
+                trace: TraceCollector = NULL_COLLECTOR,
+                parent_span: Optional[int] = None) -> Generator:
     """Run one job on ``node`` (the caller holds the CPU slot).
 
     With ``fail_this_attempt`` the task crashes at the end of its
     compute phase — after consuming resources, before producing any
     output — modelling the transient failures DAGMan retries.
+
+    ``parent_span`` links this job's span subtree under the enclosing
+    workflow span (each job gets its own :class:`SpanBuilder`, so
+    concurrently executing jobs cannot corrupt each other's nesting).
     """
     task = job.task
     ns = storage.namespace
+    spans = SpanBuilder(trace, env, root_parent=parent_span)
 
     if task.memory_bytes > node.memory.capacity:
         raise JobTooLargeError(
@@ -102,23 +109,28 @@ def execute_job(env: "Environment", job: "ExecutableJob",
     record.memory_bytes = task.memory_bytes
     trace.emit(env.now, "task", "start", task=task.id, node=node.name,
                transformation=task.transformation)
+    job_span = spans.begin("job", task.id, node=node.name,
+                           transformation=task.transformation,
+                           attempt=record.attempt)
     try:
         # 2. stage/read inputs --------------------------------------------
         t0 = env.now
-        for meta in job.inputs:
-            ns.begin_read(meta.name)
-            try:
-                yield from storage.read(node, meta)
-            finally:
-                ns.end_read(meta.name)
-            record.bytes_read += meta.size
+        with spans.span("phase", "read", node=node.name, task=task.id):
+            for meta in job.inputs:
+                ns.begin_read(meta.name)
+                try:
+                    yield from storage.span_read(node, meta, spans)
+                finally:
+                    ns.end_read(meta.name)
+                record.bytes_read += meta.size
         record.read_seconds = env.now - t0
 
         # 3. compute --------------------------------------------------------
         t0 = env.now
-        cpu = task.cpu_seconds * cpu_jitter_factor
-        if cpu > 0:
-            yield env.timeout(cpu)
+        with spans.span("phase", "compute", node=node.name, task=task.id):
+            cpu = task.cpu_seconds * cpu_jitter_factor
+            if cpu > 0:
+                yield env.timeout(cpu)
         record.cpu_seconds = env.now - t0
         if fail_this_attempt:
             record.failed = True
@@ -129,15 +141,18 @@ def execute_job(env: "Environment", job: "ExecutableJob",
 
         # 4. write outputs ----------------------------------------------------
         t0 = env.now
-        for meta in job.outputs:
-            ns.begin_write(meta.name)
-            yield from storage.write(node, meta)
-            ns.end_write(meta.name)
-            record.bytes_written += meta.size
+        with spans.span("phase", "write", node=node.name, task=task.id):
+            for meta in job.outputs:
+                ns.begin_write(meta.name)
+                yield from storage.span_write(node, meta, spans)
+                ns.end_write(meta.name)
+                record.bytes_written += meta.size
         record.write_seconds = env.now - t0
     finally:
         if task.memory_bytes > 0:
             node.memory.put(task.memory_bytes)
         record.end_time = env.now
+        spans.end(job_span, failed=record.failed)
         trace.emit(env.now, "task", "end", task=task.id, node=node.name,
+                   transformation=task.transformation,
                    duration=record.end_time - record.start_time)

@@ -16,7 +16,7 @@ planning decisions are:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set
 
 from ..storage.base import StorageSystem

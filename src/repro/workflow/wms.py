@@ -15,12 +15,13 @@ staging (§V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..simcore.rand import substream
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from ..storage.base import StorageStats, StorageSystem
+from ..telemetry.spans import SpanBuilder
 from .condor import CondorPool, LocalityAwarePool
 from .dag import Workflow
 from .dagman import DAGMan
@@ -116,10 +117,13 @@ class PegasusWMS:
         return jitter
 
     def execute(self, workflow: Workflow,
-                keep_plan: bool = False) -> WorkflowRun:
+                keep_plan: bool = False,
+                parent_span: Optional[int] = None) -> WorkflowRun:
         """Plan and run ``workflow`` to completion; returns the record.
 
         Drives the simulation environment until the DAG finishes.
+        ``parent_span`` nests the workflow span under an enclosing
+        experiment span.
         """
         plan = self.mapper.plan(workflow, self.storage)
         pool_cls = LocalityAwarePool if self._scheduler == "locality" else CondorPool
@@ -133,10 +137,17 @@ class PegasusWMS:
             pool.DISPATCH_LATENCY = self._dispatch_latency
         dagman = DAGMan(self.env, plan, pool, retries=self._retries,
                         trace=self.trace)
+        spans = SpanBuilder(self.trace, self.env, root_parent=parent_span)
+        wf_span = spans.begin("workflow", workflow.name,
+                              storage=self.storage.name,
+                              n_workers=len(self.workers),
+                              scheduler=self._scheduler)
+        pool.span_parent = wf_span if wf_span >= 0 else None
         start = self.env.now
         dagman.start()
         self.env.run(until=dagman.done)
         end = self.env.now
+        spans.end(wf_span, n_jobs=len(pool.records))
         return WorkflowRun(
             workflow_name=workflow.name,
             storage_name=self.storage.name,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import MB, GB, ClusterNetwork, EC2Cloud, VMInstance, get_instance_type
+from repro.cloud import MB, GB, ClusterNetwork, VMInstance, get_instance_type
 from repro.simcore import Environment
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud import BillingMeter, get_instance_type
-from repro.cost import S3Fees, WorkflowCost, compute_cost
+from repro.cost import S3Fees, compute_cost
 from repro.cost.pricing import S3_GET_PRICE, S3_PUT_PRICE
 from repro.storage.base import StorageStats
 

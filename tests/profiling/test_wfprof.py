@@ -78,3 +78,71 @@ def test_format_table1():
 def test_ratings_dict_keys():
     p = profile_records("x", [rec()])
     assert set(p.ratings()) == {"I/O", "Memory", "CPU"}
+
+
+# ------------------------------------------------------- threshold edges
+#
+# Ratings are >= HIGH -> "High", < LOW -> "Low", "Medium" between, so a
+# value sitting exactly on a threshold must land on the inclusive side.
+
+def _profile(io_s=0.5, cpu_s=0.5, mem=0.5 * GB):
+    """A profile with exact busy-time split and weighted memory.
+
+    Keeping ``io_s + cpu_s == 1.0`` makes the fractions equal the
+    inputs bit-for-bit, so thresholds can be probed exactly.
+    """
+    return ApplicationProfile(
+        name="edge", n_tasks=1,
+        cpu_seconds=cpu_s,
+        io_seconds=io_s,
+        bytes_read=0.0, bytes_written=0.0,
+        weighted_memory=mem,
+    )
+
+
+def test_io_fraction_exactly_at_high_threshold_is_high():
+    from repro.profiling.wfprof import IO_HIGH
+    p = _profile(io_s=IO_HIGH, cpu_s=1.0 - IO_HIGH)
+    assert p.io_fraction == IO_HIGH
+    assert p.io_rating == "High"
+
+
+def test_io_fraction_exactly_at_low_threshold_is_medium():
+    from repro.profiling.wfprof import IO_LOW
+    p = _profile(io_s=IO_LOW, cpu_s=1.0 - IO_LOW)
+    assert p.io_fraction == IO_LOW
+    assert p.io_rating == "Medium"
+    just_below = IO_LOW - 1e-9
+    assert _profile(io_s=just_below, cpu_s=1.0 - just_below).io_rating == "Low"
+
+
+def test_cpu_fraction_exactly_at_thresholds():
+    from repro.profiling.wfprof import CPU_HIGH, CPU_LOW
+    assert _profile(cpu_s=CPU_HIGH, io_s=1.0 - CPU_HIGH).cpu_rating == "High"
+    assert _profile(cpu_s=CPU_LOW, io_s=1.0 - CPU_LOW).cpu_rating == "Medium"
+    just_below = CPU_LOW - 1e-9
+    assert _profile(cpu_s=just_below,
+                    io_s=1.0 - just_below).cpu_rating == "Low"
+
+
+def test_memory_exactly_at_thresholds():
+    from repro.profiling.wfprof import MEM_HIGH, MEM_LOW
+    assert _profile(mem=MEM_HIGH).memory_rating == "High"
+    assert _profile(mem=MEM_LOW).memory_rating == "Medium"
+    assert _profile(mem=MEM_LOW * (1 - 1e-12)).memory_rating == "Low"
+
+
+def test_zero_task_profile_rates_low_everywhere():
+    p = profile_records("empty", [])
+    assert p.busy_seconds == 0.0
+    assert p.ratings() == {"I/O": "Low", "Memory": "Low", "CPU": "Low"}
+    assert p.transformations == {}
+    # And it still renders without dividing by zero.
+    assert "empty" in format_table1([p])
+
+
+def test_zero_duration_records_do_not_crash_weighting():
+    p = profile_records("zd", [rec(cpu=0.0, io=0.0, mem=2 * GB)])
+    assert p.weighted_memory == 0.0
+    assert p.memory_rating == "Low"
+    assert p.transformations["x"].mean_runtime == 0.0

@@ -64,6 +64,78 @@ def test_record_get_default():
     assert tc.records[0].get("missing", 42) == 42
 
 
+def test_reset_drops_records_and_subscribers():
+    tc = TraceCollector()
+    seen = []
+    tc.subscribe(seen.append)
+    tc.emit(0.0, "a", "x")
+    tc.reset()
+    assert len(tc) == 0
+    assert tc.n_subscribers == 0
+    tc.emit(1.0, "a", "y")
+    assert len(seen) == 1  # only the pre-reset record was delivered
+
+
+def test_unsubscribe_removes_callback():
+    tc = TraceCollector()
+    seen = []
+    tc.subscribe(seen.append)
+    tc.unsubscribe(seen.append)
+    tc.unsubscribe(seen.append)  # absent callback is a no-op
+    tc.emit(0.0, "a", "x")
+    assert seen == []
+
+
+def test_null_collector_rejects_subscriptions():
+    """Subscribing to the shared NULL_COLLECTOR must not retain the
+    callback — it would leak across every untraced run."""
+    before = NULL_COLLECTOR.n_subscribers
+    NULL_COLLECTOR.subscribe(lambda rec: None)
+    assert NULL_COLLECTOR.n_subscribers == before == 0
+
+
+def test_clear_drops_indexes_with_records():
+    tc = TraceCollector()
+    tc.emit(0.0, "task", "start", task="t1")
+    tc.clear()
+    assert tc.select("task", "start") == []
+    assert tc.count("task") == 0
+    assert tc.sum_field("nbytes", "task") == 0.0
+    # New emits after clear() are indexed fresh.
+    tc.emit(1.0, "task", "start", task="t2")
+    assert tc.count("task", "start") == 1
+
+
+def test_index_consistency_with_linear_scan():
+    """Indexed select/count/sum_field must agree with a full scan."""
+    tc = TraceCollector()
+    cats = ("task", "storage", "disk")
+    evs = ("start", "end")
+    for i in range(60):
+        tc.emit(float(i), cats[i % 3], evs[i % 2], nbytes=float(i), k=i % 5)
+    for cat in cats + (None,):
+        for ev in evs + (None,):
+            expect = [r for r in tc.records
+                      if (cat is None or r.category == cat)
+                      and (ev is None or r.event == ev)]
+            assert tc.select(cat, ev) == expect
+            assert tc.count(cat, ev) == len(expect)
+            assert tc.sum_field("nbytes", cat, ev) == pytest.approx(
+                sum(r.get("nbytes", 0.0) for r in expect))
+    # Field filters still apply on top of the index.
+    assert tc.select("task", "start", k=0) == \
+        [r for r in tc.records if r.category == "task"
+         and r.event == "start" and r.get("k") == 0]
+
+
+def test_select_returns_copy_not_index():
+    tc = TraceCollector()
+    tc.emit(0.0, "a", "x")
+    rows = tc.select("a", "x")
+    rows.clear()  # mutating the result must not corrupt the index
+    assert tc.count("a", "x") == 1
+
+
 # ----------------------------------------------------------------- rand
 
 def test_substream_reproducible():

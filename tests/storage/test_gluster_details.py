@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import MB, EC2Cloud
+from repro.cloud import MB
 from repro.simcore import Environment
 from repro.storage import FileMetadata, GlusterFSStorage
 

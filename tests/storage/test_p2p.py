@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.cloud import MB, EC2Cloud
-from repro.simcore import Environment
+from repro.cloud import MB
 from repro.storage import DirectTransferStorage, FileMetadata, make_storage
 
 from .conftest import run

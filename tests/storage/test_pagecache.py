@@ -1,6 +1,5 @@
 """Unit tests for the client page-cache model."""
 
-import pytest
 
 from repro.cloud import GB, MB, ClusterNetwork, VMInstance, get_instance_type
 from repro.simcore import Environment

@@ -45,3 +45,63 @@ def test_run_unknown_choices_rejected():
         main(["run", "--app", "hpl", "--storage", "local"])
     with pytest.raises(SystemExit):
         main(["run", "--app", "montage", "--storage", "afs"])
+
+
+# ---------------------------------------------------------------- telemetry
+
+def test_run_trace_out_emits_valid_chrome_trace(tmp_path, capsys):
+    """The ISSUE acceptance cell: broadband/nfs@4 --trace-out must
+    produce a Chrome trace-event document that round-trips."""
+    from repro.telemetry import load_chrome_trace
+
+    trace_file = str(tmp_path / "t.json")
+    assert main(["run", "--app", "broadband", "--storage", "nfs",
+                 "--nodes", "4", "--trace-out", trace_file]) == 0
+    assert "wrote" in capsys.readouterr().err
+    doc = load_chrome_trace(trace_file)
+    complete = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+    assert len(complete) > 100
+    categories = {ev.get("cat") for ev in complete}
+    assert {"experiment", "workflow", "job", "phase",
+            "storage_op"} <= categories
+    # Timestamps/durations are microseconds and non-negative.
+    assert all(ev["ts"] >= 0 and ev["dur"] >= 0 for ev in complete)
+    # Every complete event sits on a named thread row.
+    tids = {ev["tid"] for ev in doc["traceEvents"]
+            if ev.get("name") == "thread_name"}
+    assert all(ev["tid"] in tids for ev in complete)
+
+
+def test_trace_command_summarizes(tmp_path, capsys):
+    trace_file = str(tmp_path / "t.json")
+    main(["run", "--app", "epigenome", "--storage", "nfs",
+          "--nodes", "2", "--trace-out", trace_file])
+    capsys.readouterr()
+    assert main(["trace", trace_file, "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "spans covering" in out
+    assert "longest spans" in out
+
+
+def test_trace_command_rejects_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"no\": 1}")
+    assert main(["trace", str(bad)]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+
+def test_run_metrics_out_and_timeline(tmp_path, capsys):
+    import json
+
+    metrics_file = str(tmp_path / "m.json")
+    assert main(["run", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--metrics-out", metrics_file,
+                 "--timeline"]) == 0
+    captured = capsys.readouterr()
+    snap = json.loads(open(metrics_file).read())
+    assert snap["tasks_completed_total"]["kind"] == "counter"
+    assert "task_duration_seconds" in snap
+    assert "per-node job concurrency" in captured.out
+    assert "CPU busy fraction" in captured.out
+    assert "storage server load" in captured.out

@@ -8,7 +8,6 @@ makespan at least the critical path and at least the slot-limited
 bound, and (d) be priced consistently across the two billing models.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import GB, MB, EC2Cloud
+from repro.cloud import MB, EC2Cloud
 from repro.simcore import Environment
 from repro.storage import GlusterFSStorage, S3Storage
 from repro.workflow import (
