@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Break the cluster on purpose: Montage on NFS under fault load.
+
+Three acts, all bit-for-bit reproducible per seed:
+
+1. a clean baseline of (down-scaled) Montage on NFS with 4 workers;
+2. the same cell with a node crash mid-run, a 2-minute NFS outage, and
+   a 1% transient storage error rate — the workflow still completes,
+   just slower, and the fault report shows what it survived;
+3. a rescue-DAG demo: a run degraded to a partial result checkpoints
+   its completed jobs, then a resume re-executes only the remainder.
+
+Run:
+    python examples/faulty_montage_nfs.py
+"""
+
+from repro.apps import build_montage
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import FaultSpec, NodeCrash, OutageWindow, RescueLog
+
+SEED = 11
+
+
+def workflow():
+    # The paper-sized Montage (10 429 tasks) works too but takes
+    # minutes; a 1-degree mosaic shows the same recovery in seconds.
+    return build_montage(degrees=1.0)
+
+
+def main() -> None:
+    # -- act 1: clean baseline -------------------------------------------
+    base_cfg = ExperimentConfig("montage", "nfs", 4, seed=SEED)
+    base = run_experiment(base_cfg, workflow=workflow())
+    print(f"baseline  : makespan {base.makespan:8.1f} s   "
+          f"${base.cost.per_hour_total:.2f}/h")
+
+    # -- act 2: crash + outage + flaky RPCs ------------------------------
+    spec = FaultSpec(
+        node_crashes=[NodeCrash("worker-1", at=60.0)],     # lose a worker early
+        storage_outages=[OutageWindow(90.0, 210.0)],  # NFS down 2 minutes
+        storage_error_rate=0.01,                      # 1% transient errors
+    )
+    faulty_cfg = ExperimentConfig("montage", "nfs", 4, seed=SEED,
+                                  fault_spec=spec, retries=10)
+    faulty = run_experiment(faulty_cfg, workflow=workflow())
+    fr = faulty.faults
+    print(f"faulty    : makespan {faulty.makespan:8.1f} s   "
+          f"${faulty.cost.per_hour_total:.2f}/h   "
+          f"({faulty.makespan / base.makespan:.2f}x inflation)")
+    print(f"  survived: {fr.node_crashes} node crash "
+          f"(jobs evicted: {fr.jobs_evicted}), "
+          f"{fr.outage_seconds:.0f} s outage, "
+          f"{fr.storage_transient_errors} transient errors, "
+          f"{fr.storage_retries} retries, "
+          f"{fr.storage_recoveries} recoveries, "
+          f"{fr.storage_giveups} giveups")
+    assert len({r.task_id for r in faulty.run.records if not r.failed}) \
+        == len({r.task_id for r in base.run.records})
+
+    # -- act 3: partial result + rescue-DAG resume -----------------------
+    log = RescueLog()  # pass a path to persist across processes
+    broken_cfg = ExperimentConfig(
+        "montage", "nfs", 4, seed=SEED,
+        task_failure_rate=0.08, retries=0,   # some jobs fail permanently
+        halt_on_failure=False,               # ...but degrade, don't halt
+    )
+    broken = run_experiment(broken_cfg, workflow=workflow(), rescue=log)
+    print(f"partial   : {len(log)} jobs checkpointed, "
+          f"{len(broken.run.abandoned_jobs)} abandoned "
+          f"(partial={broken.run.partial})")
+
+    resumed = run_experiment(ExperimentConfig("montage", "nfs", 4,
+                                              seed=SEED),
+                             workflow=workflow(), rescue=log)
+    print(f"resume    : re-executed {len(resumed.run.records)} jobs, "
+          f"rescued {len(resumed.run.rescued_jobs)} from the log, "
+          f"makespan {resumed.makespan:8.1f} s "
+          f"(vs {base.makespan:.1f} s from scratch)")
+    assert not resumed.run.partial
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,15 @@ from .storage import STORAGE_NAMES
 def _cmd_run(args: argparse.Namespace) -> int:
     wants_telemetry = bool(args.trace_out or args.metrics_out
                            or args.timeline)
+    fault_spec = None
+    if args.fault_spec:
+        from .faults import load_fault_spec
+        try:
+            fault_spec = load_fault_spec(args.fault_spec)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error: bad fault spec {args.fault_spec}: {exc}",
+                  file=sys.stderr)
+            return 2
     config = ExperimentConfig(
         app=args.app,
         storage=args.storage,
@@ -52,7 +61,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         seed=args.seed,
         cpu_jitter_sigma=args.jitter,
+        task_failure_rate=args.task_failure_rate,
+        retries=args.retries,
         collect_traces=wants_telemetry,
+        fault_spec=fault_spec,
+        node_mtbf=args.node_mtbf,
+        storage_error_rate=args.storage_error_rate,
+        halt_on_failure=not args.partial,
     )
     ok, why = config.is_valid()
     if not ok:
@@ -71,6 +86,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  S3 requests: {stats.get_requests} GET, "
               f"{stats.put_requests} PUT "
               f"(fees ${result.cost.s3_fees.total:.2f})")
+    if result.faults is not None:
+        fr = result.faults
+        print(f"  faults: {fr.node_crashes} node crashes, "
+              f"{fr.jobs_evicted} jobs evicted, "
+              f"{fr.storage_transient_errors + fr.storage_outage_hits} "
+              f"storage errors ({fr.storage_retries} retries, "
+              f"{fr.storage_giveups} giveups)")
+    if result.run.partial:
+        print(f"  PARTIAL RESULT: {len(result.run.abandoned_jobs)} jobs "
+              f"abandoned: {', '.join(result.run.abandoned_jobs[:8])}"
+              + (" ..." if len(result.run.abandoned_jobs) > 8 else ""))
     if args.trace_out:
         from .telemetry import write_chrome_trace
         n_spans = write_chrome_trace(args.trace_out, result.spans)
@@ -190,6 +216,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from .experiments import fault_inflation_sweep, format_fault_sweep
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"error: bad --rates {args.rates!r}", file=sys.stderr)
+        return 2
+    try:
+        mtbfs = [float(m) for m in args.mtbfs.split(",") if m.strip()] \
+            if args.mtbfs else []
+    except ValueError:
+        print(f"error: bad --mtbfs {args.mtbfs!r}", file=sys.stderr)
+        return 2
+    base = ExperimentConfig(
+        app=args.app,
+        storage=args.storage,
+        n_workers=args.nodes,
+        seed=args.seed,
+        retries=args.retries,
+    )
+    ok, why = base.is_valid()
+    if not ok:
+        print(f"error: {why}", file=sys.stderr)
+        return 2
+    points = fault_inflation_sweep(base, error_rates=rates,
+                                   node_mtbfs=mtbfs)
+    print(format_fault_sweep(
+        points,
+        title=f"{base.label} makespan inflation vs fault rate "
+              f"(seed {args.seed})"))
+    if args.csv:
+        import csv as _csv
+        with open(args.csv, "w", newline="") as fh:
+            rows = [p.row() for p in points]
+            writer = _csv.DictWriter(fh, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"\nwrote {args.csv}", file=sys.stderr)
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("applications:")
     for name, builder in APP_BUILDERS.items():
@@ -220,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--jitter", type=float, default=0.0,
                        help="relative sigma of per-task CPU jitter")
+    p_run.add_argument("--task-failure-rate", type=float, default=0.0,
+                       help="per-attempt transient task crash "
+                            "probability in [0, 1)")
+    p_run.add_argument("--retries", type=int, default=3,
+                       help="DAGMan retry limit per job")
+    p_run.add_argument("--fault-spec", metavar="FILE",
+                       help="JSON fault schedule (node crashes, storage "
+                            "outage windows, error rates)")
+    p_run.add_argument("--node-mtbf", type=float, default=0.0,
+                       help="mean time between node failures, seconds "
+                            "(0 = no crashes)")
+    p_run.add_argument("--storage-error-rate", type=float, default=0.0,
+                       help="transient per-op storage failure "
+                            "probability in [0, 1)")
+    p_run.add_argument("--partial", action="store_true",
+                       help="degrade to a partial result instead of "
+                            "failing when a job exhausts its retries")
     p_run.add_argument("--trace-out", metavar="FILE",
                        help="write a Chrome trace-event JSON of the run "
                             "(chrome://tracing / Perfetto)")
@@ -260,6 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="per-transformation wfprof breakdown")
     p_prof.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_fs = sub.add_parser("faultsweep",
+                          help="makespan inflation vs storage fault "
+                               "rate / node crash rate for one cell")
+    p_fs.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p_fs.add_argument("--storage", required=True, choices=STORAGE_NAMES)
+    p_fs.add_argument("--nodes", type=int, default=1)
+    p_fs.add_argument("--rates", default="0.001,0.005,0.01,0.05",
+                      help="comma-separated storage error rates")
+    p_fs.add_argument("--mtbfs", default="",
+                      help="comma-separated node MTBF values (seconds)")
+    p_fs.add_argument("--seed", type=int, default=0)
+    p_fs.add_argument("--retries", type=int, default=10,
+                      help="DAGMan retry limit (raised so moderate "
+                           "fault rates measure slowdown, not failure)")
+    p_fs.add_argument("--csv", help="also write the sweep to this CSV")
+    p_fs.set_defaults(func=_cmd_faultsweep)
 
     p_list = sub.add_parser("list", help="list applications and systems")
     p_list.set_defaults(func=_cmd_list)

@@ -69,6 +69,10 @@ class VMInstance:
         self.network = network
         self.launched_at = env.now
         self.terminated_at: Optional[float] = None
+        #: Set when the node dies uncleanly (fault injection); billing
+        #: continues until the experiment notices and terminates it,
+        #: matching EC2's bill-until-terminated semantics.
+        self.crashed_at: Optional[float] = None
         # Lifetime span (launch -> terminate); spans left open by
         # never-terminated instances are clamped at reconstruction.
         self._spans = SpanBuilder(trace, env)
@@ -97,13 +101,34 @@ class VMInstance:
         """True until :meth:`terminate` is called."""
         return self.terminated_at is None
 
+    @property
+    def is_alive(self) -> bool:
+        """True while the node can run jobs (not terminated, not crashed)."""
+        return self.terminated_at is None and self.crashed_at is None
+
+    def crash(self) -> None:
+        """Kill the node uncleanly (spot preemption, hardware death).
+
+        The NIC is detached and the lifetime span closes, but the
+        instance still counts as *running* for billing purposes until
+        :meth:`terminate` — you pay for a dead spot instance until the
+        control plane reaps it.
+        """
+        if not self.is_alive:
+            return
+        self.crashed_at = self.env.now
+        self.network.detach(self.name)
+        self._spans.end(self._life_span, crashed=True)
+        self.trace.emit(self.env.now, "vm", "crash", node=self.name)
+
     def terminate(self) -> None:
         """Stop the instance (ephemeral disks are wiped, NIC detached)."""
         if self.terminated_at is not None:
             return
         self.terminated_at = self.env.now
-        self.network.detach(self.name)
-        self._spans.end(self._life_span)
+        if self.crashed_at is None:
+            self.network.detach(self.name)
+            self._spans.end(self._life_span)
         self.trace.emit(self.env.now, "vm", "terminate", node=self.name)
 
     def __repr__(self) -> str:

@@ -7,17 +7,21 @@ from .config import (
     ExperimentConfig,
     paper_matrix,
 )
+from .faultsweep import FaultSweepPoint, fault_inflation_sweep, format_fault_sweep
 from .report import ReproductionReport, build_report
 from .runner import ExperimentResult, run_experiment, run_sweep
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "FaultSweepPoint",
     "PAPER_APPS",
     "PAPER_NODE_COUNTS",
     "PAPER_STORAGE_SYSTEMS",
     "ReproductionReport",
     "build_report",
+    "fault_inflation_sweep",
+    "format_fault_sweep",
     "paper_matrix",
     "run_experiment",
     "run_sweep",

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
+from ..faults.spec import NO_FAULTS, FaultSpec
+
 #: Worker counts the paper sweeps (8-64 cores).
 PAPER_NODE_COUNTS = (1, 2, 4, 8)
 #: Storage systems in the paper's figures (local is the extra point).
@@ -52,10 +54,43 @@ class ExperimentConfig:
     collect_traces: bool = False
     #: Utilization-sampler cadence, sim seconds (used when tracing).
     sample_interval: float = 5.0
+    #: Declarative fault schedule (None = the paper's fault-free runs).
+    fault_spec: Optional[FaultSpec] = None
+    #: Shorthand knobs merged into ``fault_spec`` (CLI convenience):
+    #: per-node mean time between failures (seconds; 0 = off) and
+    #: per-operation transient storage error probability.
+    node_mtbf: float = 0.0
+    storage_error_rate: float = 0.0
+    #: False = degrade to a partial result instead of raising
+    #: WorkflowFailedError when a job exhausts its retries.
+    halt_on_failure: bool = True
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.node_mtbf < 0:
+            raise ValueError("node_mtbf must be >= 0")
+        if not 0.0 <= self.storage_error_rate < 1.0:
+            raise ValueError("storage_error_rate must be in [0, 1)")
+
+    def effective_fault_spec(self) -> Optional[FaultSpec]:
+        """The merged fault schedule, or None when faults are off.
+
+        The scalar shortcuts (``node_mtbf``, ``storage_error_rate``)
+        override the corresponding :attr:`fault_spec` fields when set.
+        """
+        spec = self.fault_spec
+        if self.node_mtbf > 0 or self.storage_error_rate > 0:
+            base = spec if spec is not None else NO_FAULTS
+            spec = replace(
+                base,
+                node_mtbf=self.node_mtbf or base.node_mtbf,
+                storage_error_rate=(self.storage_error_rate
+                                    or base.storage_error_rate),
+            )
+        if spec is not None and not spec.enabled:
+            return None
+        return spec
 
     @property
     def label(self) -> str:

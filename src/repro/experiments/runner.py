@@ -16,6 +16,7 @@ from ..apps import APP_BUILDERS
 from ..cloud.cluster import ContextBroker
 from ..cloud.ec2 import EC2Cloud
 from ..cost.model import WorkflowCost, compute_cost
+from ..faults import FaultCoordinator, FaultReport, RescueLog
 from ..simcore.engine import Environment
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from ..storage import make_storage
@@ -39,6 +40,8 @@ class ExperimentResult:
     metrics: Optional[MetricsRegistry] = None
     #: Sampled utilization timelines (None when telemetry was disabled).
     timeline: Optional[Timeline] = None
+    #: What the fault layer injected/recovered (None = faults off).
+    faults: Optional[FaultReport] = None
 
     @property
     def makespan(self) -> float:
@@ -74,11 +77,13 @@ class ExperimentResult:
 
 
 def run_experiment(config: ExperimentConfig,
-                   workflow: Optional[Workflow] = None) -> ExperimentResult:
+                   workflow: Optional[Workflow] = None,
+                   rescue: Optional[RescueLog] = None) -> ExperimentResult:
     """Execute one experiment cell in a fresh simulated world.
 
     ``workflow`` overrides the application's default (paper-sized)
     instance — used by tests and sweeps over workflow scale.
+    ``rescue`` resumes from / checkpoints to a rescue-DAG log.
     """
     ok, why = config.is_valid()
     if not ok:
@@ -111,6 +116,13 @@ def run_experiment(config: ExperimentConfig,
     )
     storage.deploy(cluster.workers)
 
+    fault_spec = config.effective_fault_spec()
+    faults: Optional[FaultCoordinator] = None
+    if fault_spec is not None:
+        faults = FaultCoordinator(env, fault_spec, seed=config.seed,
+                                  trace=trace)
+        faults.attach_storage(storage)
+
     if workflow is None:
         workflow = APP_BUILDERS[config.app]()
 
@@ -127,9 +139,12 @@ def run_experiment(config: ExperimentConfig,
         cpu_jitter_sigma=config.cpu_jitter_sigma,
         task_failure_rate=config.task_failure_rate,
         retries=config.retries,
+        fault_coordinator=faults,
+        halt_on_failure=config.halt_on_failure,
         trace=trace,
     )
-    run = wms.execute(workflow, parent_span=exp_span if telemetry_on else None)
+    run = wms.execute(workflow, parent_span=exp_span if telemetry_on else None,
+                      rescue=rescue)
     if sampler is not None:
         sampler.sample_now()  # final reading at workflow completion
         sampler.stop()
@@ -157,6 +172,7 @@ def run_experiment(config: ExperimentConfig,
         trace=trace if telemetry_on else None,
         metrics=metrics if telemetry_on else None,
         timeline=sampler.timeline if sampler is not None else None,
+        faults=faults.report() if faults is not None else None,
     )
 
 

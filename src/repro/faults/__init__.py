@@ -1,0 +1,48 @@
+"""Fault injection and recovery for simulated virtual clusters.
+
+The paper reports only completed EC2 runs, but its companion study
+(*Scientific Workflow Applications on Amazon EC2*, Juve et al., 2010)
+notes that real virtual clusters see node flakiness and storage hiccups
+that Condor/DAGMan must mask.  This package supplies the missing fault
+model:
+
+* :class:`FaultSpec` — a declarative, seed-deterministic schedule of
+  node crashes, storage-server outage windows, and transient per-op
+  storage error rates;
+* :class:`FaultCoordinator` — arms the schedule against a running
+  experiment (kills nodes through the Condor pool, attaches the
+  storage-side fault state);
+* :class:`RescueLog` — DAGMan's rescue-DAG checkpoint: the persisted
+  completed-job set that lets a failed run resume without redoing
+  finished work.
+
+Everything is deterministic per ``(seed, FaultSpec)`` via
+:func:`repro.simcore.rand.substream`; with the spec disabled (the
+default) no code on the simulation hot path changes behaviour at all.
+"""
+
+from .injector import FaultCoordinator, FaultReport, StorageFaultState
+from .rescue import RescueLog
+from .spec import (
+    NO_FAULTS,
+    FaultSpec,
+    NodeCrash,
+    OutageWindow,
+    RetryPolicy,
+    StorageUnavailableError,
+    load_fault_spec,
+)
+
+__all__ = [
+    "FaultCoordinator",
+    "FaultReport",
+    "FaultSpec",
+    "NO_FAULTS",
+    "NodeCrash",
+    "OutageWindow",
+    "RescueLog",
+    "RetryPolicy",
+    "StorageFaultState",
+    "StorageUnavailableError",
+    "load_fault_spec",
+]

@@ -1,0 +1,66 @@
+"""Rescue-DAG checkpointing.
+
+DAGMan's rescue DAG records which jobs of a failed run already
+finished, so a resubmission re-executes only the unfinished remainder.
+:class:`RescueLog` is that record: an in-memory completed-job set with
+an optional append-only file behind it.  The file format is one job id
+per line (lines starting with ``#`` are comments), so a checkpoint
+survives process death at any point — every completion is flushed as
+it happens, and a torn final line cannot corrupt earlier entries.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Optional, Set
+
+
+class RescueLog:
+    """The persisted completed-job set of one workflow execution."""
+
+    def __init__(self, path: Optional[str] = None,
+                 completed: Optional[Iterable[str]] = None) -> None:
+        self.path = path
+        self._completed: Set[str] = set(completed or ())
+        self._fh = None
+        if path is not None and os.path.exists(path):
+            with open(path) as fh:
+                for line in fh:
+                    jid = line.strip()
+                    if jid and not jid.startswith("#"):
+                        self._completed.add(jid)
+
+    @property
+    def completed(self) -> Set[str]:
+        """Job ids known to have finished (a copy)."""
+        return set(self._completed)
+
+    def mark(self, job_id: str) -> None:
+        """Record that ``job_id`` completed (idempotent, flushed)."""
+        if job_id in self._completed:
+            return
+        self._completed.add(job_id)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a")
+            self._fh.write(job_id + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Close the backing file (further marks reopen it)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._completed
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._completed))
+
+    def __repr__(self) -> str:
+        where = self.path or "memory"
+        return f"<RescueLog {len(self._completed)} jobs @ {where}>"

@@ -1,0 +1,205 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSpec` fully determines *what can go wrong* in one
+experiment: which nodes crash (explicitly, or stochastically via an
+exponential mean-time-between-failures), when the shared storage
+service is unreachable, and how often individual storage operations
+fail transiently.  Together with the experiment seed it is a complete,
+reproducible description — the same ``(seed, FaultSpec)`` pair always
+produces identical crash times, retry counts, and makespans.
+
+Specs are plain frozen dataclasses with JSON round-tripping so fault
+scenarios can live in version-controlled files and be passed on the
+command line (``repro-ec2 run --fault-spec faults.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class StorageUnavailableError(RuntimeError):
+    """A storage operation exhausted its retries (outage or persistent
+    transient errors).  The executor converts this into a task failure
+    so DAGMan's retry/rescue machinery takes over."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-exponential-backoff policy for storage clients.
+
+    An operation that fails waits ``base_delay * multiplier**attempt``
+    (capped at ``max_delay``, jittered by ``jitter`` from the seeded
+    backoff substream) before retrying, up to ``max_retries`` retries.
+    During an outage each attempt costs ``op_timeout`` seconds (the
+    client hangs until its RPC timer fires); a transient error is
+    detected after ``error_latency`` seconds.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    #: Relative uniform jitter applied to each backoff delay (0..1).
+    jitter: float = 0.1
+    #: Client-side RPC timeout: the cost of one attempt against a
+    #: server that is down.
+    op_timeout: float = 30.0
+    #: How long a transient error takes to manifest.
+    error_latency: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.op_timeout < 0 or self.error_latency < 0:
+            raise ValueError("timeouts must be >= 0")
+
+    def backoff(self, attempt: int, rng=None) -> float:
+        """Delay before retry number ``attempt + 1`` (attempt is 0-based)."""
+        delay = min(self.base_delay * self.multiplier ** attempt,
+                    self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(delay, 0.0)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One scheduled node failure (spot preemption, hardware death)."""
+
+    #: Worker name, e.g. ``"i-3"``.
+    node: str
+    #: Absolute simulation time of the crash, seconds.
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("crash time must be >= 0")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A [start, end) interval during which the shared storage service
+    (NFS server, PVFS stripe set, S3 endpoint, ...) is unreachable."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"outage window needs 0 <= start < end, got "
+                f"[{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> float:
+        """Window length, seconds."""
+        return self.end - self.start
+
+    def covers(self, t: float) -> bool:
+        """Whether ``t`` falls inside the window."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The complete fault schedule of one experiment."""
+
+    #: Explicit node crashes at fixed simulated times.
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    #: Mean time between failures per node, seconds; 0 disables
+    #: stochastic crashes.  Crash times are drawn exponentially from
+    #: the per-node substream ``(seed, "fault", "crash", node)``.
+    node_mtbf: float = 0.0
+    #: Stochastic crashes never reduce the pool below this many live
+    #: workers (explicit ``node_crashes`` are honoured verbatim).
+    min_survivors: int = 1
+    #: Storage-service outage windows.
+    storage_outages: Tuple[OutageWindow, ...] = ()
+    #: Per-operation transient failure probability in [0, 1).
+    storage_error_rate: float = 0.0
+    #: Client retry behaviour for storage faults.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf < 0:
+            raise ValueError("node_mtbf must be >= 0")
+        if self.min_survivors < 0:
+            raise ValueError("min_survivors must be >= 0")
+        if not 0.0 <= self.storage_error_rate < 1.0:
+            raise ValueError(
+                f"storage_error_rate must be in [0, 1), got "
+                f"{self.storage_error_rate}")
+        # Normalise list inputs from from_dict / hand-written specs.
+        if not isinstance(self.node_crashes, tuple):
+            object.__setattr__(self, "node_crashes",
+                               tuple(self.node_crashes))
+        if not isinstance(self.storage_outages, tuple):
+            object.__setattr__(self, "storage_outages",
+                               tuple(self.storage_outages))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec injects any fault at all."""
+        return bool(self.node_crashes or self.node_mtbf > 0
+                    or self.storage_outages or self.storage_error_rate > 0)
+
+    @property
+    def has_storage_faults(self) -> bool:
+        """Whether the storage layer needs the retry wrapper."""
+        return bool(self.storage_outages or self.storage_error_rate > 0)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output / parsed JSON."""
+        known = {"node_crashes", "node_mtbf", "min_survivors",
+                 "storage_outages", "storage_error_rate", "retry"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        kwargs: Dict[str, object] = dict(data)
+        if "node_crashes" in kwargs:
+            kwargs["node_crashes"] = tuple(
+                c if isinstance(c, NodeCrash) else NodeCrash(**c)
+                for c in kwargs["node_crashes"])  # type: ignore[union-attr]
+        if "storage_outages" in kwargs:
+            kwargs["storage_outages"] = tuple(
+                w if isinstance(w, OutageWindow) else OutageWindow(**w)
+                for w in kwargs["storage_outages"])  # type: ignore[union-attr]
+        retry = kwargs.get("retry")
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            kwargs["retry"] = RetryPolicy(**retry)  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON form for fault-scenario files."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        """Parse the output of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def load_fault_spec(path: str) -> FaultSpec:
+    """Read a :class:`FaultSpec` from a JSON file."""
+    with open(path) as fh:
+        return FaultSpec.from_json(fh.read())
+
+
+#: The disabled spec (the paper's fault-free runs).
+NO_FAULTS = FaultSpec()

@@ -203,6 +203,21 @@ class Container:
         self._settle()
         return ev
 
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw an un-triggered getter.
+
+        Needed when the process waiting on a :meth:`get` is interrupted
+        (e.g. its node crashed): an abandoned getter would otherwise
+        silently consume ``amount`` the moment it became available.
+        """
+        if event.triggered:
+            raise NotPending("get already granted; put() the amount back")
+        before = len(self._getters)
+        self._getters = [g for g in self._getters if g[1] is not event]
+        if len(self._getters) == before:
+            raise ValueError("event is not a pending getter")
+        self._settle()
+
     def _settle(self) -> None:
         progressed = True
         while progressed:
@@ -246,6 +261,18 @@ class Store:
         self._getters.append(ev)
         self._settle()
         return ev
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw an un-triggered getter.
+
+        Needed when the waiting process is interrupted (a crashed
+        node's idle Condor slot): an abandoned getter would otherwise
+        swallow the next item put into the store.
+        """
+        if event.triggered:
+            raise NotPending("get already granted; the item was consumed")
+        self._getters.remove(event)
+        self._settle()
 
     def _settle(self) -> None:
         while self._putters and len(self.items) < self.capacity:

@@ -30,11 +30,13 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..faults.spec import StorageUnavailableError
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from .files import FileMetadata, Namespace
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cloud.node import VMInstance
+    from ..faults.injector import StorageFaultState
     from ..simcore.engine import Environment
     from ..telemetry.spans import SpanBuilder
 
@@ -84,6 +86,10 @@ class StorageSystem(abc.ABC):
         self.stats = StorageStats()
         self.namespace = Namespace()
         self._deployed = False
+        #: Fault state installed by a FaultCoordinator (None = the
+        #: fault-free default; the hot path then bypasses the retry
+        #: wrapper entirely, preserving bit-identical behaviour).
+        self._faults: Optional["StorageFaultState"] = None
 
     # -- deployment --------------------------------------------------------
 
@@ -129,6 +135,17 @@ class StorageSystem(abc.ABC):
         self._require_deployed()
         self.namespace.declare(meta, available=False)
 
+    def restore_output(self, meta: FileMetadata) -> None:
+        """Mark a previously produced output as already available.
+
+        Used by rescue-DAG resume: outputs of jobs completed in the
+        failed run are restored like pre-staged inputs, so only the
+        unfinished remainder of the DAG re-executes.
+        """
+        self._require_deployed()
+        self.namespace.declare(meta, available=True)
+        self._place_input(meta)
+
     @abc.abstractmethod
     def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         """Deliver ``meta``'s bytes to a program on ``node`` (generator)."""
@@ -145,7 +162,12 @@ class StorageSystem(abc.ABC):
 
         The executor uses this form so every storage operation appears
         in the span tree nested under the running job's read phase.
+        With fault state attached, the operation runs under the retry
+        policy (see :meth:`_faulty_op`).
         """
+        if self._faults is not None:
+            yield from self._faulty_op("read", node, meta, spans)
+            return
         with spans.span("storage_op", f"read {meta.name}",
                         op="read", storage=self.name, node=node.name,
                         file=meta.name, nbytes=meta.size):
@@ -154,10 +176,76 @@ class StorageSystem(abc.ABC):
     def span_write(self, node: "VMInstance", meta: FileMetadata,
                    spans: "SpanBuilder") -> Generator:
         """:meth:`write` bracketed by a ``storage_op`` span."""
+        if self._faults is not None:
+            yield from self._faulty_op("write", node, meta, spans)
+            return
         with spans.span("storage_op", f"write {meta.name}",
                         op="write", storage=self.name, node=node.name,
                         file=meta.name, nbytes=meta.size):
             yield from self.write(node, meta)
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, faults: "StorageFaultState") -> None:
+        """Install outage/error decisions + retry policy on this system."""
+        self._faults = faults
+
+    def _op_needs_service(self, op: str, node: "VMInstance",
+                          meta: FileMetadata) -> bool:
+        """Whether this operation touches the shared storage service.
+
+        Outages and transient errors only affect operations that leave
+        the node; backends override this to exempt cache hits and
+        node-local data (a client page-cache read survives a dead NFS
+        server).  The default is conservative: everything is remote.
+        """
+        return True
+
+    def _faulty_op(self, op: str, node: "VMInstance", meta: FileMetadata,
+                   spans: "SpanBuilder") -> Generator:
+        """One storage operation under the retry policy.
+
+        Failures manifest *before* the backend runs (the model is an
+        unreachable/erroring server, detected at RPC time), so a failed
+        attempt never mutates backend state.  Each failed attempt costs
+        its detection latency (RPC timeout for outages); exhausting
+        ``max_retries`` raises :class:`StorageUnavailableError`.
+        """
+        faults = self._faults
+        policy = faults.retry
+        attempt = 0
+        while True:
+            failure = faults.roll_failure(
+                op, self._op_needs_service(op, node, meta))
+            if failure is None:
+                with spans.span("storage_op", f"{op} {meta.name}",
+                                op=op, storage=self.name, node=node.name,
+                                file=meta.name, nbytes=meta.size,
+                                attempt=attempt):
+                    if op == "read":
+                        yield from self.read(node, meta)
+                    else:
+                        yield from self.write(node, meta)
+                if attempt > 0:
+                    faults.note_recovered(op, attempt)
+                return
+            kind, latency = failure
+            with spans.span("storage_fault", f"{op} {meta.name}",
+                            op=op, storage=self.name, node=node.name,
+                            file=meta.name, fault=kind, attempt=attempt):
+                if latency > 0:
+                    yield self.env.timeout(latency)
+            faults.note_error(op, kind, meta.name)
+            if attempt >= policy.max_retries:
+                faults.note_giveup(op, meta.name, attempt + 1)
+                raise StorageUnavailableError(
+                    f"{op} {meta.name} on {self.name} from {node.name}: "
+                    f"{attempt + 1} attempts failed (last: {kind})")
+            delay = policy.backoff(attempt, faults.backoff_rng)
+            faults.note_retry(op, delay)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            attempt += 1
 
     def telemetry_probes(self, clock: Callable[[], float]
                          ) -> List[Tuple[str, Callable[[], float]]]:

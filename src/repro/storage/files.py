@@ -122,6 +122,18 @@ class Namespace:
                 f"end_write({name!r}) without matching begin_write")
         self._state[name] = FileState.AVAILABLE
 
+    def abort_write(self, name: str) -> None:
+        """Producer died mid-write; the file returns to PENDING.
+
+        A crashed attempt never published partial data (the paper's
+        workloads write whole files), so a retry may write it afresh
+        without violating the write-once discipline.
+        """
+        if self._state.get(name) is not FileState.WRITING:
+            raise WriteOnceViolation(
+                f"abort_write({name!r}) without matching begin_write")
+        self._state[name] = FileState.PENDING
+
     def begin_read(self, name: str) -> None:
         """Consumer starts reading ``name``."""
         state = self._state.get(name)

@@ -79,6 +79,19 @@ class GlusterFSStorage(StorageSystem):
 
     # -- data path ----------------------------------------------------------------
 
+    def _op_needs_service(self, op, node, meta):
+        # Operations served entirely by the node's own brick or page
+        # cache never cross the wire; only remote-owner traffic sees
+        # cluster-interconnect outages.  Mirrors the owner decision the
+        # data path will make, without mutating the placement map.
+        if op == "read":
+            if self._page_cache_hit(node, meta):
+                return False
+            return self._owner.get(meta.name) is not node
+        if self.layout == "nufa":
+            return False  # new writes always land on the local brick
+        return self._hash_owner(meta.name) is not node
+
     def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         self._require_deployed()
         if self._page_cache_hit(node, meta):

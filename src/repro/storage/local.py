@@ -29,6 +29,10 @@ class LocalDiskStorage(StorageSystem):
     #: Per-operation VFS overhead (local open/close path).
     OP_LATENCY = 0.0002
 
+    def _op_needs_service(self, op, node, meta):
+        # Purely node-local: there is no shared service to be down.
+        return False
+
     def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         self._require_deployed()
         self._count_read(meta, remote=False)

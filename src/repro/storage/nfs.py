@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Generator
 
+from ..simcore.errors import Interrupt
 from ..simcore.pipes import FairShareChannel
 from ..simcore.resources import Container, Store
 from .base import StorageSystem
@@ -167,6 +168,14 @@ class NFSStorage(StorageSystem):
 
     # -- data path ----------------------------------------------------------------
 
+    def _op_needs_service(self, op, node, meta):
+        # A client page-cache hit never talks to the server (close-to-
+        # open revalidation is skipped for write-once data), so it
+        # survives a server outage; everything else is an RPC.
+        if op == "read" and self._page_cache_hit(node, meta):
+            return False
+        return True
+
     def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         self._require_deployed()
         if self._page_cache_hit(node, meta):
@@ -202,12 +211,24 @@ class NFSStorage(StorageSystem):
         yield self.env.timeout(self.WRITE_LATENCY)
         self._count_write(meta, remote=True)
         # Write-back throttling: claim dirty quota before transferring.
-        yield self._dirty_quota.get(min(meta.size, self._dirty_quota.capacity))
-        yield self.env.all_of([
-            self.env.process(self._rpc_work(meta.size), name="nfs-rpc"),
-            self.env.process(self._net(node, self.server, meta.size),
-                             name="nfs-net"),
-        ])
+        # The quota is *shared server state*: if this client's node is
+        # crashed mid-write (Interrupt), the claim must be unwound or
+        # every surviving writer eventually wedges on a leaked quota.
+        claim = min(meta.size, self._dirty_quota.capacity)
+        quota_get = self._dirty_quota.get(claim)
+        try:
+            yield quota_get
+            yield self.env.all_of([
+                self.env.process(self._rpc_work(meta.size), name="nfs-rpc"),
+                self.env.process(self._net(node, self.server, meta.size),
+                                 name="nfs-net"),
+            ])
+        except Interrupt:
+            if quota_get.triggered:
+                self._dirty_quota.put(claim)
+            else:
+                self._dirty_quota.cancel_get(quota_get)
+            raise
         # Data is now in the server page cache; client write completes.
         self._cache_insert(meta.name, meta.size, dirty=True)
         # The writer's own pages stay resident client-side as well.

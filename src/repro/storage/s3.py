@@ -104,6 +104,13 @@ class S3Storage(StorageSystem):
 
     # -- data path ----------------------------------------------------------------
 
+    def _op_needs_service(self, op, node, meta):
+        # The caching client keeps whole files on local disk: a cached
+        # read never issues a GET, so it is immune to S3 outages.
+        if op == "read" and meta.name in self._cache[node.name]:
+            return False
+        return True
+
     def read(self, node: "VMInstance", meta: FileMetadata) -> Generator:
         """GET to the local disk if not cached, then the program reads
         the local copy (from RAM while its pages stay resident)."""

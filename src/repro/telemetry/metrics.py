@@ -382,6 +382,14 @@ def install_trace_bridge(registry: MetricsRegistry,
         "schedd_submits_total", "jobs queued at the schedd")
     vm_terminations = registry.counter(
         "vm_terminations_total", "instances terminated")
+    vm_crashes = registry.counter(
+        "vm_crashes_total", "instances killed by fault injection")
+    fault_events = registry.counter(
+        "fault_events_total", "injected faults and recovery actions, "
+                              "by kind")
+    storage_retry_delay = registry.histogram(
+        "storage_retry_delay_seconds",
+        "backoff delays taken by storage clients before retrying")
 
     def on_record(rec: TraceRecord) -> None:
         cat, ev, f = rec.category, rec.event, rec.fields
@@ -417,5 +425,12 @@ def install_trace_bridge(registry: MetricsRegistry,
             schedd_submits.inc()
         elif cat == "vm" and ev == "terminate":
             vm_terminations.inc()
+        elif cat == "vm" and ev == "crash":
+            vm_crashes.inc(node=f.get("node", "?"))
+        elif cat == "fault":
+            fault_events.inc(kind=ev)
+            if ev == "storage_retry":
+                storage_retry_delay.observe(f.get("delay", 0.0),
+                                            op=f.get("op", "?"))
 
     trace.subscribe(on_record)

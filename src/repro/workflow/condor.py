@@ -18,8 +18,10 @@ already cached/owned on its node.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
+from ..simcore.errors import Interrupt
+from ..simcore.events import Event, Process
 from ..simcore.resources import Store
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from .executor import JobRecord, TaskFailedError, execute_job
@@ -33,6 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Signature of the completion callback DAGMan registers.
 CompletionCallback = Callable[["ExecutableJob", JobRecord], None]
+
+
+class _Slot:
+    """Live state of one Condor slot (needed for crash recovery)."""
+
+    __slots__ = ("node", "index", "proc", "pending_get", "job",
+                 "submit_time", "record")
+
+    def __init__(self, node: "VMInstance", index: int) -> None:
+        self.node = node
+        self.index = index
+        #: The slot's driver process (interrupted when the node dies).
+        self.proc: Optional[Process] = None
+        #: Outstanding queue-get event while the slot idles.
+        self.pending_get: Optional[Event] = None
+        #: Job currently dispatched/running on this slot.
+        self.job: Optional["ExecutableJob"] = None
+        self.submit_time: float = 0.0
+        self.record: Optional[JobRecord] = None
 
 
 class CondorPool:
@@ -59,6 +80,11 @@ class CondorPool:
         self._attempts: Dict[str, int] = {}
         self.records: List[JobRecord] = []
         self._started = False
+        self._slots: List[_Slot] = []
+        self._dead_nodes: Set[str] = set()
+        #: Jobs interrupted by node death and requeued (an eviction is
+        #: not the job's fault, so it does not burn a DAGMan retry).
+        self.evictions = 0
         #: Span id of the enclosing workflow span (set by the WMS) so
         #: job spans nest under it in the telemetry tree.
         self.span_parent: Optional[int] = None
@@ -91,47 +117,116 @@ class CondorPool:
             return
         self._started = True
         for node in self.workers:
-            for slot in range(node.itype.cores):
-                self.env.process(self._slot_loop(node, slot),
-                                 name=f"slot:{node.name}/{slot}")
+            for index in range(node.itype.cores):
+                slot = _Slot(node, index)
+                slot.proc = self.env.process(
+                    self._slot_loop(slot),
+                    name=f"slot:{node.name}/{index}")
+                self._slots.append(slot)
 
-    def _slot_loop(self, node: "VMInstance", slot: int):
-        while True:
-            job, submit_time = yield from self._next_job(node)
-            yield self.env.timeout(self.DISPATCH_LATENCY)
-            attempt = self._attempts.get(job.id, 0) + 1
-            self._attempts[job.id] = attempt
-            record = JobRecord(
-                task_id=job.id,
-                transformation=job.task.transformation,
-                node=node.name,
-                submit_time=submit_time,
-                attempt=attempt,
-            )
-            node.busy_slots += 1
-            try:
-                yield from execute_job(
-                    self.env, job, node, self.storage, record,
-                    cpu_jitter_factor=self._cpu_jitter(job.id),
-                    fail_this_attempt=self._failures.should_fail(
-                        job.id, attempt),
-                    trace=self.trace,
-                    parent_span=self.span_parent)
-            except TaskFailedError:
+    def _slot_loop(self, slot: "_Slot"):
+        node = slot.node
+        try:
+            while True:
+                job, submit_time = yield from self._next_job(node, slot)
+                if node.name in self._dead_nodes:
+                    # Crash raced the dequeue: hand the job back.
+                    self._queue.put((job, submit_time))
+                    return
+                slot.job, slot.submit_time = job, submit_time
+                yield self.env.timeout(self.DISPATCH_LATENCY)
+                attempt = self._attempts.get(job.id, 0) + 1
+                self._attempts[job.id] = attempt
+                record = JobRecord(
+                    task_id=job.id,
+                    transformation=job.task.transformation,
+                    node=node.name,
+                    submit_time=submit_time,
+                    attempt=attempt,
+                )
+                slot.record = record
+                node.busy_slots += 1
+                try:
+                    yield from execute_job(
+                        self.env, job, node, self.storage, record,
+                        cpu_jitter_factor=self._cpu_jitter(job.id),
+                        fail_this_attempt=self._failures.should_fail(
+                            job.id, attempt),
+                        trace=self.trace,
+                        parent_span=self.span_parent)
+                except TaskFailedError:
+                    self.records.append(record)
+                    slot.job = slot.record = None
+                    if self._on_failure is not None:
+                        self._on_failure(job, record)
+                    continue
+                finally:
+                    node.busy_slots -= 1
                 self.records.append(record)
-                if self._on_failure is not None:
-                    self._on_failure(job, record)
-                continue
-            finally:
-                node.busy_slots -= 1
-            self.records.append(record)
-            if self._on_complete is not None:
-                self._on_complete(job, record)
+                slot.job = slot.record = None
+                if self._on_complete is not None:
+                    self._on_complete(job, record)
+        except Interrupt:
+            self._on_slot_killed(slot)
 
-    def _next_job(self, node: "VMInstance"):
+    def _next_job(self, node: "VMInstance", slot: Optional["_Slot"] = None):
         """Take the next job for a slot on ``node`` (FIFO baseline)."""
-        item = yield self._queue.get()
+        get_ev = self._queue.get()
+        if slot is not None:
+            slot.pending_get = get_ev
+        item = yield get_ev
+        if slot is not None:
+            slot.pending_get = None
         return item
+
+    # -- fault handling ------------------------------------------------------
+
+    def kill_node(self, node: "VMInstance") -> None:
+        """Drain all slots of a crashed node, evicting running jobs.
+
+        Running jobs are marked failed-by-eviction and requeued for the
+        surviving nodes; idle slots have their queue claims withdrawn
+        so no job is ever lost into a dead slot.
+        """
+        if node.name in self._dead_nodes:
+            return
+        self._dead_nodes.add(node.name)
+        self.trace.emit(self.env.now, "fault", "node_crash",
+                        node=node.name, busy_slots=node.busy_slots)
+        for slot in self._slots:
+            if slot.node is not node:
+                continue
+            pg = slot.pending_get
+            if pg is not None:
+                if pg.triggered:
+                    # The item was already popped for this slot but the
+                    # interrupt will detach its resumer: requeue it.
+                    self._queue.put(pg.value)
+                else:
+                    self._queue.cancel_get(pg)
+                slot.pending_get = None
+            if slot.proc is not None and slot.proc.is_alive:
+                slot.proc.interrupt(f"node {node.name} crashed")
+
+    def _on_slot_killed(self, slot: "_Slot") -> None:
+        """Interrupt handler: account for the evicted job, if any."""
+        job, record = slot.job, slot.record
+        slot.job = slot.record = slot.pending_get = None
+        if job is None:
+            return  # the slot was idle
+        self.evictions += 1
+        if record is not None:
+            record.failed = True
+            record.evicted = True
+            if record.end_time == 0.0:
+                # Killed before the executor's bookkeeping ran.
+                record.end_time = self.env.now
+            self.records.append(record)
+        self.trace.emit(self.env.now, "fault", "job_evicted",
+                        task=job.id, node=slot.node.name)
+        # Resubmit directly: eviction is the machine's fault, not the
+        # job's, so it does not count against DAGMan's retry budget.
+        self._queue.put((job, self.env.now))
 
 
 class LocalityAwarePool(CondorPool):
@@ -144,8 +239,13 @@ class LocalityAwarePool(CondorPool):
     rates (§IV.A) — quantified by ``benchmarks/bench_scheduler_ablation``.
     """
 
-    def _next_job(self, node: "VMInstance"):
-        item = yield self._queue.get()
+    def _next_job(self, node: "VMInstance", slot: Optional["_Slot"] = None):
+        get_ev = self._queue.get()
+        if slot is not None:
+            slot.pending_get = get_ev
+        item = yield get_ev
+        if slot is not None:
+            slot.pending_get = None
         # The Store hands us the FIFO head; look for a better match
         # among the still-queued items and swap if one exists.
         best = item

@@ -6,11 +6,22 @@ the whole DAG.  Failed attempts are retried up to ``retries`` times
 (DAGMan's standard behaviour); a job that exhausts its retries fails
 the whole run, surfacing :class:`WorkflowFailedError` to whoever waits
 on :attr:`DAGMan.done`.
+
+Two robustness features mirror the real DAGMan:
+
+* **rescue DAG** — pass a :class:`~repro.faults.rescue.RescueLog` and
+  completed jobs are checkpointed as they finish; a resumed run
+  preloads the checkpoint and re-executes only the unfinished
+  remainder;
+* **partial completion** — with ``halt_on_failure=False`` a job that
+  exhausts its retries abandons only its own descendants; the rest of
+  the DAG runs to completion and the run reports a partial result
+  instead of raising.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from ..simcore.events import Event
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
@@ -19,6 +30,7 @@ from .executor import JobRecord
 from .mapper import ExecutablePlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.rescue import RescueLog
     from ..simcore.engine import Environment
     from .mapper import ExecutableJob
 
@@ -33,7 +45,9 @@ class DAGMan:
     def __init__(self, env: "Environment", plan: ExecutablePlan,
                  pool: CondorPool,
                  retries: int = 3,
-                 trace: TraceCollector = NULL_COLLECTOR) -> None:
+                 trace: TraceCollector = NULL_COLLECTOR,
+                 rescue: Optional["RescueLog"] = None,
+                 halt_on_failure: bool = True) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.env = env
@@ -41,35 +55,72 @@ class DAGMan:
         self.pool = pool
         self.retries = retries
         self.trace = trace
+        self.rescue = rescue
+        self.halt_on_failure = halt_on_failure
         self._unfinished_parents: Dict[str, int] = {
             jid: len(ps) for jid, ps in plan.parents.items()
         }
         self._completed: Set[str] = set()
         self._submitted: Set[str] = set()
+        self._abandoned: Set[str] = set()
         self._failed_attempts: Dict[str, int] = {}
+        #: Jobs restored from the rescue checkpoint (not re-executed).
+        self.rescued: Set[str] = set()
         #: Fires when the last job of the DAG completes (or fails with
         #: :class:`WorkflowFailedError` when retries run out).
         self.done: Event = Event(env)
+        if rescue is not None:
+            self._preload_rescue(rescue)
         pool.set_completion_callback(self._on_job_complete)
         pool.set_failure_callback(self._on_job_failed)
+
+    def _preload_rescue(self, rescue: "RescueLog") -> None:
+        """Seed the completed set from a prior run's checkpoint."""
+        done_ids = rescue.completed & set(self.plan.jobs)
+        for jid in sorted(done_ids):
+            self._completed.add(jid)
+            self._submitted.add(jid)  # never resubmit
+            self.rescued.add(jid)
+            for child in sorted(self.plan.children[jid]):
+                self._unfinished_parents[child] -= 1
+        if done_ids:
+            self.trace.emit(self.env.now, "dagman", "rescue_load",
+                            n_rescued=len(done_ids),
+                            total=self.plan.n_jobs)
 
     # -- driving --------------------------------------------------------------
 
     def start(self) -> None:
-        """Submit all root jobs and start the slot pool."""
+        """Submit the ready frontier and start the slot pool."""
         self.trace.emit(self.env.now, "dagman", "start",
                         n_jobs=self.plan.n_jobs)
         self.pool.start()
         if not self.plan.jobs:
             self.done.succeed()
             return
-        for jid in self.plan.roots():
-            self._submit(jid)
+        if self.rescue is None:
+            for jid in self.plan.roots():
+                self._submit(jid)
+            return
+        # Resume: everything whose parents are all checkpointed is
+        # ready, including non-root jobs (plan order is deterministic).
+        if len(self._completed) == self.plan.n_jobs:
+            self.done.succeed()
+            return
+        for jid in self.plan.jobs:
+            if jid not in self._submitted \
+                    and self._unfinished_parents[jid] == 0:
+                self._submit(jid)
 
     @property
     def n_completed(self) -> int:
         """Jobs finished so far."""
         return len(self._completed)
+
+    @property
+    def abandoned(self) -> Set[str]:
+        """Jobs given up on in partial-completion mode (a copy)."""
+        return set(self._abandoned)
 
     @property
     def progress(self) -> float:
@@ -95,16 +146,35 @@ class DAGMan:
         if failures <= self.retries:
             self.pool.submit(job)  # resubmit at the back of the queue
             return
-        if not self.done.triggered:
-            self.done.fail(WorkflowFailedError(
-                f"job {jid} failed {failures} times "
-                f"(retry limit {self.retries})"))
+        if self.halt_on_failure:
+            if not self.done.triggered:
+                self.done.fail(WorkflowFailedError(
+                    f"job {jid} failed {failures} times "
+                    f"(retry limit {self.retries})"))
+            return
+        # Graceful degradation: give up on this job and everything
+        # downstream of it, let the rest of the DAG finish.
+        self._abandon(jid)
+
+    def _abandon(self, jid: str) -> None:
+        stack = [jid]
+        while stack:
+            j = stack.pop()
+            if j in self._abandoned:
+                continue
+            self._abandoned.add(j)
+            self.trace.emit(self.env.now, "dagman", "abandon", task=j)
+            for child in sorted(self.plan.children[j]):
+                stack.append(child)
+        self._check_done()
 
     def _on_job_complete(self, job: "ExecutableJob", record: JobRecord) -> None:
         jid = job.id
         if jid in self._completed:
             raise AssertionError(f"job {jid} completed twice")
         self._completed.add(jid)
+        if self.rescue is not None:
+            self.rescue.mark(jid)
         self.trace.emit(self.env.now, "dagman", "complete", task=jid,
                         done=len(self._completed), total=self.plan.n_jobs)
         # Sorted so release (and hence scheduling) order never depends
@@ -112,8 +182,12 @@ class DAGMan:
         # processes regardless of PYTHONHASHSEED.
         for child in sorted(self.plan.children[jid]):
             self._unfinished_parents[child] -= 1
-            if self._unfinished_parents[child] == 0:
+            if self._unfinished_parents[child] == 0 \
+                    and child not in self._abandoned:
                 self._submit(child)
-        if len(self._completed) == self.plan.n_jobs \
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if len(self._completed) + len(self._abandoned) >= self.plan.n_jobs \
                 and not self.done.triggered:
             self.done.succeed()

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+from ..faults.spec import StorageUnavailableError
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
+from ..storage.files import FileState
 from ..telemetry.spans import SpanBuilder
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,6 +61,9 @@ class JobRecord:
     attempt: int = 1
     #: True when this attempt crashed before producing its outputs.
     failed: bool = False
+    #: True when the attempt died because its node crashed (the job is
+    #: resubmitted without consuming a DAGMan retry).
+    evicted: bool = False
 
     @property
     def duration(self) -> float:
@@ -113,41 +118,64 @@ def execute_job(env: "Environment", job: "ExecutableJob",
                            transformation=task.transformation,
                            attempt=record.attempt)
     try:
-        # 2. stage/read inputs --------------------------------------------
-        t0 = env.now
-        with spans.span("phase", "read", node=node.name, task=task.id):
-            for meta in job.inputs:
-                ns.begin_read(meta.name)
-                try:
-                    yield from storage.span_read(node, meta, spans)
-                finally:
-                    ns.end_read(meta.name)
-                record.bytes_read += meta.size
-        record.read_seconds = env.now - t0
+        try:
+            # 2. stage/read inputs ----------------------------------------
+            t0 = env.now
+            with spans.span("phase", "read", node=node.name, task=task.id):
+                for meta in job.inputs:
+                    ns.begin_read(meta.name)
+                    try:
+                        yield from storage.span_read(node, meta, spans)
+                    finally:
+                        ns.end_read(meta.name)
+                    record.bytes_read += meta.size
+            record.read_seconds = env.now - t0
 
-        # 3. compute --------------------------------------------------------
-        t0 = env.now
-        with spans.span("phase", "compute", node=node.name, task=task.id):
-            cpu = task.cpu_seconds * cpu_jitter_factor
-            if cpu > 0:
-                yield env.timeout(cpu)
-        record.cpu_seconds = env.now - t0
-        if fail_this_attempt:
+            # 3. compute ----------------------------------------------------
+            t0 = env.now
+            with spans.span("phase", "compute", node=node.name, task=task.id):
+                cpu = task.cpu_seconds * cpu_jitter_factor
+                if cpu > 0:
+                    yield env.timeout(cpu)
+            record.cpu_seconds = env.now - t0
+            if fail_this_attempt:
+                record.failed = True
+                trace.emit(env.now, "task", "failed", task=task.id,
+                           node=node.name, attempt=record.attempt)
+                raise TaskFailedError(
+                    f"task {task.id} crashed (attempt {record.attempt})")
+
+            # 4. write outputs ------------------------------------------------
+            t0 = env.now
+            with spans.span("phase", "write", node=node.name, task=task.id):
+                for meta in job.outputs:
+                    if record.attempt > 1 \
+                            and ns.state(meta.name) is FileState.AVAILABLE:
+                        # A previous attempt of this job finished this
+                        # output before dying (e.g. node crash between
+                        # two writes); write-once forbids redoing it.
+                        continue
+                    ns.begin_write(meta.name)
+                    try:
+                        yield from storage.span_write(node, meta, spans)
+                    except BaseException:
+                        # Crashed mid-write (eviction, storage giveup):
+                        # nothing was published, so the retry may
+                        # produce the file afresh.
+                        ns.abort_write(meta.name)
+                        raise
+                    ns.end_write(meta.name)
+                    record.bytes_written += meta.size
+            record.write_seconds = env.now - t0
+        except StorageUnavailableError as exc:
+            # Storage retries are exhausted; surface as an ordinary
+            # task failure so DAGMan's retry/rescue machinery decides.
             record.failed = True
             trace.emit(env.now, "task", "failed", task=task.id,
-                       node=node.name, attempt=record.attempt)
+                       node=node.name, attempt=record.attempt,
+                       reason="storage_unavailable")
             raise TaskFailedError(
-                f"task {task.id} crashed (attempt {record.attempt})")
-
-        # 4. write outputs ----------------------------------------------------
-        t0 = env.now
-        with spans.span("phase", "write", node=node.name, task=task.id):
-            for meta in job.outputs:
-                ns.begin_write(meta.name)
-                yield from storage.span_write(node, meta, spans)
-                ns.end_write(meta.name)
-                record.bytes_written += meta.size
-        record.write_seconds = env.now - t0
+                f"task {task.id} lost its storage: {exc}") from exc
     finally:
         if task.memory_bytes > 0:
             node.memory.put(task.memory_bytes)

@@ -13,6 +13,8 @@ experiment reproduces the exact same crash pattern.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from ..simcore.rand import substream
 
 
@@ -34,16 +36,26 @@ class FailureInjector:
         self.rate = rate
         self._seed = seed
         self.injected = 0
+        self._decisions: Dict[Tuple[str, int], bool] = {}
 
     def should_fail(self, task_id: str, attempt: int) -> bool:
-        """Whether this attempt of ``task_id`` crashes."""
+        """Whether this attempt of ``task_id`` crashes.
+
+        The decision is a pure function of ``(seed, task, attempt)``
+        and is memoized, so :attr:`injected` counts each injected crash
+        exactly once no matter how often the same attempt is queried.
+        """
         if self.rate <= 0.0:
             return False
-        rng = substream(self._seed, "failure", task_id, attempt)
-        fail = bool(rng.random() < self.rate)
-        if fail:
-            self.injected += 1
-        return fail
+        key = (task_id, attempt)
+        cached = self._decisions.get(key)
+        if cached is None:
+            rng = substream(self._seed, "failure", task_id, attempt)
+            cached = bool(rng.random() < self.rate)
+            self._decisions[key] = cached
+            if cached:
+                self.injected += 1
+        return cached
 
 
 #: Injector that never fails anything (the default).

@@ -15,7 +15,7 @@ staging (§V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..simcore.rand import substream
@@ -31,6 +31,8 @@ from .mapper import ExecutablePlan, PegasusMapper
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cloud.node import VMInstance
+    from ..faults.injector import FaultCoordinator
+    from ..faults.rescue import RescueLog
     from ..simcore.engine import Environment
 
 
@@ -46,11 +48,25 @@ class WorkflowRun:
     records: List[JobRecord]
     storage_stats: StorageStats
     plan: Optional[ExecutablePlan] = None
+    #: Jobs given up on (partial-completion mode); empty = full result.
+    abandoned_jobs: List[str] = field(default_factory=list)
+    #: Jobs restored from a rescue checkpoint instead of re-executed.
+    rescued_jobs: List[str] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
         """Wall-clock first-submit → last-complete, seconds."""
         return self.end_time - self.start_time
+
+    @property
+    def partial(self) -> bool:
+        """True when the run degraded to a partial result."""
+        return bool(self.abandoned_jobs)
+
+    @property
+    def n_evicted(self) -> int:
+        """Job attempts killed by node crashes."""
+        return sum(1 for r in self.records if r.evicted)
 
     @property
     def n_jobs(self) -> int:
@@ -89,6 +105,8 @@ class PegasusWMS:
                  task_failure_rate: float = 0.0,
                  retries: int = 3,
                  dispatch_latency: Optional[float] = None,
+                 fault_coordinator: Optional["FaultCoordinator"] = None,
+                 halt_on_failure: bool = True,
                  trace: TraceCollector = NULL_COLLECTOR) -> None:
         self.env = env
         self.workers = list(workers)
@@ -104,6 +122,8 @@ class PegasusWMS:
         self._failure_rate = task_failure_rate
         self._retries = retries
         self._dispatch_latency = dispatch_latency
+        self._faults = fault_coordinator
+        self._halt_on_failure = halt_on_failure
 
     def _make_jitter(self, workflow_name: str) -> Callable[[str], float]:
         if self._jitter_sigma <= 0:
@@ -118,14 +138,21 @@ class PegasusWMS:
 
     def execute(self, workflow: Workflow,
                 keep_plan: bool = False,
-                parent_span: Optional[int] = None) -> WorkflowRun:
+                parent_span: Optional[int] = None,
+                rescue: Optional["RescueLog"] = None) -> WorkflowRun:
         """Plan and run ``workflow`` to completion; returns the record.
 
         Drives the simulation environment until the DAG finishes.
         ``parent_span`` nests the workflow span under an enclosing
-        experiment span.
+        experiment span.  ``rescue`` resumes from (and checkpoints to)
+        a rescue-DAG log: jobs recorded there are not re-executed —
+        their outputs are restored as if pre-staged.
         """
         plan = self.mapper.plan(workflow, self.storage)
+        if rescue is not None:
+            for jid in sorted(rescue.completed & set(plan.jobs)):
+                for meta in plan.jobs[jid].outputs:
+                    self.storage.restore_output(meta)
         pool_cls = LocalityAwarePool if self._scheduler == "locality" else CondorPool
         injector = FailureInjector(self._failure_rate, seed=self._seed) \
             if self._failure_rate > 0 else None
@@ -136,13 +163,16 @@ class PegasusWMS:
         if self._dispatch_latency is not None:
             pool.DISPATCH_LATENCY = self._dispatch_latency
         dagman = DAGMan(self.env, plan, pool, retries=self._retries,
-                        trace=self.trace)
+                        trace=self.trace, rescue=rescue,
+                        halt_on_failure=self._halt_on_failure)
         spans = SpanBuilder(self.trace, self.env, root_parent=parent_span)
         wf_span = spans.begin("workflow", workflow.name,
                               storage=self.storage.name,
                               n_workers=len(self.workers),
                               scheduler=self._scheduler)
         pool.span_parent = wf_span if wf_span >= 0 else None
+        if self._faults is not None:
+            self._faults.arm(pool, self.workers)
         start = self.env.now
         dagman.start()
         self.env.run(until=dagman.done)
@@ -157,4 +187,6 @@ class PegasusWMS:
             records=list(pool.records),
             storage_stats=self.storage.stats,
             plan=plan if keep_plan else None,
+            abandoned_jobs=sorted(dagman.abandoned),
+            rescued_jobs=sorted(dagman.rescued),
         )

@@ -1,0 +1,131 @@
+"""Node crashes: eviction, resubmission to survivors, determinism."""
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.cloud import EC2Cloud
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import FaultCoordinator, FaultSpec, NodeCrash
+from repro.simcore import Environment
+from repro.storage import NFSStorage
+from repro.workflow import PegasusWMS
+
+
+def build_wms(spec, seed=0, retries=3, n_workers=3):
+    env = Environment()
+    cloud = EC2Cloud(env, seed=seed)
+    workers = cloud.launch_many("c1.xlarge", n_workers)
+    server = cloud.launch("m1.xlarge")
+    fs = NFSStorage(env, server)
+    fs.deploy(workers)
+    faults = FaultCoordinator(env, spec, seed=seed)
+    faults.attach_storage(fs)
+    wms = PegasusWMS(env, workers, fs, seed=seed, retries=retries,
+                     fault_coordinator=faults)
+    return env, workers, wms, faults
+
+
+def test_explicit_crash_mid_run_completes_on_survivors():
+    spec = FaultSpec(node_crashes=[NodeCrash("worker-0", 30.0)])
+    env, workers, wms, faults = build_wms(spec)
+    run = wms.execute(build_synthetic(40, width=8, seed=2, cpu_seconds=60.0))
+    report = faults.report()
+    assert report.node_crashes == 1
+    assert report.crash_times == {"worker-0": 30.0}
+    assert not workers[0].is_alive
+    assert workers[1].is_alive and workers[2].is_alive
+    # Every job completed despite losing a third of the pool.
+    assert len({r.task_id for r in run.records if not r.failed}) == 40
+    # Nothing ran on the dead node after the crash.
+    for r in run.records:
+        if r.node == "worker-0" and not r.evicted:
+            assert r.end_time <= 30.0 or r.failed
+
+
+def test_eviction_does_not_burn_dagman_retries():
+    # retries=0: any *failure* halts the workflow, but evictions are
+    # requeued directly, so a crash alone must not kill the run.
+    spec = FaultSpec(node_crashes=[NodeCrash("worker-0", 30.0)])
+    env, workers, wms, faults = build_wms(spec, retries=0)
+    run = wms.execute(build_synthetic(40, width=8, seed=2, cpu_seconds=60.0))
+    assert faults.report().jobs_evicted >= 1
+    assert len({r.task_id for r in run.records if not r.failed}) == 40
+
+
+def test_evicted_records_are_flagged():
+    spec = FaultSpec(node_crashes=[NodeCrash("worker-0", 30.0)])
+    env, workers, wms, faults = build_wms(spec)
+    run = wms.execute(build_synthetic(40, width=8, seed=2, cpu_seconds=60.0))
+    evicted = [r for r in run.records if r.evicted]
+    assert len(evicted) == faults.report().jobs_evicted
+    assert all(r.failed and r.node == "worker-0" for r in evicted)
+    assert run.n_evicted == len(evicted)
+    # Every evicted job later completed on a surviving node.
+    completed = {r.task_id for r in run.records if not r.failed}
+    assert all(r.task_id in completed for r in evicted)
+
+
+def test_crash_of_idle_node_is_harmless():
+    # Crash long after the workflow finished executing everything the
+    # node would ever run: nothing to evict.
+    spec = FaultSpec(node_crashes=[NodeCrash("worker-2", 1e6)])
+    env, workers, wms, faults = build_wms(spec)
+    run = wms.execute(build_synthetic(10, width=5, seed=0))
+    assert faults.report().jobs_evicted == 0
+    assert len({r.task_id for r in run.records if not r.failed}) == 10
+
+
+def test_mtbf_crashes_respect_min_survivors():
+    spec = FaultSpec(node_mtbf=1.0, min_survivors=2)  # absurdly crashy
+    env, workers, wms, faults = build_wms(spec, n_workers=4)
+    run = wms.execute(build_synthetic(30, width=6, seed=1))
+    live = [w for w in workers if w.is_alive]
+    assert len(live) >= 2
+    assert len({r.task_id for r in run.records if not r.failed}) == 30
+
+
+def test_mtbf_crashes_are_deterministic():
+    def once():
+        cfg = ExperimentConfig("montage", "nfs", 4, seed=3, node_mtbf=120.0)
+        res = run_experiment(cfg, workflow=build_synthetic(60, width=8,
+                                                           seed=2))
+        return res.makespan, res.faults.as_dict(), res.faults.crash_times
+
+    a, b = once(), once()
+    assert a == b
+    assert a[1]["node_crashes"] >= 1  # mtbf low enough to actually fire
+
+
+def test_explicit_crashes_win_over_duplicates():
+    # Two entries for the same node: the earliest time wins.
+    spec = FaultSpec(node_crashes=[NodeCrash("worker-1", 50.0),
+                                   NodeCrash("worker-1", 20.0)])
+    env, workers, wms, faults = build_wms(spec)
+    wms.execute(build_synthetic(40, width=8, seed=2, cpu_seconds=60.0))
+    assert faults.report().crash_times == {"worker-1": 20.0}
+
+
+def test_crashed_node_stops_billing_only_at_terminate():
+    """Paper semantics: you pay until the instance is reaped, not until
+    it died (EC2 bills the hour whether or not the kernel panicked)."""
+    env = Environment()
+    cloud = EC2Cloud(env)
+    node = cloud.launch("c1.xlarge")
+    env.run(until=env.timeout(100.0))
+    node.crash()
+    assert not node.is_alive
+    assert node.crashed_at == 100.0
+    assert node.terminated_at is None
+    env.run(until=env.timeout(50.0))
+    cloud.terminate_all()
+    assert node.terminated_at == 150.0
+
+
+def test_crash_then_terminate_is_safe():
+    env = Environment()
+    cloud = EC2Cloud(env)
+    node = cloud.launch("c1.xlarge")
+    node.crash()
+    node.crash()  # idempotent
+    node.terminate()  # no double NIC detach / span end
+    assert node.crashed_at == 0.0

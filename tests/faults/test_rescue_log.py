@@ -1,0 +1,40 @@
+"""RescueLog: the persisted completed-job checkpoint."""
+
+from repro.faults import RescueLog
+
+
+def test_in_memory_log_marks_and_contains():
+    log = RescueLog()
+    assert len(log) == 0
+    log.mark("b")
+    log.mark("a")
+    log.mark("a")  # idempotent
+    assert len(log) == 2
+    assert "a" in log and "b" in log and "c" not in log
+    assert list(log) == ["a", "b"]  # sorted iteration
+    assert log.completed == {"a", "b"}
+    # .completed is a copy — mutating it does not corrupt the log.
+    log.completed.add("x")
+    assert "x" not in log
+
+
+def test_file_backed_log_persists_across_instances(tmp_path):
+    path = str(tmp_path / "rescue.log")
+    log = RescueLog(path)
+    log.mark("job-1")
+    log.mark("job-2")
+    log.close()
+
+    reloaded = RescueLog(path)
+    assert reloaded.completed == {"job-1", "job-2"}
+    # Appending after reload keeps earlier entries.
+    reloaded.mark("job-3")
+    reloaded.close()
+    assert RescueLog(path).completed == {"job-1", "job-2", "job-3"}
+
+
+def test_log_skips_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "rescue.log"
+    path.write_text("# rescue log\njob-1\n\n  \njob-2\n")
+    log = RescueLog(str(path))
+    assert log.completed == {"job-1", "job-2"}

@@ -1,0 +1,91 @@
+"""Rescue-DAG checkpointing, resume, and partial-completion mode."""
+
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import RescueLog
+
+
+def wf():
+    return build_synthetic(40, width=8, seed=2)
+
+
+def run_cell(rescue=None, seed=7, **kwargs):
+    cfg = ExperimentConfig("montage", "nfs", 2, seed=seed, **kwargs)
+    return run_experiment(cfg, workflow=wf(), rescue=rescue)
+
+
+def test_partial_mode_survives_retry_exhaustion():
+    log = RescueLog()
+    res = run_cell(rescue=log, task_failure_rate=0.1, retries=0,
+                   halt_on_failure=False)
+    assert res.run.partial
+    abandoned = set(res.run.abandoned_jobs)
+    assert abandoned  # something failed permanently
+    completed = {r.task_id for r in res.run.records if not r.failed}
+    # The two sets partition the DAG: failed jobs + their descendants
+    # are abandoned, everything else completed.
+    assert abandoned.isdisjoint(completed)
+    assert len(abandoned) + len(completed) == 40
+    assert log.completed == completed
+
+
+def test_resume_reexecutes_only_unfinished_jobs():
+    log = RescueLog()
+    first = run_cell(rescue=log, task_failure_rate=0.1, retries=0,
+                     halt_on_failure=False)
+    done_before = set(log.completed)
+    assert first.run.partial
+
+    second = run_cell(rescue=log)  # fault-free resume, same workflow
+    assert not second.run.partial
+    executed = {r.task_id for r in second.run.records}
+    # Only the unfinished remainder actually ran...
+    assert executed == set(wf().tasks) - done_before
+    # ...while the checkpointed jobs were loaded from the rescue log.
+    assert set(second.run.rescued_jobs) == done_before
+    assert len(log) == 40
+    # Resume of a smaller DAG fragment is faster than the full run.
+    clean = run_cell()
+    assert second.makespan < clean.makespan
+
+
+def test_resume_from_file_backed_log(tmp_path):
+    path = str(tmp_path / "rescue.log")
+    first = run_cell(rescue=RescueLog(path), task_failure_rate=0.1,
+                     retries=0, halt_on_failure=False)
+    assert first.run.partial
+
+    # A brand-new process would reload the log from disk.
+    log = RescueLog(path)
+    second = run_cell(rescue=log)
+    assert not second.run.partial
+    assert len(log) == 40
+
+
+def test_resume_with_everything_done_is_a_noop():
+    log = RescueLog()
+    clean = run_cell(rescue=log)
+    assert len(log) == 40
+    again = run_cell(rescue=log)
+    assert len(again.run.records) == 0
+    assert again.makespan == 0.0
+    assert set(again.run.rescued_jobs) == set(wf().tasks)
+
+
+def test_rescue_log_ignores_foreign_jobs():
+    # Entries that are not part of this DAG (e.g. a log reused across
+    # workflows) are ignored rather than corrupting the schedule.
+    log = RescueLog()
+    log.mark("not-a-job-of-this-dag")
+    res = run_cell(rescue=log)
+    assert not res.run.partial
+    assert len({r.task_id for r in res.run.records if not r.failed}) == 40
+    assert res.run.rescued_jobs == []
+
+
+def test_partial_mode_without_rescue_log():
+    # halt_on_failure=False works standalone; no checkpoint required.
+    res = run_cell(task_failure_rate=0.1, retries=0, halt_on_failure=False)
+    assert res.run.partial
+    assert len(res.run.abandoned_jobs) + len(
+        {r.task_id for r in res.run.records if not r.failed}) == 40

@@ -1,0 +1,110 @@
+"""FaultSpec / RetryPolicy / OutageWindow construction and serialization."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    FaultSpec,
+    NodeCrash,
+    OutageWindow,
+    RetryPolicy,
+    load_fault_spec,
+)
+from repro.simcore.rand import substream
+
+
+def test_default_spec_is_disabled():
+    assert not NO_FAULTS.enabled
+    assert not NO_FAULTS.has_storage_faults
+    assert not FaultSpec().enabled
+
+
+def test_any_fault_source_enables_the_spec():
+    assert FaultSpec(node_mtbf=100.0).enabled
+    assert FaultSpec(node_crashes=[NodeCrash("i-0", 5.0)]).enabled
+    assert FaultSpec(storage_error_rate=0.01).enabled
+    assert FaultSpec(storage_outages=[OutageWindow(10.0, 20.0)]).enabled
+    assert FaultSpec(storage_outages=[OutageWindow(10.0, 20.0)]).has_storage_faults
+    assert not FaultSpec(node_mtbf=100.0).has_storage_faults
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        FaultSpec(node_mtbf=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec(storage_error_rate=1.0)
+    with pytest.raises(ValueError):
+        FaultSpec(storage_error_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultSpec(min_survivors=-1)
+    with pytest.raises(ValueError):
+        OutageWindow(20.0, 10.0)
+    with pytest.raises(ValueError):
+        NodeCrash("i-0", -1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_outage_window_covers_half_open_interval():
+    w = OutageWindow(10.0, 20.0)
+    assert not w.covers(9.999)
+    assert w.covers(10.0)
+    assert w.covers(19.999)
+    assert not w.covers(20.0)
+    assert w.duration == 10.0
+
+
+def test_backoff_is_bounded_and_jittered():
+    policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=8.0,
+                         jitter=0.1)
+    rng = substream(0, "test", "backoff")
+    for attempt in range(10):
+        d = policy.backoff(attempt, rng)
+        nominal = min(1.0 * 2.0 ** attempt, 8.0)
+        assert nominal * 0.9 <= d <= nominal * 1.1
+
+
+def test_roundtrip_through_json():
+    spec = FaultSpec(
+        node_crashes=[NodeCrash("i-3", 120.0)],
+        node_mtbf=3600.0,
+        min_survivors=2,
+        storage_outages=[OutageWindow(100.0, 160.0)],
+        storage_error_rate=0.01,
+        retry=RetryPolicy(max_retries=7, base_delay=0.25),
+    )
+    back = FaultSpec.from_json(spec.to_json())
+    assert back == spec
+    # Nested dataclasses are rebuilt as the right types.
+    assert isinstance(back.node_crashes[0], NodeCrash)
+    assert isinstance(back.storage_outages[0], OutageWindow)
+    assert isinstance(back.retry, RetryPolicy)
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError):
+        FaultSpec.from_dict({"node_mtbf": 10.0, "bogus": 1})
+
+
+def test_load_fault_spec_from_file(tmp_path):
+    path = tmp_path / "faults.json"
+    spec = FaultSpec(storage_error_rate=0.02,
+                     storage_outages=[OutageWindow(5.0, 9.0)])
+    path.write_text(spec.to_json())
+    assert load_fault_spec(str(path)) == spec
+
+
+def test_lists_normalised_to_tuples():
+    spec = FaultSpec(node_crashes=[NodeCrash("a", 1.0)],
+                     storage_outages=[OutageWindow(0.0, 1.0)])
+    assert isinstance(spec.node_crashes, tuple)
+    assert isinstance(spec.storage_outages, tuple)
+    json.loads(spec.to_json())  # serializable despite tuples

@@ -1,0 +1,85 @@
+"""Store/Container getter cancellation (crash-recovery plumbing)."""
+
+import pytest
+
+from repro.simcore import Environment
+from repro.simcore.errors import NotPending
+from repro.simcore.resources import Container, Store
+
+
+def test_store_cancel_get_removes_the_getter():
+    env = Environment()
+    store = Store(env)
+    ev = store.get()
+    assert not ev.triggered
+    store.cancel_get(ev)
+    # A later put is not consumed by the cancelled getter.
+    store.put("x")
+    env.run()
+    assert store.items == ["x"]
+
+
+def test_store_cancel_get_rejects_triggered_event():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    ev = store.get()
+    assert ev.triggered
+    with pytest.raises(NotPending):
+        store.cancel_get(ev)
+    env.run()
+
+
+def test_store_cancel_get_unknown_event_raises():
+    env = Environment()
+    store = Store(env)
+    other = Store(env)
+    ev = other.get()
+    with pytest.raises(ValueError):
+        store.cancel_get(ev)
+    other.cancel_get(ev)
+
+
+def test_store_cancel_preserves_fifo_for_remaining_getters():
+    env = Environment()
+    store = Store(env)
+    first, second, third = store.get(), store.get(), store.get()
+    store.cancel_get(first)
+    store.put("a")
+    store.put("b")
+    env.run()
+    assert second.value == "a"
+    assert third.value == "b"
+
+
+def test_container_cancel_get_restores_no_claim():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=2.0)
+    ev = tank.get(5.0)  # blocked: only 2 available
+    assert not ev.triggered
+    tank.cancel_get(ev)
+    tank.put(3.0)
+    env.run()
+    assert tank.level == 5.0  # nothing consumed by the dead getter
+
+
+def test_container_cancel_get_rejects_triggered_event():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=5.0)
+    ev = tank.get(1.0)
+    assert ev.triggered
+    with pytest.raises(NotPending):
+        tank.cancel_get(ev)
+    env.run()
+
+
+def test_container_cancel_unblocks_later_getters():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=4.0)
+    big = tank.get(6.0)     # blocked, head of FIFO
+    small = tank.get(3.0)   # queued behind it
+    assert not small.triggered
+    tank.cancel_get(big)    # head withdrawn -> small can settle
+    env.run()
+    assert small.triggered
+    assert tank.level == 1.0

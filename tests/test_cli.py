@@ -105,3 +105,59 @@ def test_run_metrics_out_and_timeline(tmp_path, capsys):
     assert "per-node job concurrency" in captured.out
     assert "CPU busy fraction" in captured.out
     assert "storage server load" in captured.out
+
+
+# ---------------------------------------------------------------- faults
+
+def test_run_with_storage_errors_prints_fault_summary(capsys):
+    assert main(["run", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--storage-error-rate", "0.01",
+                 "--retries", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "faults:" in out
+    assert "makespan" in out
+
+
+def test_run_task_failure_rate_flag(capsys):
+    assert main(["run", "--app", "epigenome", "--storage", "local",
+                 "--nodes", "1", "--task-failure-rate", "0.05",
+                 "--retries", "10"]) == 0
+    assert "makespan" in capsys.readouterr().out
+
+
+def test_run_fault_spec_file(tmp_path, capsys):
+    from repro.faults import FaultSpec, OutageWindow
+
+    spec_file = tmp_path / "faults.json"
+    spec_file.write_text(FaultSpec(
+        storage_outages=[OutageWindow(50.0, 80.0)]).to_json())
+    assert main(["run", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--fault-spec", str(spec_file)]) == 0
+    assert "faults:" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_fault_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"bogus": 1}')
+    assert main(["run", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--fault-spec", str(bad)]) == 2
+    assert "bad fault spec" in capsys.readouterr().err
+
+
+def test_faultsweep_command(capsys):
+    assert main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--rates", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "inflation" in out
+    assert "err_rate" in out
+
+
+def test_faultsweep_csv_export(tmp_path, capsys):
+    csv_file = str(tmp_path / "sweep.csv")
+    assert main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--rates", "0.01", "--mtbfs", "600",
+                 "--csv", csv_file]) == 0
+    import csv
+    rows = list(csv.DictReader(open(csv_file)))
+    assert len(rows) == 3  # baseline + one rate + one mtbf
+    assert rows[0]["inflation"] == "1.0"

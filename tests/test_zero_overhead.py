@@ -1,0 +1,66 @@
+"""Fault machinery is zero-overhead when disabled.
+
+The golden values below were captured from the paper-grid cells
+*before* the fault subsystem existed.  With every fault knob at its
+default, the hot path must not create a single extra event, draw a
+single random number, or reorder anything — so makespans and costs
+must stay bit-identical, not merely close.  Any drift here means the
+fault layer leaks into fault-free runs.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import NO_FAULTS, FaultSpec
+
+# (app, storage, nodes) -> (makespan, cost/hour, cost/second); exact
+# floats from the pre-fault-subsystem tree, seed 42 (the default).
+GOLDEN = {
+    ("montage", "local", 1): (3681.9506710520345, 1.36, 0.6954795711987176),
+    ("montage", "nfs", 4): (5213.212831564874, 6.800000000000001,
+                            4.923589896477937),
+    ("montage", "s3", 8): (1242.0820811662009, 5.68265127934134,
+                           2.1195753131035997),
+    ("montage", "glusterfs-nufa", 2): (1795.4222443607955, 1.36,
+                                       0.6782706256474117),
+    ("epigenome", "nfs", 2): (2761.0296623150994, 2.04,
+                              1.5645834753118897),
+    ("epigenome", "pvfs", 4): (1662.7409629878625, 2.72,
+                               1.2562931720352741),
+    ("broadband", "glusterfs-distribute", 4): (2363.7090331598624, 2.72,
+                                               1.785913491720785),
+    ("broadband", "s3", 2): (3636.8691808679264, 2.7870737588029435,
+                             1.4410021160197153),
+}
+
+
+@pytest.mark.parametrize(
+    "cell", sorted(GOLDEN),
+    ids=["{}-{}-{}".format(*c) for c in sorted(GOLDEN)])
+def test_disabled_faults_are_bit_identical(cell):
+    app, storage, nodes = cell
+    result = run_experiment(ExperimentConfig(app, storage, nodes))
+    golden = GOLDEN[cell]
+    assert result.makespan == golden[0]
+    assert result.cost.per_hour_total == golden[1]
+    assert result.cost.per_second_total == golden[2]
+    # The fault layer was never even instantiated.
+    assert result.faults is None
+
+
+def test_default_config_resolves_to_no_faults():
+    cfg = ExperimentConfig("montage", "nfs", 2)
+    assert cfg.effective_fault_spec() is None
+    # An explicitly disabled spec is equivalent to none at all.
+    cfg = ExperimentConfig("montage", "nfs", 2, fault_spec=NO_FAULTS)
+    assert cfg.effective_fault_spec() is None
+
+
+def test_scalar_shortcuts_merge_over_the_spec():
+    base = FaultSpec(node_mtbf=100.0)
+    cfg = ExperimentConfig("montage", "nfs", 2, fault_spec=base,
+                           storage_error_rate=0.01)
+    eff = cfg.effective_fault_spec()
+    assert eff is not None
+    assert eff.node_mtbf == 100.0
+    assert eff.storage_error_rate == 0.01

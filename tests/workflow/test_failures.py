@@ -108,6 +108,70 @@ def test_retries_zero_means_no_second_chances():
         wms.execute(wf)
 
 
+def test_should_fail_is_memoized_per_attempt():
+    """Asking twice about the same (task, attempt) must give the same
+    answer and count the injection only once — DAGMan and diagnostics
+    may both query the injector."""
+    inj = FailureInjector(0.5, seed=3)
+    first = [inj.should_fail("t", i) for i in range(50)]
+    count_after_first = inj.injected
+    second = [inj.should_fail("t", i) for i in range(50)]
+    assert first == second
+    assert inj.injected == count_after_first == sum(first)
+
+
+def test_memoized_queries_do_not_disturb_the_stream():
+    """Re-querying old attempts must not shift later draws."""
+    a = FailureInjector(0.4, seed=9)
+    b = FailureInjector(0.4, seed=9)
+    pattern_a = []
+    for i in range(30):
+        pattern_a.append(a.should_fail("t", i))
+        a.should_fail("t", 0)  # noisy re-query interleaved
+    pattern_b = [b.should_fail("t", i) for i in range(30)]
+    assert pattern_a == pattern_b
+
+
+def test_retry_exhaustion_surfaces_through_dagman_done():
+    """The failure arrives via DAGMan's done event, and the engine is
+    fully drained afterwards — no orphaned slot processes or stuck
+    queue getters keep the simulation alive."""
+    from repro.workflow import CondorPool, DAGMan, PegasusMapper
+
+    env = Environment()
+    cloud = EC2Cloud(env)
+    workers = cloud.launch_many("c1.xlarge", 1)
+    fs = LocalDiskStorage(env)
+    fs.deploy(workers)
+    wf = Workflow("tiny")
+    wf.add_file("o", 1.0)
+    wf.add_task(Task("only", "x", 1.0, outputs=["o"]))
+    plan = PegasusMapper().plan(wf, fs)
+    pool = CondorPool(env, workers, fs,
+                      failure_injector=FailureInjector(0.97, seed=1))
+    dagman = DAGMan(env, plan, pool, retries=1)
+    dagman.start()
+    with pytest.raises(WorkflowFailedError, match="retry limit"):
+        env.run(until=dagman.done)
+    env.run()  # drains without deadlock or leftover failed events
+    assert dagman.done.triggered
+
+
+def test_write_once_preserved_across_reexecuted_attempts():
+    """A task that fails after DAGMan already saw earlier failures
+    still writes each output exactly once (namespace transitions
+    PENDING -> WRITING -> AVAILABLE exactly one time per file)."""
+    from repro.storage.files import FileState
+
+    env, wms = setup(task_failure_rate=0.5, retries=30, seed=13)
+    wf = build_synthetic(20, width=5, seed=6)
+    run = wms.execute(wf)
+    assert len({r.task_id for r in run.records if not r.failed}) == 20
+    ns = wms.storage.namespace
+    for name in wf.files:
+        assert ns.state(name) is FileState.AVAILABLE
+
+
 def test_dagman_rejects_negative_retries():
     from repro.workflow import CondorPool, DAGMan, PegasusMapper
     env = Environment()
