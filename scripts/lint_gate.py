@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""CI lint gate: simulation-invariant static analysis must stay clean.
+
+Runs the ``repro.lint`` rules (SIM001-SIM008) over ``src/`` and
+``scripts/`` against the checked-in baseline and fails on any *new*
+finding.  The shipped baseline is empty, so in practice this means the
+tree must lint clean; regressions land here before they can corrupt a
+paper figure.
+
+Exits 0 when clean, 1 on findings, 2 on configuration problems.
+Keep this fast: it runs on every push.
+"""
+
+import sys
+
+sys.path.insert(0, "src")  # allow running from a plain checkout
+
+from repro.lint import (  # noqa: E402
+    DEFAULT_BASELINE_NAME,
+    lint_paths,
+    load_baseline,
+)
+
+TARGETS = ["src/repro", "scripts"]
+
+
+def main() -> int:
+    try:
+        baseline = load_baseline(DEFAULT_BASELINE_NAME)
+    except FileNotFoundError:
+        baseline = None
+    except (OSError, ValueError) as exc:
+        print(f"bad baseline {DEFAULT_BASELINE_NAME}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(TARGETS, baseline=baseline)
+    for finding in report.findings:
+        print(finding.format())
+    for path, error in report.parse_errors:
+        print(f"{path}: {error}", file=sys.stderr)
+    if not report.ok:
+        by_rule = ", ".join(f"{rid}: {n}" for rid, n
+                            in sorted(report.counts_by_rule().items()))
+        print(f"\nlint gate FAILED: {len(report.findings)} finding(s) "
+              f"({by_rule}) across {report.n_files} file(s)")
+        return 1
+    print(f"lint gate passed: {report.n_files} files clean "
+          f"({len(report.suppressed)} inline suppression(s), "
+          f"{len(report.baselined)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

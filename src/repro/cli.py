@@ -8,6 +8,8 @@ Run single experiments or whole paper figures from the shell::
     repro-ec2 trace t.json
     repro-ec2 figure --app broadband
     repro-ec2 table1
+    repro-ec2 lint src/repro
+    repro-ec2 lint --determinism
     repro-ec2 list
 
 (Equivalently: ``python -m repro ...``.)
@@ -257,6 +259,97 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_paths() -> List[str]:
+    """The installed ``repro`` package tree (lint target of last resort)."""
+    import os
+    return [os.path.dirname(os.path.abspath(__file__))]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .lint import (
+        DEFAULT_BASELINE_NAME,
+        lint_paths,
+        load_baseline,
+        run_determinism_check,
+        write_baseline,
+    )
+
+    if args.emit_digest:
+        # Internal leg of the determinism protocol: one machine-readable
+        # line on stdout, consumed by the parent sanitizer process.
+        from .lint import digest_run, format_digest_line
+        run = digest_run(app=args.app, storage=args.storage,
+                         nodes=args.nodes, seed=args.seed)
+        print(format_digest_line(run))
+        return 0
+
+    if args.determinism:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+            hash_seeds = [s.strip() for s in args.hash_seeds.split(",")
+                          if s.strip()]
+        except ValueError:
+            print(f"error: bad --seeds {args.seeds!r}", file=sys.stderr)
+            return 2
+        report = run_determinism_check(
+            app=args.app, storage=args.storage, nodes=args.nodes,
+            seeds=seeds, hash_seeds=hash_seeds)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_NAME):
+        baseline_path = DEFAULT_BASELINE_NAME
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    paths = args.paths or _default_lint_paths()
+    report = lint_paths(paths, select=select, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        write_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} fingerprints to {target}",
+              file=sys.stderr)
+        return 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in report.findings],
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "files": report.n_files,
+            "parse_errors": [list(e) for e in report.parse_errors],
+            "counts_by_rule": report.counts_by_rule(),
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        for path, error in report.parse_errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        tail = (f"{len(report.findings)} finding(s) in "
+                f"{report.n_files} file(s)")
+        if report.suppressed:
+            tail += f", {len(report.suppressed)} suppressed inline"
+        if report.baselined:
+            tail += f", {len(report.baselined)} baselined"
+        print(tail, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("applications:")
     for name, builder in APP_BUILDERS.items():
@@ -361,6 +454,45 @@ def build_parser() -> argparse.ArgumentParser:
                            "fault rates measure slowdown, not failure)")
     p_fs.add_argument("--csv", help="also write the sweep to this CSV")
     p_fs.set_defaults(func=_cmd_faultsweep)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="simulation-invariant static analysis (SIM001-SIM008) and "
+             "the runtime determinism sanitizer")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text", help="finding output format")
+    p_lint.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="baseline of accepted findings (default: "
+                             "./.lint-baseline.json when present)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline "
+                             "instead of failing on them")
+    p_lint.add_argument("--determinism", action="store_true",
+                        help="run the double-run / double-PYTHONHASHSEED "
+                             "event-stream digest check instead of "
+                             "static rules")
+    p_lint.add_argument("--app", default="montage",
+                        help="sanitizer scenario application")
+    p_lint.add_argument("--storage", default="nfs",
+                        help="sanitizer scenario storage system")
+    p_lint.add_argument("--nodes", type=int, default=2,
+                        help="sanitizer scenario worker count")
+    p_lint.add_argument("--seeds", default="0,1",
+                        help="comma-separated seeds for --determinism")
+    p_lint.add_argument("--hash-seeds", default="1,2",
+                        help="comma-separated PYTHONHASHSEED values "
+                             "for --determinism")
+    p_lint.add_argument("--seed", type=int, default=0,
+                        help="seed for --emit-digest")
+    p_lint.add_argument("--emit-digest", action="store_true",
+                        help=argparse.SUPPRESS)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_list = sub.add_parser("list", help="list applications and systems")
     p_list.set_defaults(func=_cmd_list)

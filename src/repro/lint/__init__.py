@@ -1,0 +1,78 @@
+"""Simulation-invariant static analysis and runtime determinism checks.
+
+The reproduction's entire evidence chain — the paper grid, the cost
+model, the zero-overhead golden test — assumes the simulator is a
+deterministic function of ``(scenario, seed)``.  This package machine-
+checks that contract from two sides:
+
+* **static rules** (``SIM001``–``SIM008``): AST checks for the code
+  patterns that break determinism or simulator discipline — wall-clock
+  reads, global random streams, hash-ordered iteration on scheduling
+  paths, float equality on sim-time, unprotected resource release,
+  mutable defaults, broad excepts, event-queue manipulation outside
+  the kernel (``repro-ec2 lint [paths]``);
+* **runtime sanitizer**: a small paper-grid scenario run repeatedly —
+  same seed, fresh interpreters, different ``PYTHONHASHSEED`` values —
+  with the full telemetry event stream hash-chained into a digest that
+  must be bit-identical (``repro-ec2 lint --determinism``).
+
+See ``docs/static-analysis.md`` for rule-by-rule rationale, the
+suppression/baseline workflow, and the sanitizer protocol.
+"""
+
+# Importing the rules module populates the rule registry (side effect).
+from . import rules as _rules  # noqa: F401
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from .determinism import (
+    DeterminismReport,
+    RunDigest,
+    digest_run,
+    first_divergence,
+    format_digest_line,
+    run_determinism_check,
+    small_workflow,
+)
+from .engine import (
+    RULES,
+    SCHEDULING_PREFIXES,
+    ModuleContext,
+    Rule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register,
+)
+from .findings import Finding, LintReport, Severity, fingerprint_findings
+from .suppressions import SuppressionMap
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DeterminismReport",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "RunDigest",
+    "SCHEDULING_PREFIXES",
+    "Severity",
+    "SuppressionMap",
+    "digest_run",
+    "fingerprint_findings",
+    "first_divergence",
+    "format_digest_line",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "run_determinism_check",
+    "small_workflow",
+    "write_baseline",
+]

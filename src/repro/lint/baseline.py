@@ -1,0 +1,84 @@
+"""Checked-in lint baseline.
+
+A baseline is the set of *known, accepted* findings: CI fails only on
+findings that are not in it, so the linter can be adopted on a tree
+with pre-existing violations and ratcheted down to zero.  This
+repository ships an **empty** baseline (``.lint-baseline.json``) — the
+acceptance bar is that ``repro-ec2 lint src/`` is clean without any
+grandfathering.
+
+Entries are line-number-independent fingerprints (see
+:meth:`repro.lint.findings.Finding.fingerprint`), so editing code above
+a baselined violation does not resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from .findings import Finding, fingerprint_findings
+
+BASELINE_VERSION = 1
+#: Conventional baseline location at the repository root.
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+    version: int = BASELINE_VERSION
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def partition(self, findings: Iterable[Finding]
+                  ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined).
+
+        Fingerprint indices are assigned per duplicate group exactly as
+        :func:`write_baseline` does, so a baseline accepting N identical
+        violations hides exactly N of them — the N+1th stays live.
+        """
+        ordered = sorted(findings,
+                         key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        prints = fingerprint_findings(ordered)
+        new: List[Finding] = []
+        known: List[Finding] = []
+        for finding, fp in zip(ordered, prints):
+            (known if fp in self.fingerprints else new).append(finding)
+        return new, known
+
+    def to_json(self) -> str:
+        """Serialise (sorted, so diffs are stable)."""
+        return json.dumps(
+            {"version": self.version,
+             "fingerprints": sorted(self.fingerprints)},
+            indent=2) + "\n"
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; raises ValueError on malformed content."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "fingerprints" not in doc:
+        raise ValueError(f"{path}: not a lint baseline (no 'fingerprints')")
+    version = doc.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise ValueError(f"{path}: unsupported baseline version {version}")
+    prints = doc["fingerprints"]
+    if not isinstance(prints, list) \
+            or not all(isinstance(p, str) for p in prints):
+        raise ValueError(f"{path}: 'fingerprints' must be a list of strings")
+    return Baseline(fingerprints=set(prints), version=version)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Baseline:
+    """Write a baseline accepting exactly ``findings``; returns it."""
+    baseline = Baseline(fingerprints=set(fingerprint_findings(findings)))
+    with open(path, "w") as fh:
+        fh.write(baseline.to_json())
+    return baseline

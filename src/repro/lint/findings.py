@@ -1,0 +1,138 @@
+"""Finding and severity model for the simulation-invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` identifies the violation *independently of
+its line number* (file, rule, message, duplicate index), so a checked-in
+baseline survives unrelated edits above the flagged line.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Ordering is meaningful (ERROR > WARNING)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lowercase name for display (``"error"``)."""
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a case-insensitive severity name."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as given to the runner (normalised
+        to forward slashes for stable output across platforms).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        ``SIMxxx`` identifier of the rule that fired.
+    message:
+        Human-readable description of the violation.
+    severity:
+        :class:`Severity` of the rule.
+    suppressed:
+        True when an inline ``# lint: ignore[...]`` covers this finding
+        (suppressed findings are reported separately, never fatal).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """Classic one-line compiler format."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} [{self.severity.label}] {self.message}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def fingerprint(self, index: int = 0) -> str:
+        """Line-number-independent identity for baseline matching.
+
+        ``index`` disambiguates identical findings within one file
+        (same rule, same message) by order of appearance.
+        """
+        raw = f"{self.path}|{self.rule_id}|{self.message}|{index}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by inline suppressions (for ``--show-suppressed``).
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings silenced by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Number of files scanned.
+    n_files: int = 0
+    #: Files that failed to parse: (path, error message).
+    parse_errors: List[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no live findings, no parse errors)."""
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Live findings per rule id, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for f in sorted(self.findings, key=lambda f: f.rule_id):
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return counts
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> List[str]:
+    """Fingerprints for ``findings`` with per-duplicate indices.
+
+    Two findings that differ only by line number share a fingerprint
+    *base*; the occurrence index keeps them distinct so a baseline with
+    two known violations does not hide a third identical one.
+    """
+    seen: Dict[str, int] = {}
+    prints: List[str] = []
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    for f in ordered:
+        base = f"{f.path}|{f.rule_id}|{f.message}"
+        idx = seen.get(base, 0)
+        seen[base] = idx + 1
+        prints.append(f.fingerprint(idx))
+    return prints

@@ -1,0 +1,68 @@
+"""Inline suppression comments.
+
+A finding on a line carrying ``# lint: ignore[SIM001]`` (or a
+comma-separated list, or a bare ``# lint: ignore`` covering every rule)
+is silenced at that line.  ``# lint: skip-file`` within the first ten
+lines exempts the whole file — reserved for generated code and test
+fixtures that violate rules on purpose.
+
+Suppressions silence, they do not erase: the runner still reports how
+many findings each file suppressed, so a rule that never fires live can
+still be audited.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Optional
+
+#: Matches ``# lint: ignore`` with an optional bracketed rule list.
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+#: Sentinel rule set meaning "every rule".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+#: How many leading lines may carry a ``skip-file`` directive.
+SKIP_FILE_WINDOW = 10
+
+
+class SuppressionMap:
+    """Per-line suppression directives parsed from one source file."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self.skip_file = False
+        lines: List[str] = source.splitlines()
+        for lineno, text in enumerate(lines, start=1):
+            if lineno <= SKIP_FILE_WINDOW and _SKIP_FILE_RE.search(text):
+                self.skip_file = True
+            match = _IGNORE_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                self._by_line[lineno] = ALL_RULES
+            else:
+                parsed = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip())
+                self._by_line[lineno] = parsed or ALL_RULES
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line``."""
+        if self.skip_file:
+            return True
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rules is ALL_RULES or "*" in rules or rule_id in rules
+
+    def rules_at(self, line: int) -> Optional[FrozenSet[str]]:
+        """The rule set suppressed at ``line`` (None = no directive)."""
+        return self._by_line.get(line)
+
+    @property
+    def n_directives(self) -> int:
+        """Number of inline ignore directives in the file."""
+        return len(self._by_line)

@@ -134,7 +134,8 @@ class PriorityResource(Resource):
         super().__init__(env, capacity)
         self._counter = 0
 
-    def request(self, amount: int = 1, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
+    def request(self, amount: int = 1,  # type: ignore[override]
+                priority: float = 0.0) -> PriorityRequest:
         if amount <= 0 or amount > self.capacity:
             raise ValueError(
                 f"amount {amount} out of range for capacity {self.capacity}"

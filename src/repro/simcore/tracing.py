@@ -64,6 +64,17 @@ class TraceCollector:
         # overhead is duplicated.
         self._by_cat_event: Dict[Tuple[str, str], List[TraceRecord]] = {}
         self._by_category: Dict[str, List[TraceRecord]] = {}
+        self._next_id = 0
+
+    def next_id(self) -> int:
+        """A fresh id, unique within this collector (1, 2, 3, ...).
+
+        Used for span ids: scoping the counter to the collector keeps a
+        run's trace byte-identical no matter how many runs preceded it
+        in the same interpreter.
+        """
+        self._next_id += 1
+        return self._next_id
 
     def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
         """Record an observation (no-op when disabled)."""
@@ -162,6 +173,7 @@ class TraceCollector:
         self.records.clear()
         self._by_cat_event.clear()
         self._by_category.clear()
+        self._next_id = 0
 
     def reset(self) -> None:
         """Drop records *and* subscribers — a fully fresh collector."""

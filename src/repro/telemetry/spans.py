@@ -23,7 +23,6 @@ pairs after the run.  Two exporters serialise the tree:
 
 from __future__ import annotations
 
-import itertools
 import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -39,10 +38,6 @@ if TYPE_CHECKING:  # pragma: no cover
 SPAN_CATEGORY = "span"
 #: Sentinel id handed out by a disabled builder; ``end()`` ignores it.
 DISABLED_SPAN = -1
-
-# Span ids only need to be unique within a process; a module-level
-# counter keeps ids unique even when many builders feed one collector.
-_span_ids = itertools.count(1)
 
 
 @dataclass
@@ -116,7 +111,11 @@ class SpanBuilder:
             return DISABLED_SPAN
         if parent_id is None:
             parent_id = self.current if self._stack else self.root_parent
-        sid = next(_span_ids)
+        # Ids are allocated by the run's collector, not a process-wide
+        # counter: a trace must not depend on how many spans *earlier*
+        # runs in the same interpreter allocated (the determinism
+        # sanitizer hash-chains span ids along with everything else).
+        sid = self.trace.next_id()
         self.trace.emit(self.env.now, SPAN_CATEGORY, "begin",
                         span_id=sid, parent_id=parent_id,
                         span_category=category, name=name, **fields)

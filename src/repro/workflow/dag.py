@@ -145,7 +145,10 @@ class Workflow:
         parents = {
             self._producer[f] for f in task.inputs if f in self._producer
         }
-        parents.update(p for p, c in self.control_edges if c == task_id)
+        # Iteration order cannot escape: the results land in a set.
+        parents.update(
+            p for p, c in self.control_edges if c == task_id  # lint: ignore[SIM003]
+        )
         parents.discard(task_id)
         return parents
 
@@ -156,7 +159,10 @@ class Workflow:
             t.id for t in self.tasks.values()
             if t.id != task_id and outs.intersection(t.inputs)
         }
-        kids.update(c for p, c in self.control_edges if p == task_id)
+        # Iteration order cannot escape: the results land in a set.
+        kids.update(
+            c for p, c in self.control_edges if p == task_id  # lint: ignore[SIM003]
+        )
         return kids
 
     def validate(self) -> None:
@@ -217,8 +223,13 @@ class Workflow:
         return len(self.files)
 
     def input_bytes(self) -> float:
-        """Total pre-staged input data."""
-        return sum(self.files[n].size for n in self.input_files)
+        """Total pre-staged input data.
+
+        Summed in sorted name order: float addition is not associative,
+        so summing in set hash order would let the last ulp of this
+        figure vary with ``PYTHONHASHSEED``.
+        """
+        return sum(self.files[n].size for n in sorted(self.input_files))
 
     def output_bytes(self) -> float:
         """Total bytes of workflow products.

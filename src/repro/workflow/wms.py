@@ -25,8 +25,8 @@ from ..telemetry.spans import SpanBuilder
 from .condor import CondorPool, LocalityAwarePool
 from .dag import Workflow
 from .dagman import DAGMan
-from .failures import FailureInjector
 from .executor import JobRecord
+from .failures import FailureInjector
 from .mapper import ExecutablePlan, PegasusMapper
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads (SIM001 must fire twice)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    return started, datetime.now()

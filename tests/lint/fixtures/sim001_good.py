@@ -1,0 +1,5 @@
+"""Fixture: simulation time only (SIM001 must stay quiet)."""
+
+
+def stamp(env):
+    return env.now

@@ -1,0 +1,11 @@
+"""Fixture: global random streams (SIM002 must fire twice)."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    a = random.random()
+    b = np.random.rand()
+    return a + b

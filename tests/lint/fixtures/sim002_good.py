@@ -1,0 +1,11 @@
+"""Fixture: seeded generators only (SIM002 must stay quiet)."""
+
+import numpy as np
+
+from repro.simcore.rand import substream
+
+
+def jitter(seed):
+    rng = substream(seed, "jitter")
+    gen = np.random.default_rng(seed)
+    return rng.normal(), gen.random()

@@ -1,0 +1,15 @@
+"""Fixture: hash-ordered set iteration (SIM003 must fire twice).
+
+Only meaningful when linted under a scheduling-path virtual filename
+(e.g. ``repro/workflow/...``).
+"""
+
+from typing import Set
+
+
+def order_tasks(ready: Set[str]):
+    out = []
+    for tid in ready:
+        out.append(tid)
+    first = [t for t in ready]
+    return out, first

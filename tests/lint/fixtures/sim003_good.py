@@ -1,0 +1,11 @@
+"""Fixture: sorted set iteration (SIM003 must stay quiet)."""
+
+from typing import Set
+
+
+def order_tasks(ready: Set[str]):
+    out = []
+    for tid in sorted(ready):
+        out.append(tid)
+    first = [t for t in sorted(ready)]
+    return out, first

@@ -1,0 +1,5 @@
+"""Fixture: exact float equality on sim-time (SIM004 must fire once)."""
+
+
+def fired(env, deadline):
+    return env.now == deadline

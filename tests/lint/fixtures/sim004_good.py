@@ -1,0 +1,12 @@
+"""Fixture: tolerant / ordered time checks (SIM004 must stay quiet)."""
+
+
+def fired(env, deadline):
+    if env.now >= deadline:
+        return True
+    return abs(env.now - deadline) < 1e-9
+
+
+def is_start(start_time):
+    # Equality with a literal zero sentinel is exact and allowed.
+    return start_time == 0.0

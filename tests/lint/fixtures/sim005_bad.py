@@ -1,0 +1,11 @@
+"""Fixture: unprotected release (SIM005 must fire once).
+
+Only meaningful when linted under a scheduling-path virtual filename.
+"""
+
+
+def run_job(resource, work):
+    req = resource.request()
+    yield req
+    yield from work()
+    resource.release(req)

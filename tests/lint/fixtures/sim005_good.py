@@ -1,0 +1,10 @@
+"""Fixture: release under finally (SIM005 must stay quiet)."""
+
+
+def run_job(resource, work):
+    req = resource.request()
+    yield req
+    try:
+        yield from work()
+    finally:
+        resource.release(req)

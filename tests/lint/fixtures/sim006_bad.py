@@ -1,0 +1,10 @@
+"""Fixture: mutable default arguments (SIM006 must fire twice)."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, table={}):
+    return table.setdefault(key, len(table))

@@ -1,0 +1,8 @@
+"""Fixture: None default with inner construction (SIM006 quiet)."""
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc

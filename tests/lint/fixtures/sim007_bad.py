@@ -1,0 +1,12 @@
+"""Fixture: swallowing broad excepts (SIM007 must fire twice)."""
+
+
+def drive(step):
+    try:
+        step()
+    except Exception:
+        pass
+    try:
+        step()
+    except:  # noqa: E722
+        return None

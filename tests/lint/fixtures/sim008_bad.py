@@ -1,0 +1,12 @@
+"""Fixture: event-heap access outside the kernel (SIM008 fires 4x).
+
+Only meaningful when linted under a non-kernel virtual filename.
+"""
+
+import heapq
+
+
+def schedule(env, event, heap):
+    heapq.heappush(heap, event)
+    env._queue_event(event)
+    return env._queue

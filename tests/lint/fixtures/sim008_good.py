@@ -1,0 +1,5 @@
+"""Fixture: scheduling through the public API (SIM008 quiet)."""
+
+
+def schedule(env, duration):
+    return env.timeout(duration)

@@ -1,0 +1,125 @@
+"""Baseline round-trip and inline-suppression behaviour."""
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    SuppressionMap,
+    fingerprint_findings,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+BAD = """\
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+"""
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = lint_source(BAD, path="pkg/mod.py", select=["SIM006"])
+    assert len(findings) == 1
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings)
+    loaded = load_baseline(path)
+    assert len(loaded) == 1
+    new, known = loaded.partition(findings)
+    assert new == [] and len(known) == 1
+
+
+def test_baseline_survives_line_shift(tmp_path):
+    findings = lint_source(BAD, path="pkg/mod.py", select=["SIM006"])
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings)
+    # The same violation three lines lower must still be recognised.
+    shifted = lint_source("\n\n\n" + BAD, path="pkg/mod.py",
+                          select=["SIM006"])
+    assert shifted[0].line == findings[0].line + 3
+    new, known = load_baseline(path).partition(shifted)
+    assert new == [] and len(known) == 1
+
+
+def test_duplicate_findings_not_over_hidden(tmp_path):
+    one = lint_source(BAD, path="pkg/mod.py", select=["SIM006"])
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, one)
+    # A second identical violation in the same file is NEW: the
+    # baseline accepted exactly one occurrence.
+    two = lint_source(BAD + "\n\n" + BAD.replace("collect", "collect2"),
+                      path="pkg/mod.py", select=["SIM006"])
+    assert len(two) == 2
+    new, known = load_baseline(path).partition(two)
+    assert len(known) == 1 and len(new) == 1
+
+
+def test_fingerprints_distinguish_duplicates():
+    two = lint_source(BAD + "\n\n" + BAD.replace("collect", "collect2"),
+                      path="pkg/mod.py", select=["SIM006"])
+    prints = fingerprint_findings(two)
+    assert len(set(prints)) == 2
+
+
+def test_empty_baseline_hides_nothing():
+    findings = lint_source(BAD, path="pkg/mod.py", select=["SIM006"])
+    new, known = Baseline().partition(findings)
+    assert len(new) == 1 and known == []
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a baseline"}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+    path.write_text('{"version": 99, "fingerprints": []}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# ----------------------------------------------------------- suppressions
+
+
+def test_inline_ignore_specific_rule():
+    src = "def collect(item, acc=[]):  # lint: ignore[SIM006]\n    return acc\n"
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert len(findings) == 1 and findings[0].suppressed
+
+
+def test_inline_ignore_wrong_rule_does_not_cover():
+    src = "def collect(item, acc=[]):  # lint: ignore[SIM001]\n    return acc\n"
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert len(findings) == 1 and not findings[0].suppressed
+
+
+def test_bare_ignore_covers_all_rules():
+    src = "def collect(item, acc=[]):  # lint: ignore\n    return acc\n"
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert findings[0].suppressed
+
+
+def test_ignore_list_of_rules():
+    src = ("def collect(item, acc=[]):  # lint: ignore[SIM001, SIM006]\n"
+           "    return acc\n")
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert findings[0].suppressed
+
+
+def test_skip_file_directive():
+    src = "# lint: skip-file\n" + BAD
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert all(f.suppressed for f in findings)
+
+
+def test_skip_file_only_in_header_window():
+    src = "\n" * 20 + "# lint: skip-file\n" + BAD
+    findings = lint_source(src, path="pkg/mod.py", select=["SIM006"])
+    assert any(not f.suppressed for f in findings)
+
+
+def test_suppression_map_directive_count():
+    smap = SuppressionMap("x = 1  # lint: ignore[SIM004]\ny = 2\n")
+    assert smap.n_directives == 1
+    assert smap.covers(1, "SIM004")
+    assert not smap.covers(1, "SIM006")
+    assert not smap.covers(2, "SIM004")

@@ -1,0 +1,81 @@
+"""The runtime determinism sanitizer.
+
+Uses a tiny synthetic workflow on local storage so each traced run
+costs milliseconds; the heavyweight cross-interpreter protocol runs in
+CI (`repro-ec2 lint --determinism`), not here.
+"""
+
+from repro.lint import digest_run, first_divergence, format_digest_line
+from repro.lint.determinism import canonical_event, parse_digest_line
+
+SCENARIO = dict(app="synthetic", storage="local", nodes=1)
+
+
+def test_repeat_run_is_bit_identical():
+    a = digest_run(seed=3, **SCENARIO)
+    b = digest_run(seed=3, **SCENARIO)
+    assert a.digest == b.digest
+    assert a.n_events == b.n_events
+    assert a.makespan == b.makespan
+    assert a.cost == b.cost
+
+
+def test_many_runs_in_one_process_stay_identical():
+    # Regression: span ids used to come from a process-global counter,
+    # so the Nth run in an interpreter traced different ids than the
+    # first.  Any module-global leaking into the trace reappears here.
+    digests = {digest_run(seed=3, **SCENARIO).digest for _ in range(3)}
+    assert len(digests) == 1
+
+
+def test_digest_depends_on_seed():
+    a = digest_run(seed=0, **SCENARIO)
+    b = digest_run(seed=1, **SCENARIO)
+    assert a.digest != b.digest
+
+
+def test_digest_depends_on_scenario():
+    a = digest_run(seed=0, **SCENARIO)
+    b = digest_run(app="synthetic", storage="nfs", nodes=2, seed=0)
+    assert a.digest != b.digest
+
+
+def test_first_divergence_reports_index():
+    a = digest_run(seed=0, keep_events=True, **SCENARIO)
+    b = digest_run(seed=1, keep_events=True, **SCENARIO)
+    assert first_divergence(a, a) is None
+    div = first_divergence(a, b)
+    assert div is not None
+    idx, ea, eb = div
+    assert ea != eb
+    assert a.events[idx] == ea
+
+
+def test_digest_line_round_trip():
+    run = digest_run(seed=3, **SCENARIO)
+    line = format_digest_line(run)
+    parsed = parse_digest_line(line)
+    assert parsed.digest == run.digest
+    assert parsed.n_events == run.n_events
+    # repr() round-trips floats exactly — no precision loss on the wire.
+    assert parsed.makespan == run.makespan
+    assert parsed.cost == run.cost
+
+
+def test_canonical_event_is_order_and_type_stable():
+    one = canonical_event(1.5, "task", "start", {"b": 2, "a": 1})
+    two = canonical_event(1.5, "task", "start", {"a": 1, "b": 2})
+    assert one == two
+    # Typed tags keep equal-looking values of different types distinct.
+    assert canonical_event(0.0, "c", "e", {"v": 1}) \
+        != canonical_event(0.0, "c", "e", {"v": "1"})
+    assert canonical_event(0.0, "c", "e", {"v": True}) \
+        != canonical_event(0.0, "c", "e", {"v": 1})
+
+
+def test_trace_collector_ids_reset_per_run():
+    from repro.simcore.tracing import TraceCollector
+    collector = TraceCollector()
+    assert [collector.next_id() for _ in range(3)] == [1, 2, 3]
+    collector.clear()
+    assert collector.next_id() == 1

@@ -1,0 +1,93 @@
+"""Per-rule fixture tests: every SIMxxx rule fires on its known-bad
+fixture and stays quiet on the known-good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, Severity, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> (fixture stem, virtual path the fixture is linted under,
+#: expected finding count in the bad fixture).  Scoped rules (SIM003,
+#: SIM005, SIM008) need a scheduling-path filename to activate.
+CASES = {
+    "SIM001": ("sim001", "repro/experiments/runner.py", 2),
+    "SIM002": ("sim002", "repro/experiments/runner.py", 2),
+    "SIM003": ("sim003", "repro/workflow/scheduler.py", 2),
+    "SIM004": ("sim004", "repro/simcore/clock.py", 1),
+    "SIM005": ("sim005", "repro/workflow/slots.py", 1),
+    "SIM006": ("sim006", "repro/telemetry/collect.py", 2),
+    "SIM007": ("sim007", "repro/workflow/driver.py", 2),
+    "SIM008": ("sim008", "repro/workflow/scheduler.py", 4),
+}
+
+
+def _lint_fixture(stem: str, suffix: str, path: str, rule_id: str):
+    source = (FIXTURES / f"{stem}_{suffix}.py").read_text()
+    return lint_source(source, path=path, select=[rule_id])
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_bad_fixture_fires(rule_id):
+    stem, path, expected = CASES[rule_id]
+    findings = _lint_fixture(stem, "bad", path, rule_id)
+    assert len(findings) == expected, [f.format() for f in findings]
+    assert all(f.rule_id == rule_id for f in findings)
+    assert all(not f.suppressed for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_good_fixture_quiet(rule_id):
+    stem, path, _ = CASES[rule_id]
+    findings = _lint_fixture(stem, "good", path, rule_id)
+    assert findings == [], [f.format() for f in findings]
+
+
+def test_every_rule_has_a_case():
+    assert sorted(CASES) == sorted(RULES)
+
+
+@pytest.mark.parametrize("rule_id,path", [
+    ("SIM003", "repro/telemetry/collect.py"),
+    ("SIM005", "repro/apps/montage.py"),
+])
+def test_scoped_rules_inactive_off_scheduling_path(rule_id, path):
+    stem, _, _ = CASES[rule_id]
+    source = (FIXTURES / f"{stem}_bad.py").read_text()
+    assert lint_source(source, path=path, select=[rule_id]) == []
+
+
+def test_sim008_allowed_inside_kernel():
+    source = (FIXTURES / "sim008_bad.py").read_text()
+    findings = lint_source(source, path="repro/simcore/engine.py",
+                           select=["SIM008"])
+    assert findings == []
+
+
+def test_src_layout_paths_canonicalised():
+    # The same fixture must activate scoped rules whether linted as
+    # repro/... or src/repro/... (checkout layout).
+    source = (FIXTURES / "sim003_bad.py").read_text()
+    findings = lint_source(source, path="src/repro/workflow/scheduler.py",
+                           select=["SIM003"])
+    assert len(findings) == 2
+
+
+def test_severities():
+    assert RULES["SIM001"].severity is Severity.ERROR
+    assert RULES["SIM004"].severity is Severity.WARNING
+    assert RULES["SIM007"].severity is Severity.WARNING
+
+
+def test_finding_format_and_dict():
+    stem, path, _ = CASES["SIM006"]
+    finding = _lint_fixture(stem, "bad", path, "SIM006")[0]
+    text = finding.format()
+    assert "SIM006" in text and path in text
+    d = finding.to_dict()
+    assert d["rule"] == "SIM006"
+    assert d["path"] == path
+    assert d["severity"] == "error"
