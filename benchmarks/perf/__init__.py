@@ -1,0 +1,8 @@
+"""Simulation-kernel microbenchmarks and the perf gate's measurement core.
+
+Unlike the ``bench_*`` paper benchmarks (which regenerate tables and
+figures), this package times the *simulator itself*: the flow-network
+fill, the event loop, DAG construction/instantiation, and two
+end-to-end Montage cells.  ``scripts/perf_gate.py`` runs the suite and
+checks it against the committed ``BENCH_kernel.json``.
+"""

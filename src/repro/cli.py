@@ -146,6 +146,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         cells,
         progress=lambda r: print(
             f"  done {r.label}: {r.makespan:,.0f} s", file=sys.stderr),
+        jobs=args.jobs,
     )
     print(format_figure_table(
         makespan_matrix(results),
@@ -243,7 +244,7 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
         print(f"error: {why}", file=sys.stderr)
         return 2
     points = fault_inflation_sweep(base, error_rates=rates,
-                                   node_mtbfs=mtbfs)
+                                   node_mtbfs=mtbfs, jobs=args.jobs)
     print(format_fault_sweep(
         points,
         title=f"{base.label} makespan inflation vs fault rate "
@@ -419,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate a paper figure (all cells)")
     p_fig.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
     p_fig.add_argument("--csv", help="also write results to this CSV file")
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="run cells in this many worker processes "
+                            "(results are bit-identical to --jobs 1)")
     p_fig.set_defaults(func=_cmd_figure)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (wfprof)")
@@ -453,6 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="DAGMan retry limit (raised so moderate "
                            "fault rates measure slowdown, not failure)")
     p_fs.add_argument("--csv", help="also write the sweep to this CSV")
+    p_fs.add_argument("--jobs", type=int, default=1,
+                      help="run fault points in this many worker "
+                           "processes (baseline runs first; results "
+                           "are identical to --jobs 1)")
     p_fs.set_defaults(func=_cmd_faultsweep)
 
     p_lint = sub.add_parser(

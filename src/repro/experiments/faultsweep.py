@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 
 from ..workflow.dag import Workflow
 from .config import ExperimentConfig
-from .runner import run_experiment
+from .runner import run_experiment, run_sweep
 
 
 @dataclass
@@ -64,6 +64,7 @@ def fault_inflation_sweep(base: ExperimentConfig,
                           error_rates: Sequence[float] = (),
                           node_mtbfs: Sequence[float] = (),
                           workflow: Optional[Workflow] = None,
+                          jobs: int = 1,
                           ) -> List[FaultSweepPoint]:
     """Sweep fault intensity for one cell; returns one point per setting.
 
@@ -71,7 +72,10 @@ def fault_inflation_sweep(base: ExperimentConfig,
     sweeps crash intensity; the zero/fault-free baseline is always run
     first (and prepended as the first point).  Retries are raised above
     the default so moderate fault rates measure *slowdown*, not
-    failure.
+    failure.  ``jobs > 1`` runs the fault points in that many worker
+    processes (the baseline always runs first, in-process, because
+    every inflation figure is relative to it); point order and values
+    are identical to a serial sweep.
     """
     baseline = run_experiment(base, workflow=workflow)
     points = [FaultSweepPoint(
@@ -82,9 +86,7 @@ def fault_inflation_sweep(base: ExperimentConfig,
         storage_retries=0, storage_giveups=0, abandoned=0,
     )]
 
-    def run_point(rate: float, mtbf: float) -> FaultSweepPoint:
-        cfg = base.with_(storage_error_rate=rate, node_mtbf=mtbf)
-        result = run_experiment(cfg, workflow=workflow)
+    def to_point(rate: float, mtbf: float, result) -> FaultSweepPoint:
         report = result.faults
         return FaultSweepPoint(
             storage_error_rate=rate, node_mtbf=mtbf,
@@ -99,12 +101,15 @@ def fault_inflation_sweep(base: ExperimentConfig,
             abandoned=len(result.run.abandoned_jobs),
         )
 
-    for rate in error_rates:
-        if rate > 0:
-            points.append(run_point(rate, 0.0))
-    for mtbf in node_mtbfs:
-        if mtbf > 0:
-            points.append(run_point(0.0, mtbf))
+    settings = [(rate, 0.0) for rate in error_rates if rate > 0]
+    settings += [(0.0, mtbf) for mtbf in node_mtbfs if mtbf > 0]
+    if not settings:
+        return points
+    configs = [base.with_(storage_error_rate=rate, node_mtbf=mtbf)
+               for rate, mtbf in settings]
+    results = run_sweep(configs, jobs=jobs, workflow=workflow)
+    points.extend(to_point(rate, mtbf, result)
+                  for (rate, mtbf), result in zip(settings, results))
     return points
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..apps import APP_BUILDERS
+from ..apps.templates import app_template
 from ..cloud.cluster import ContextBroker
 from ..cloud.ec2 import EC2Cloud
 from ..cost.model import WorkflowCost, compute_cost
@@ -124,7 +124,9 @@ def run_experiment(config: ExperimentConfig,
         faults.attach_storage(storage)
 
     if workflow is None:
-        workflow = APP_BUILDERS[config.app]()
+        # Cached frozen template: the DAG is built and validated once
+        # per process, then shared by every run of the same app.
+        workflow = app_template(config.app).instantiate()
 
     sampler: Optional[UtilizationSampler] = None
     if telemetry_on:
@@ -159,14 +161,7 @@ def run_experiment(config: ExperimentConfig,
         makespan=run.makespan, stored_gb=stored_gb, at=env.now,
     )
     if telemetry_on:
-        makespan_g = metrics.gauge(
-            "experiment_makespan_seconds", "workflow wall-clock time")
-        makespan_g.set(run.makespan, app=config.app,
-                       storage=config.storage, nodes=config.n_workers)
-        cost_g = metrics.gauge(
-            "experiment_cost_usd", "run cost by billing model")
-        cost_g.set(cost.per_hour_total, billing="hour")
-        cost_g.set(cost.per_second_total, billing="second")
+        _set_summary_gauges(metrics, config, run, cost)
     return ExperimentResult(
         config=config, run=run, cost=cost,
         trace=trace if telemetry_on else None,
@@ -176,20 +171,134 @@ def run_experiment(config: ExperimentConfig,
     )
 
 
+def _set_summary_gauges(metrics: MetricsRegistry, config: ExperimentConfig,
+                        run: WorkflowRun, cost: WorkflowCost) -> None:
+    """Publish the per-run summary gauges (shared with rehydration)."""
+    makespan_g = metrics.gauge(
+        "experiment_makespan_seconds", "workflow wall-clock time")
+    makespan_g.set(run.makespan, app=config.app,
+                   storage=config.storage, nodes=config.n_workers)
+    cost_g = metrics.gauge(
+        "experiment_cost_usd", "run cost by billing model")
+    cost_g.set(cost.per_hour_total, billing="hour")
+    cost_g.set(cost.per_second_total, billing="second")
+
+
+@dataclass
+class _SweepEnvelope:
+    """Picklable result of one sweep cell run in a worker process.
+
+    Live :class:`ExperimentResult` objects cannot cross a process
+    boundary — the trace collector carries closure subscribers (the
+    metrics bridge) and the registry holds live instrument objects.
+    The envelope ships only plain data: the raw trace tuples plus the
+    side artifacts; the parent replays the trace through a fresh
+    collector + bridge, reconstructing bit-identical telemetry.
+    """
+
+    config: ExperimentConfig
+    run: WorkflowRun
+    cost: WorkflowCost
+    #: ``(time, category, event, fields)`` rows, or None (telemetry off).
+    trace_records: Optional[List[tuple]]
+    #: The worker collector's id counter (span ids continue from here).
+    trace_next_id: int
+    timeline: Optional[Timeline]
+    faults: Optional[FaultReport]
+
+
+def _sweep_cell(payload) -> _SweepEnvelope:
+    """Worker entry point: run one cell, return its envelope."""
+    config, workflow, factory = payload
+    if workflow is None and factory is not None:
+        workflow = factory(config.app)
+    result = run_experiment(config, workflow=workflow)
+    trace = result.trace
+    return _SweepEnvelope(
+        config=result.config,
+        run=result.run,
+        cost=result.cost,
+        trace_records=[(r.time, r.category, r.event, r.fields)
+                       for r in trace.records] if trace is not None else None,
+        trace_next_id=trace._next_id if trace is not None else 0,
+        timeline=result.timeline,
+        faults=result.faults,
+    )
+
+
+def _rehydrate(envelope: _SweepEnvelope) -> ExperimentResult:
+    """Rebuild a full ExperimentResult from a worker envelope.
+
+    Replaying the raw records through a fresh collector with the
+    metrics bridge installed reproduces exactly the trace indexes and
+    instrument values the serial path would have built — the bridge is
+    a pure function of the record stream.
+    """
+    if envelope.trace_records is None:
+        return ExperimentResult(
+            config=envelope.config, run=envelope.run, cost=envelope.cost,
+            timeline=envelope.timeline, faults=envelope.faults)
+    trace = TraceCollector()
+    metrics = MetricsRegistry()
+    install_trace_bridge(metrics, trace)
+    emit = trace.emit
+    for time, category, event, fields in envelope.trace_records:
+        emit(time, category, event, **fields)
+    trace._next_id = envelope.trace_next_id
+    _set_summary_gauges(metrics, envelope.config, envelope.run, envelope.cost)
+    return ExperimentResult(
+        config=envelope.config, run=envelope.run, cost=envelope.cost,
+        trace=trace, metrics=metrics,
+        timeline=envelope.timeline, faults=envelope.faults)
+
+
 def run_sweep(configs: Iterable[ExperimentConfig],
               workflow_factory: Optional[Callable[[str], Workflow]] = None,
               progress: Optional[Callable[[ExperimentResult], None]] = None,
+              jobs: int = 1,
+              workflow: Optional[Workflow] = None,
               ) -> List[ExperimentResult]:
     """Run many cells; each gets its own fresh simulated world.
 
     ``workflow_factory(app_name)`` can supply down-scaled workflows for
-    quick sweeps; ``progress`` is called after each cell.
+    quick sweeps; ``workflow`` fixes one explicit workflow for every
+    cell instead (mutually exclusive with the factory).  ``progress``
+    is called after each cell, in config order.
+
+    ``jobs > 1`` runs cells in up to that many worker processes.  The
+    returned list is always in config order and — because every cell is
+    a fresh, fully deterministic world — bit-identical to a serial
+    sweep, including the telemetry of each result (see
+    :class:`_SweepEnvelope`).  With ``jobs > 1`` the factory must be
+    picklable (a module-level function, not a lambda).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if workflow is not None and workflow_factory is not None:
+        raise ValueError("pass workflow or workflow_factory, not both")
+    configs = list(configs)
+
+    if jobs == 1 or len(configs) <= 1:
+        results = []
+        for config in configs:
+            wf = workflow if workflow is not None else (
+                workflow_factory(config.app) if workflow_factory else None)
+            result = run_experiment(config, workflow=wf)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = [(config, workflow, workflow_factory) for config in configs]
     results = []
-    for config in configs:
-        wf = workflow_factory(config.app) if workflow_factory else None
-        result = run_experiment(config, workflow=wf)
-        results.append(result)
-        if progress is not None:
-            progress(result)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(configs))) as pool:
+        # map() yields in submission order regardless of completion
+        # order, so result order (and progress callbacks) match serial.
+        for envelope in pool.map(_sweep_cell, payloads):
+            result = _rehydrate(envelope)
+            results.append(result)
+            if progress is not None:
+                progress(result)
     return results

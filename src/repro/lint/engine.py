@@ -35,10 +35,15 @@ SCHEDULING_PREFIXES = (
 #: The only modules allowed to touch the event heap directly: the
 #: engine owns the queue, the events layer feeds it through
 #: ``_queue_event``, and PriorityResource owns its waiter heap.
+#: flownet's completion heap and the NFS clean-LRU heap are private
+#: min-heaps whose entries carry explicit sequence/stamp tie-breaks,
+#: so they preserve the determinism contract this rule protects.
 EVENT_QUEUE_OWNERS = (
     "repro/simcore/engine.py",
     "repro/simcore/events.py",
+    "repro/simcore/flownet.py",
     "repro/simcore/resources.py",
+    "repro/storage/nfs.py",
 )
 
 

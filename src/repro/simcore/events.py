@@ -19,6 +19,7 @@ Events move through three states:
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from .errors import EventAlreadyTriggered, EventNotTriggered, Interrupt
@@ -86,7 +87,13 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._queue_event(self)
+        # Inlined ``env._queue_event(self)`` (normal priority, zero
+        # delay): succeed() fires for every completed operation in a
+        # run, and the extra frame is pure dispatch overhead.
+        env = self.env
+        seq = env._seq + 1
+        env._seq = seq
+        _heappush(env._queue, (env._now, 1, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -140,11 +147,20 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__ — timeouts are the single most
+        # constructed object in a run (every wakeup, every latency),
+        # and the super() dispatch costs more than the body.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env._queue_event(self, delay=delay)
+        # Inlined ``env._queue_event(self, delay=delay)`` — same
+        # rationale as the inlined init above, one level deeper.
+        seq = env._seq + 1
+        env._seq = seq
+        _heappush(env._queue, (env._now + delay, 1, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -163,7 +179,14 @@ class Process(Event):
     def __init__(self, env: "Environment", generator, name: Optional[str] = None) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # Inlined Event.__init__ (see Timeout): processes are spawned
+        # per job attempt and per storage RPC, so the super() dispatch
+        # shows up in profiles.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if the
@@ -207,26 +230,32 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         self._waiting_on = None
+        # Localise the generator methods: this function runs once per
+        # event in the simulation, and the repeated attribute loads are
+        # measurable at that rate.
+        gen = self._generator
+        send = gen.send
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     event._defused = True
-                    target = self._generator.throw(event._value)
+                    target = gen.throw(event._value)
             except StopIteration as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(target, Event):
-                self.env._active_process = None
+                env._active_process = None
                 err = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {target!r}"
                 )
@@ -243,7 +272,7 @@ class Process(Event):
                 # Not yet processed: register and suspend.
                 target.callbacks.append(self._resume)
                 self._waiting_on = target
-                self.env._active_process = None
+                env._active_process = None
                 return
             # Already processed: loop and feed its value immediately.
             event = target
@@ -260,16 +289,19 @@ class Condition(Event):
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events: List[Event] = list(events)
+        self._remaining = len(self.events)
+        # One fused pass: validate, then register or evaluate.  The
+        # S3 client builds an AllOf per remote read/write, so condition
+        # construction is on the storage hot path.
+        check = self._check
         for ev in self.events:
             if ev.env is not env:
                 raise ValueError("cannot mix events from different environments")
-        self._remaining = len(self.events)
-        for ev in self.events:
             if ev.callbacks is None:
                 # Already processed; evaluate immediately.
-                self._check(ev)
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
         if not self.events and not self.triggered:
             # Vacuously satisfied.
             self.succeed(self._collect())

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict
 
-from .events import Event
+from .events import Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
@@ -76,10 +76,20 @@ class FairShareChannel:
         self.contention_beta = contention_beta
         self.contention_gamma = contention_gamma
         self.min_efficiency = min_efficiency
+        # The service rate is a pure function of the population size
+        # and the (immutable) contention constants; memoizing it spares
+        # a float pow() on every advance/reschedule of the hot path.
+        self._rate_cache: Dict[int, float] = {}
         self._jobs: Dict[int, _ChannelJob] = {}
         self._next_id = 0
         self._last_update = env.now
-        self._wake_token = 0
+        # Wakeup invalidation by event identity: `_wake_event` is the
+        # timeout of the *latest* reschedule, and the single persistent
+        # callback ignores any older timeout that still fires.  This
+        # replaces a per-reschedule token lambda (one closure allocation
+        # per population change) with a plain identity check.
+        self._wake_event: object = None
+        self._wake_cb = self._on_wake
         #: Cumulative dedicated-service seconds completed (utilisation metric).
         self.total_work_done = 0.0
         #: Total operations submitted.
@@ -137,8 +147,12 @@ class FairShareChannel:
 
     def _service_rate(self, n: int) -> float:
         """Total service rate with ``n`` concurrent operations."""
-        penalty = self.contention_beta * (n - 1) ** self.contention_gamma
-        return max(1.0 / (1.0 + penalty), self.min_efficiency)
+        rate = self._rate_cache.get(n)
+        if rate is None:
+            penalty = self.contention_beta * (n - 1) ** self.contention_gamma
+            rate = max(1.0 / (1.0 + penalty), self.min_efficiency)
+            self._rate_cache[n] = rate
+        return rate
 
     def _advance(self) -> None:
         """Progress all jobs to the current time."""
@@ -156,25 +170,30 @@ class FairShareChannel:
 
     def _reschedule(self) -> None:
         """Complete due jobs and schedule a wakeup for the next one."""
-        # Fire anything that is (numerically) finished.
-        finished = [jid for jid, job in self._jobs.items()
-                    if job.work_left <= _TIME_EPS]
+        # One fused pass: collect (numerically) finished jobs and the
+        # least remaining work among the survivors.
+        finished = []
+        min_left = -1.0
+        for jid, job in self._jobs.items():
+            left = job.work_left
+            if left <= _TIME_EPS:
+                finished.append(jid)
+            elif min_left < 0.0 or left < min_left:
+                min_left = left
         for jid in finished:
             job = self._jobs.pop(jid)
             job.event.succeed()
         if not self._jobs:
             return
         n = len(self._jobs)
-        min_left = min(job.work_left for job in self._jobs.values())
         # Floor the delay so the clock always advances between wakeups.
         delay = max(min_left * n / self._service_rate(n), 1e-9)
-        self._wake_token += 1
-        token = self._wake_token
-        wake = self.env.timeout(delay)
-        wake.callbacks.append(lambda _ev, t=token: self._on_wake(t))
+        wake = Timeout(self.env, delay)
+        self._wake_event = wake
+        wake.callbacks.append(self._wake_cb)
 
-    def _on_wake(self, token: int) -> None:
-        if token != self._wake_token:
+    def _on_wake(self, event: object) -> None:
+        if event is not self._wake_event:
             return  # population changed since this wakeup was scheduled
         self._advance()
         self._reschedule()

@@ -15,13 +15,17 @@ thousands of queries and must not go quadratic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One timestamped observation.
+
+    A plain ``__slots__`` class rather than a dataclass: trace-heavy
+    runs construct one record per traced event (hundreds of thousands
+    per cell), and the frozen-dataclass ``__init__`` costs several
+    times a direct slot assignment.  Records are immutable by
+    convention — nothing in the codebase mutates one after ``emit``.
 
     Attributes
     ----------
@@ -35,14 +39,32 @@ class TraceRecord:
         Free-form payload (task id, bytes, node name, ...).
     """
 
-    time: float
-    category: str
-    event: str
-    fields: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "event", "fields")
+
+    def __init__(self, time: float, category: str, event: str,
+                 fields: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.category = category
+        self.event = event
+        self.fields = {} if fields is None else fields
 
     def get(self, key: str, default: Any = None) -> Any:
         """Field accessor with default."""
         return self.fields.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        # Field-wise identity compare (what the frozen dataclass
+        # generated); bit-equality on time is the point here, not a
+        # sim-time tolerance check.
+        return (self.time == other.time  # lint: ignore[SIM004]
+                and self.category == other.category
+                and self.event == other.event and self.fields == other.fields)
+
+    def __repr__(self) -> str:
+        return (f"TraceRecord(time={self.time!r}, category={self.category!r}, "
+                f"event={self.event!r}, fields={self.fields!r})")
 
 
 class TraceCollector:
@@ -59,11 +81,15 @@ class TraceCollector:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
-        # (category, event) -> records, and category -> records.  Lists
-        # share the TraceRecord objects with ``records``; only the list
-        # overhead is duplicated.
+        # (category, event) -> records.  Lists share the TraceRecord
+        # objects with ``records``; only the list overhead is
+        # duplicated.
         self._by_cat_event: Dict[Tuple[str, str], List[TraceRecord]] = {}
-        self._by_category: Dict[str, List[TraceRecord]] = {}
+        # category -> records, built lazily on the first category-only
+        # query (then kept fresh by ``emit``): most runs never issue
+        # one until the post-run analysis, and skipping the second
+        # index append keeps ``emit`` lean.
+        self._by_category: Optional[Dict[str, List[TraceRecord]]] = None
         self._next_id = 0
 
     def next_id(self) -> int:
@@ -80,17 +106,25 @@ class TraceCollector:
         """Record an observation (no-op when disabled)."""
         if not self.enabled:
             return
-        rec = TraceRecord(time, category, event, fields)
+        # Direct slot fill via __new__: one C call instead of a Python
+        # __init__ frame, on the hottest constructor in the simulator.
+        rec = TraceRecord.__new__(TraceRecord)
+        rec.time = time
+        rec.category = category
+        rec.event = event
+        rec.fields = fields
         self.records.append(rec)
         key = (category, event)
         bucket = self._by_cat_event.get(key)
         if bucket is None:
             bucket = self._by_cat_event[key] = []
         bucket.append(rec)
-        cat_bucket = self._by_category.get(category)
-        if cat_bucket is None:
-            cat_bucket = self._by_category[category] = []
-        cat_bucket.append(rec)
+        by_cat = self._by_category
+        if by_cat is not None:
+            cat_bucket = by_cat.get(category)
+            if cat_bucket is None:
+                cat_bucket = by_cat[category] = []
+            cat_bucket.append(rec)
         for sub in self._subscribers:
             sub(rec)
 
@@ -131,7 +165,12 @@ class TraceCollector:
         if category is not None:
             if event is not None:
                 return self._by_cat_event.get((category, event), [])
-            return self._by_category.get(category, [])
+            by_cat = self._by_category
+            if by_cat is None:
+                by_cat = self._by_category = {}
+                for rec in self.records:
+                    by_cat.setdefault(rec.category, []).append(rec)
+            return by_cat.get(category, [])
         # Event-only queries are rare and have no dedicated index.
         if event is not None:
             return [r for r in self.records if r.event == event]
@@ -172,7 +211,7 @@ class TraceCollector:
         """Drop all collected records (subscribers stay registered)."""
         self.records.clear()
         self._by_cat_event.clear()
-        self._by_category.clear()
+        self._by_category = None
         self._next_id = 0
 
     def reset(self) -> None:

@@ -26,7 +26,8 @@ behaviour to:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Generator
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
 
 from ..simcore.errors import Interrupt
 from ..simcore.pipes import FairShareChannel
@@ -91,6 +92,16 @@ class NFSStorage(StorageSystem):
         self._cache: "OrderedDict[str, float]" = OrderedDict()
         self._cache_bytes = 0.0
         self._dirty: set = set()
+        # Eviction bookkeeping: every touch (insert / LRU re-position)
+        # assigns the entry a fresh monotonic stamp, so stamp order ==
+        # OrderedDict order.  Clean entries additionally sit in a
+        # min-heap of (stamp, name); :meth:`_evict` pops the heap
+        # instead of scanning the whole cache, discarding entries whose
+        # stamp no longer matches (lazy invalidation).  Dirty entries
+        # enter the heap only when their flush completes.
+        self._stamp: Dict[str, int] = {}
+        self._stamp_counter = 0
+        self._clean_heap: List[Tuple[int, str]] = []
         self._dirty_quota = Container(
             env, capacity=max(self.cache_capacity * self.DIRTY_FRACTION, 1.0),
             init=max(self.cache_capacity * self.DIRTY_FRACTION, 1.0))
@@ -113,33 +124,62 @@ class NFSStorage(StorageSystem):
 
     # -- cache helpers ---------------------------------------------------------
 
+    def _touch(self, name: str) -> None:
+        """Re-stamp ``name`` as most recently used (clean ⇒ re-heaped)."""
+        stamp = self._stamp_counter + 1
+        self._stamp_counter = stamp
+        self._stamp[name] = stamp
+        if name not in self._dirty:
+            heappush(self._clean_heap, (stamp, name))
+
     def _cache_has(self, name: str) -> bool:
         if name in self._cache:
             self._cache.move_to_end(name)
+            self._touch(name)
             return True
         return False
 
     def _cache_insert(self, name: str, size: float, dirty: bool) -> None:
         if name in self._cache:
+            # Re-writes of a cached name only refresh recency; an
+            # already-clean entry is *not* re-dirtied (the flusher saw
+            # the data once, and the model charges one flush per name).
             self._cache.move_to_end(name)
+            self._touch(name)
             return
         self._cache[name] = size
         self._cache_bytes += size
         if dirty:
             self._dirty.add(name)
+        self._touch(name)
         self._evict()
 
     def _evict(self) -> None:
         # Drop clean LRU entries until the cache fits.  Dirty entries
-        # are pinned until their flush completes.
+        # are pinned until their flush completes.  Candidates come from
+        # the clean-stamp heap (stamp order == LRU order), so eviction
+        # is O(log n) per dropped entry instead of an O(n) scan of the
+        # whole cache per insert; stale heap entries — name gone,
+        # re-stamped since, or dirtied meanwhile — are skipped.
         if self._cache_bytes <= self.cache_capacity:
             return
-        for name in list(self._cache):
-            if self._cache_bytes <= self.cache_capacity:
-                break
-            if name in self._dirty:
+        cache = self._cache
+        stamps = self._stamp
+        heap = self._clean_heap
+        dirty = self._dirty
+        while self._cache_bytes > self.cache_capacity and heap:
+            stamp, name = heappop(heap)
+            if stamps.get(name) != stamp or name in dirty:
                 continue
-            self._cache_bytes -= self._cache.pop(name)
+            self._cache_bytes -= cache.pop(name)
+            del stamps[name]
+        # Compact once the heap is dominated by stale entries so it
+        # cannot grow without bound across a long run.
+        if len(heap) > 4 * len(cache) + 64:
+            live = [(s, n) for (s, n) in heap
+                    if stamps.get(n) == s and n not in dirty]
+            heapify(live)
+            self._clean_heap = live
 
     @property
     def cached_bytes(self) -> float:
@@ -255,7 +295,12 @@ class NFSStorage(StorageSystem):
         while True:
             meta = yield self._flush_queue.get()
             yield from self.server.disk.write(("nfs", meta.name), meta.size)
-            self._dirty.discard(meta.name)
+            if meta.name in self._dirty:
+                self._dirty.discard(meta.name)
+                # Now clean at its current recency: becomes evictable.
+                stamp = self._stamp.get(meta.name)
+                if stamp is not None:
+                    heappush(self._clean_heap, (stamp, meta.name))
             yield self._dirty_quota.put(
                 min(meta.size, self._dirty_quota.capacity))
             self.flushes_completed += 1

@@ -30,7 +30,16 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
-    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+    # Hot path: every inc/set/observe canonicalises its labels.  Most
+    # call sites pass zero or one label — skip the sort for those.
+    if len(labels) < 2:
+        if not labels:
+            return ()
+        k, v = next(iter(labels.items()))
+        return ((k, str(v)),)
+    items = [(k, str(v)) for k, v in labels.items()]
+    items.sort()
+    return tuple(items)
 
 
 def _key_dict(key: LabelKey) -> Dict[str, str]:
@@ -76,6 +85,18 @@ class Counter(Instrument):
             raise ValueError(f"counter {self.name} cannot decrease "
                              f"(inc by {amount})")
         key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def inc_key(self, key: LabelKey, amount: float = 1.0) -> None:
+        """Fast-path ``inc`` taking an already-canonical label key.
+
+        ``key`` must be sorted ``((name, str_value), ...)`` — exactly
+        what :func:`_label_key` produces.  Hot subscribers (the trace
+        bridge) build these tuples directly to skip the kwargs dict
+        and canonicalisation on every record.
+        """
+        if not self.enabled:
+            return
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
@@ -186,7 +207,16 @@ class Histogram(Instrument):
         """Record one observation in the labelled child."""
         if not self.enabled:
             return
-        child = self._child(labels)
+        self.observe_key(value, _label_key(labels))
+
+    def observe_key(self, value: float, key: LabelKey) -> None:
+        """Fast-path ``observe`` taking an already-canonical label key
+        (see :meth:`Counter.inc_key`)."""
+        if not self.enabled:
+            return
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistChild(len(self.buckets))
         idx = bisect_left(self.buckets, value)
         child.bucket_counts[idx] += 1
         child.count += 1
@@ -391,46 +421,55 @@ def install_trace_bridge(registry: MetricsRegistry,
         "storage_retry_delay_seconds",
         "backoff delays taken by storage clients before retrying")
 
+    # The bridge sees every trace record (hundreds of thousands per
+    # cell), so it builds canonical label keys directly — tuple labels
+    # pre-sorted by name, values already strings — and feeds them to
+    # the ``*_key`` fast paths, skipping the kwargs/canonicalisation
+    # machinery of the public ``inc``/``observe``.
     def on_record(rec: TraceRecord) -> None:
         cat, ev, f = rec.category, rec.event, rec.fields
         if cat == "task":
             node = f.get("node", "?")
             if ev == "start":
-                tasks_started.inc(node=node,
-                                  transformation=f.get("transformation", "?"))
+                tasks_started.inc_key(
+                    (("node", node),
+                     ("transformation", f.get("transformation", "?"))))
             elif ev == "end":
-                tasks_completed.inc(node=node)
-                task_duration.observe(
+                tasks_completed.inc_key((("node", node),))
+                task_duration.observe_key(
                     f.get("duration", 0.0),
-                    transformation=f.get("transformation", "?"))
+                    (("transformation", f.get("transformation", "?")),))
             elif ev == "failed":
-                tasks_failed.inc(node=node)
-        elif cat == "storage" and ev in ("read", "write"):
+                tasks_failed.inc_key((("node", node),))
+        elif cat == "storage" and (ev == "read" or ev == "write"):
             system = f.get("system", "?")
             remote = "remote" if f.get("remote") else "local"
-            storage_ops.inc(op=ev, storage=system, locality=remote)
-            storage_bytes.inc(f.get("nbytes", 0.0), op=ev, storage=system)
+            storage_ops.inc_key(
+                (("locality", remote), ("op", ev), ("storage", system)))
+            storage_bytes.inc_key((("op", ev), ("storage", system)),
+                                  f.get("nbytes", 0.0))
         elif cat == "disk":
             disk = f.get("disk", "?")
-            if ev in ("read", "write"):
-                disk_ops.inc(disk=disk, op=ev)
-                disk_bytes.inc(f.get("nbytes", 0.0), disk=disk, op=ev)
+            if ev == "read" or ev == "write":
+                key = (("disk", disk), ("op", ev))
+                disk_ops.inc_key(key)
+                disk_bytes.inc_key(key, f.get("nbytes", 0.0))
                 if ev == "write" and f.get("first"):
-                    disk_first_writes.inc(disk=disk)
+                    disk_first_writes.inc_key((("disk", disk),))
         elif cat == "net" and ev == "transfer":
-            src, dst = f.get("src", "?"), f.get("dst", "?")
-            net_transfers.inc(src=src, dst=dst)
-            net_bytes.inc(f.get("nbytes", 0.0), src=src, dst=dst)
+            key = (("dst", f.get("dst", "?")), ("src", f.get("src", "?")))
+            net_transfers.inc_key(key)
+            net_bytes.inc_key(key, f.get("nbytes", 0.0))
         elif cat == "schedd" and ev == "submit":
-            schedd_submits.inc()
+            schedd_submits.inc_key(())
         elif cat == "vm" and ev == "terminate":
-            vm_terminations.inc()
+            vm_terminations.inc_key(())
         elif cat == "vm" and ev == "crash":
-            vm_crashes.inc(node=f.get("node", "?"))
+            vm_crashes.inc_key((("node", f.get("node", "?")),))
         elif cat == "fault":
-            fault_events.inc(kind=ev)
+            fault_events.inc_key((("kind", ev),))
             if ev == "storage_retry":
-                storage_retry_delay.observe(f.get("delay", 0.0),
-                                            op=f.get("op", "?"))
+                storage_retry_delay.observe_key(
+                    f.get("delay", 0.0), (("op", f.get("op", "?")),))
 
     trace.subscribe(on_record)

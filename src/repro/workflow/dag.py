@@ -77,6 +77,10 @@ class Workflow:
         #: Extra control-flow-only edges (parent_id, child_id).
         self.control_edges: Set[Tuple[str, str]] = set()
         self._producer: Dict[str, str] = {}
+        # Set by freeze(): the graph is immutable and pre-validated,
+        # with the parent map computed once (see freeze()).
+        self._frozen = False
+        self._cached_parents: Optional[Dict[str, Set[str]]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -89,6 +93,7 @@ class Workflow:
         ``temporary`` excludes an unconsumed product from the output
         accounting; ``final`` forces a consumed product into it.
         """
+        self._check_mutable()
         if is_input and (temporary or final):
             raise WorkflowValidationError(
                 f"file {name!r}: inputs cannot be temporary or final")
@@ -108,6 +113,7 @@ class Workflow:
 
     def add_task(self, task: Task) -> Task:
         """Add a task; its files must have been declared already."""
+        self._check_mutable()
         if task.id in self.tasks:
             raise WorkflowValidationError(f"duplicate task id {task.id!r}")
         for name in list(task.inputs) + list(task.outputs):
@@ -128,10 +134,42 @@ class Workflow:
 
     def add_control_edge(self, parent_id: str, child_id: str) -> None:
         """Order two tasks without a data dependency."""
+        self._check_mutable()
         for tid in (parent_id, child_id):
             if tid not in self.tasks:
                 raise WorkflowValidationError(f"unknown task {tid!r}")
         self.control_edges.add((parent_id, child_id))
+
+    # -- freezing ----------------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise WorkflowValidationError(
+                f"workflow {self.name!r} is frozen; instantiate a fresh "
+                f"copy to modify it")
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has sealed the graph."""
+        return self._frozen
+
+    def freeze(self) -> "Workflow":
+        """Seal the graph: validate once, precompute the parent map.
+
+        A frozen workflow rejects further ``add_*`` calls, so it can be
+        safely shared across many experiment runs (nothing in the
+        execution path mutates a workflow — planning state lives in the
+        plan, file state in the storage namespace).  :meth:`validate`
+        and :meth:`parents` become O(1)-ish lookups, which is what
+        makes cached app templates cheap to re-instantiate.
+        Idempotent; returns ``self`` for chaining.
+        """
+        if self._frozen:
+            return self
+        self.validate()
+        self._cached_parents = {tid: self.parents(tid) for tid in self.tasks}
+        self._frozen = True
+        return self
 
     # -- structure ----------------------------------------------------------------
 
@@ -141,6 +179,11 @@ class Workflow:
 
     def parents(self, task_id: str) -> Set[str]:
         """Ids of tasks that must finish before ``task_id`` can start."""
+        cached = self._cached_parents
+        if cached is not None:
+            # Return a copy: callers (the mapper) hand these sets to
+            # planning structures that must not alias template state.
+            return set(cached[task_id])
         task = self.tasks[task_id]
         parents = {
             self._producer[f] for f in task.inputs if f in self._producer
@@ -171,7 +214,12 @@ class Workflow:
         * every non-input file has a producer or is a declared input;
         * the dependency graph is acyclic;
         * every task's inputs are reachable.
+
+        A frozen workflow was validated when it was sealed and cannot
+        have changed since, so re-validation is skipped.
         """
+        if self._frozen:
+            return
         for task in self.tasks.values():
             for name in task.inputs:
                 if name not in self.input_files and name not in self._producer:

@@ -121,7 +121,10 @@ def execute_job(env: "Environment", job: "ExecutableJob",
         try:
             # 2. stage/read inputs ----------------------------------------
             t0 = env.now
-            with spans.span("phase", "read", node=node.name, task=task.id):
+            # Phase spans use explicit begin/end: three context-manager
+            # entries per job attempt add up at 10^5 attempts per run.
+            phase = spans.begin("phase", "read", node=node.name, task=task.id)
+            try:
                 for meta in job.inputs:
                     ns.begin_read(meta.name)
                     try:
@@ -129,14 +132,20 @@ def execute_job(env: "Environment", job: "ExecutableJob",
                     finally:
                         ns.end_read(meta.name)
                     record.bytes_read += meta.size
+            finally:
+                spans.end(phase)
             record.read_seconds = env.now - t0
 
             # 3. compute ----------------------------------------------------
             t0 = env.now
-            with spans.span("phase", "compute", node=node.name, task=task.id):
+            phase = spans.begin("phase", "compute", node=node.name,
+                                task=task.id)
+            try:
                 cpu = task.cpu_seconds * cpu_jitter_factor
                 if cpu > 0:
                     yield env.timeout(cpu)
+            finally:
+                spans.end(phase)
             record.cpu_seconds = env.now - t0
             if fail_this_attempt:
                 record.failed = True
@@ -147,7 +156,9 @@ def execute_job(env: "Environment", job: "ExecutableJob",
 
             # 4. write outputs ------------------------------------------------
             t0 = env.now
-            with spans.span("phase", "write", node=node.name, task=task.id):
+            phase = spans.begin("phase", "write", node=node.name,
+                                task=task.id)
+            try:
                 for meta in job.outputs:
                     if record.attempt > 1 \
                             and ns.state(meta.name) is FileState.AVAILABLE:
@@ -166,6 +177,8 @@ def execute_job(env: "Environment", job: "ExecutableJob",
                         raise
                     ns.end_write(meta.name)
                     record.bytes_written += meta.size
+            finally:
+                spans.end(phase)
             record.write_seconds = env.now - t0
         except StorageUnavailableError as exc:
             # Storage retries are exhausted; surface as an ordinary

@@ -1,0 +1,78 @@
+"""Serial vs process-parallel sweeps must be bit-identical.
+
+``run_sweep(jobs=N)`` farms cells out to worker processes and replays
+their telemetry in the parent; nothing about the numbers, ordering, or
+trace streams may depend on N.
+"""
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_sweep
+from repro.experiments.faultsweep import fault_inflation_sweep
+
+
+def small_wf(app_name="any"):
+    return build_synthetic(n_tasks=24, width=8, cpu_seconds=5.0, seed=1)
+
+
+def _cells(collect_traces=False):
+    return [
+        ExperimentConfig("synthetic", "local", 1,
+                         collect_traces=collect_traces),
+        ExperimentConfig("synthetic", "nfs", 2,
+                         collect_traces=collect_traces),
+        ExperimentConfig("synthetic", "s3", 2,
+                         collect_traces=collect_traces),
+        ExperimentConfig("synthetic", "glusterfs-distribute", 2,
+                         collect_traces=collect_traces),
+    ]
+
+
+def test_parallel_sweep_matches_serial_bit_for_bit():
+    serial = run_sweep(_cells(), workflow_factory=small_wf)
+    parallel = run_sweep(_cells(), workflow_factory=small_wf, jobs=4)
+    assert len(parallel) == len(serial) == 4
+    for s, p in zip(serial, parallel):
+        assert p.config.label == s.config.label
+        assert repr(p.makespan) == repr(s.makespan)
+        assert repr(p.cost.per_hour_total) == repr(s.cost.per_hour_total)
+        assert p.summary_row() == s.summary_row()
+
+
+def test_parallel_sweep_replays_traces_identically():
+    serial = run_sweep(_cells(collect_traces=True),
+                       workflow_factory=small_wf)
+    parallel = run_sweep(_cells(collect_traces=True),
+                         workflow_factory=small_wf, jobs=2)
+    for s, p in zip(serial, parallel):
+        assert s.trace is not None and p.trace is not None
+        s_records = [(r.time, r.category, r.event, r.fields)
+                     for r in s.trace.records]
+        p_records = [(r.time, r.category, r.event, r.fields)
+                     for r in p.trace.records]
+        assert p_records == s_records
+
+
+def test_parallel_sweep_preserves_submission_order():
+    # More cells than workers: completion order may scramble, result
+    # order may not.
+    cells = [ExperimentConfig("synthetic", "nfs", n) for n in (1, 2, 3, 4)]
+    results = run_sweep(cells, workflow_factory=small_wf, jobs=2)
+    assert [r.config.n_workers for r in results] == [1, 2, 3, 4]
+
+
+def test_parallel_fault_sweep_matches_serial():
+    base = ExperimentConfig("synthetic", "nfs", 2, seed=3)
+    serial = fault_inflation_sweep(base, error_rates=(0.01, 0.05),
+                                   node_mtbfs=(4000.0,),
+                                   workflow=small_wf())
+    parallel = fault_inflation_sweep(base, error_rates=(0.01, 0.05),
+                                     node_mtbfs=(4000.0,),
+                                     workflow=small_wf(), jobs=3)
+    assert [p.row() for p in parallel] == [s.row() for s in serial]
+
+
+def test_jobs_validation():
+    with pytest.raises(ValueError):
+        run_sweep(_cells(), workflow_factory=small_wf, jobs=0)
