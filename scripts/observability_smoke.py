@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI observability smoke: sweep + event log + crash bundle end-to-end.
+
+Drives a small montage sweep with the full observability surface
+switched on — live progress, JSONL event log, flight recorder, crash
+directory — including one cell rigged to fail, then checks that every
+artifact is well-formed:
+
+* the event log passes the schema validator, contains every expected
+  lifecycle kind, and carries a gapless ``seq``;
+* the failing cell produced exactly one crash bundle that validates,
+  names the right scenario, and summarizes readably (the same path
+  ``repro-ec2 postmortem`` takes);
+* the per-cell metrics export in Prometheus format passes the
+  promtool-style validator.
+
+Usage::
+
+    python scripts/observability_smoke.py [--artifacts DIR]
+
+Exits 0 when everything checks out, 1 on any problem.  ``--artifacts``
+keeps the event log / crash bundles for CI upload (default: a temp dir
+discarded on success).
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="directory to keep the artifacts in "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+    artifacts = args.artifacts or Path(tempfile.mkdtemp(prefix="obs-smoke-"))
+    artifacts.mkdir(parents=True, exist_ok=True)
+    events_path = str(artifacts / "events.jsonl")
+    crash_dir = str(artifacts / "crashes")
+
+    from repro.apps import build_montage
+    from repro.experiments import (CellError, ExperimentConfig,
+                                   ObserveOptions, run_sweep)
+    from repro.observe import (EventLogWriter, SweepMonitor,
+                               load_crash_bundles, summarize_bundle,
+                               validate_bundle, validate_event_log)
+    from repro.telemetry import to_prometheus, validate_exposition
+
+    wf = build_montage(degrees=0.5)
+    good = ExperimentConfig("montage", "local", 1, collect_traces=True)
+    # Rigged cell: every attempt crashes and retries are exhausted
+    # immediately, so the WMS raises WorkflowFailedError.
+    bad = good.with_(task_failure_rate=0.95, retries=0)
+    cells = [good, bad, good.with_(seed=1)]
+
+    problems = []
+    with EventLogWriter(events_path) as events:
+        monitor = SweepMonitor(events=events, progress=True)
+        observe = ObserveOptions(monitor=monitor, crash_dir=crash_dir)
+        try:
+            run_sweep(cells, workflow=wf, observe=observe)
+            problems.append("sweep did not raise CellError for the "
+                            "rigged cell")
+            results = []
+        except CellError as exc:
+            print(f"expected failure: {exc}", file=sys.stderr)
+            if len(exc.failures) != 1 or exc.failures[0]["index"] != 1:
+                problems.append(f"wrong failure set: {exc.failures}")
+        # Second pass: keep_going must yield the two healthy results.
+        monitor2 = SweepMonitor(events=events, progress=False)
+        observe2 = ObserveOptions(monitor=monitor2, crash_dir=crash_dir,
+                                  keep_going=True)
+        results = run_sweep(cells, workflow=wf, observe=observe2)
+        if [r is not None for r in results] != [True, False, True]:
+            problems.append(f"keep_going result shape wrong: "
+                            f"{[r is not None for r in results]}")
+
+    log_problems = validate_event_log(events_path, expect_kinds=[
+        "sweep_started", "cell_scheduled", "cell_started",
+        "cell_finished", "cell_failed", "sweep_finished"])
+    problems += [f"event log: {p}" for p in log_problems]
+
+    bundles = load_crash_bundles(crash_dir)
+    if len(bundles) != 1:
+        problems.append(f"expected 1 crash bundle, found {len(bundles)}")
+    for path, bundle in bundles:
+        problems += [f"bundle {path}: {p}" for p in validate_bundle(bundle)]
+        if bundle.get("label") != bad.label or bundle.get("index") != 1:
+            problems.append(f"bundle {path} names the wrong cell")
+        summary = summarize_bundle(bundle)
+        if "WorkflowFailedError" not in summary:
+            problems.append(f"bundle summary missing the error: {summary}")
+        else:
+            print(summary)
+
+    healthy = [r for r in results if r is not None]
+    if healthy and healthy[0].metrics is not None:
+        text = to_prometheus(healthy[0].metrics)
+        problems += [f"exposition: {p}" for p in validate_exposition(text)]
+        (artifacts / "metrics.prom").write_text(text)
+
+    summary = monitor2.summary() if not problems else {}
+    if summary and summary["n_failed"] != 1:
+        problems.append(f"monitor summary wrong: {summary}")
+
+    if problems:
+        print("\nobservability smoke FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        print(f"artifacts kept in {artifacts}", file=sys.stderr)
+        return 1
+    print(f"\nobservability smoke passed "
+          f"({len(os.listdir(artifacts))} artifact(s) in {artifacts})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,21 +16,45 @@ Usage::
 
 Exits 0 when within tolerance (or after ``--update``), 1 on a
 regression, 2 on configuration problems.
+
+Every run also appends one JSONL entry (timestamp, scale, normalized
+figures) to ``benchmarks/perf/history.jsonl`` — the longitudinal record
+behind ``repro-ec2 perf-trend``.  Disable with ``--no-history``.
 """
 
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BENCH_FILE = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_HISTORY_FILE = REPO_ROOT / "benchmarks" / "perf" / "history.jsonl"
 
 
 def _run_suite(scale: str):
     sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
     import microbench
     return microbench.run_suite(scale)
+
+
+def _append_history(path: Path, scale: str, results: dict) -> None:
+    """One history line per gate run (host wall clock is fine here —
+    this is build telemetry, nowhere near the simulation kernel)."""
+    entry = {
+        "schema": 1,
+        "ts": time.time(),  # lint: ignore[SIM001]
+        "scale": scale,
+        "results": {name: {"seconds": r["seconds"],
+                           "normalized": r["normalized"]}
+                    for name, r in sorted(results.items())
+                    if name != "_calibration"},
+        "calibration": results.get("_calibration"),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def main() -> int:
@@ -48,12 +72,21 @@ def main() -> int:
     parser.add_argument("--file", type=Path, default=DEFAULT_BENCH_FILE,
                         help="baseline JSON path (default BENCH_kernel.json "
                              "at the repo root)")
+    parser.add_argument("--history", type=Path,
+                        default=DEFAULT_HISTORY_FILE,
+                        help="JSONL perf-history file to append to "
+                             "(default benchmarks/perf/history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history")
     args = parser.parse_args()
     if args.tolerance < 0:
         print("error: --tolerance must be >= 0", file=sys.stderr)
         return 2
 
     current = _run_suite(args.scale)
+    if not args.no_history:
+        _append_history(args.history, args.scale, current)
+        print(f"appended history entry to {args.history}", file=sys.stderr)
 
     data = {}
     if args.file.exists():

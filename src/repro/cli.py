@@ -27,7 +27,9 @@ from typing import List, Optional
 
 from .apps import APP_BUILDERS
 from .experiments import (
+    CellError,
     ExperimentConfig,
+    ObserveOptions,
     build_report,
     paper_matrix,
     run_experiment,
@@ -106,10 +108,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "(open in chrome://tracing or ui.perfetto.dev)",
               file=sys.stderr)
     if args.metrics_out:
-        with open(args.metrics_out, "w") as fh:
-            fh.write(result.metrics.to_json() + "\n")
+        from .telemetry import write_metrics
+        write_metrics(args.metrics_out, result.metrics,
+                      fmt=args.metrics_format)
         print(f"  wrote {len(result.metrics)} metrics to "
-              f"{args.metrics_out}", file=sys.stderr)
+              f"{args.metrics_out} ({args.metrics_format})",
+              file=sys.stderr)
     if args.timeline:
         from .telemetry import render_heatmap, render_node_gantt
         print()
@@ -129,6 +133,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_observe_args(parser: argparse.ArgumentParser) -> None:
+    """The host-side observability flags shared by sweep commands."""
+    parser.add_argument("--progress", action="store_true",
+                        help="render a live one-line sweep progress "
+                             "display on stderr")
+    parser.add_argument("--events-out", metavar="FILE",
+                        help="write a schema-versioned JSONL event log "
+                             "of the sweep lifecycle")
+    parser.add_argument("--crash-dir", metavar="DIR",
+                        help="write a crash bundle (traceback, scenario "
+                             "config, flight-recorder ring, partial "
+                             "metrics) per failed cell under this "
+                             "directory")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="drive the whole sweep despite failed "
+                             "cells (still exits non-zero at the end)")
+    parser.add_argument("--cell-retries", type=int, default=0,
+                        help="re-run a failed cell this many times "
+                             "before recording the failure")
+    parser.add_argument("--profile", choices=("off", "cprofile"),
+                        default="off",
+                        help="capture a host-CPU profile of every cell "
+                             "and print merged hotspots")
+    parser.add_argument("--profile-top", type=int, default=15,
+                        help="hotspot lines in the --profile report")
+
+
+def _observe_from_args(args: argparse.Namespace):
+    """(ObserveOptions, EventLogWriter) from CLI flags; (None, None)
+    when every observability feature is off."""
+    wants = (args.progress or args.events_out or args.crash_dir
+             or args.profile != "off" or args.cell_retries
+             or args.keep_going)
+    if not wants:
+        return None, None
+    from .observe import EventLogWriter, SweepMonitor
+    events = EventLogWriter(args.events_out) if args.events_out else None
+    monitor = SweepMonitor(events=events, progress=args.progress)
+    observe = ObserveOptions(
+        monitor=monitor,
+        crash_dir=args.crash_dir,
+        profile=args.profile,
+        cell_retries=args.cell_retries,
+        keep_going=args.keep_going,
+    )
+    return observe, events
+
+
+def _finish_observed_sweep(args: argparse.Namespace,
+                           observe, events) -> None:
+    """Close the event log and print the merged profile hotspots."""
+    if events is not None:
+        events.close()
+    if observe is not None and args.profile != "off":
+        from .observe import hotspot_report
+        print(hotspot_report(observe.monitor.profile_stats,
+                             top=args.profile_top),
+              end="", file=sys.stderr)
+
+
+def _report_cell_error(args: argparse.Namespace, exc: CellError) -> int:
+    """One-line failure summary (the raw tracebacks stay in bundles)."""
+    print(f"error: {exc}", file=sys.stderr)
+    if args.crash_dir:
+        print(f"crash bundles written under {args.crash_dir} — inspect "
+              f"with: repro-ec2 postmortem {args.crash_dir}",
+              file=sys.stderr)
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry import load_chrome_trace, summarize_chrome_trace
     try:
@@ -142,12 +216,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     cells = paper_matrix(args.app)
-    results = run_sweep(
-        cells,
-        progress=lambda r: print(
-            f"  done {r.label}: {r.makespan:,.0f} s", file=sys.stderr),
-        jobs=args.jobs,
-    )
+    observe, events = _observe_from_args(args)
+    progress_cb = None if args.progress else (
+        lambda r: print(f"  done {r.label}: {r.makespan:,.0f} s",
+                        file=sys.stderr))
+    try:
+        results = run_sweep(cells, progress=progress_cb,
+                            jobs=args.jobs, observe=observe)
+    except CellError as exc:
+        return _report_cell_error(args, exc)
+    finally:
+        _finish_observed_sweep(args, observe, events)
+    n_failed = sum(1 for r in results if r is None)
+    results = [r for r in results if r is not None]
+    if n_failed:
+        print(f"warning: {n_failed} cell(s) failed; tables cover the "
+              f"remaining {len(results)}", file=sys.stderr)
     print(format_figure_table(
         makespan_matrix(results),
         title=f"{args.app} makespan (s) by storage system and cluster size"))
@@ -165,7 +249,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as fh:
             fh.write(to_csv(results))
         print(f"\nwrote {args.csv}", file=sys.stderr)
-    return 0
+    return 1 if n_failed else 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -243,8 +327,15 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     if not ok:
         print(f"error: {why}", file=sys.stderr)
         return 2
-    points = fault_inflation_sweep(base, error_rates=rates,
-                                   node_mtbfs=mtbfs, jobs=args.jobs)
+    observe, events = _observe_from_args(args)
+    try:
+        points = fault_inflation_sweep(base, error_rates=rates,
+                                       node_mtbfs=mtbfs, jobs=args.jobs,
+                                       observe=observe)
+    except CellError as exc:
+        return _report_cell_error(args, exc)
+    finally:
+        _finish_observed_sweep(args, observe, events)
     print(format_fault_sweep(
         points,
         title=f"{base.label} makespan inflation vs fault rate "
@@ -257,6 +348,41 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
             writer.writeheader()
             writer.writerows(rows)
         print(f"\nwrote {args.csv}", file=sys.stderr)
+    n_failed = observe.monitor.n_failed if observe is not None else 0
+    if n_failed:
+        print(f"warning: {n_failed} sweep point(s) failed",
+              file=sys.stderr)
+    return 1 if n_failed else 0
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    from .observe import load_crash_bundles, summarize_bundle, validate_bundle
+    bundles = load_crash_bundles(args.crash_dir)
+    if not bundles:
+        print(f"no crash bundles under {args.crash_dir}", file=sys.stderr)
+        return 1
+    print(f"{len(bundles)} crash bundle(s) under {args.crash_dir}")
+    status = 0
+    for path, bundle in bundles:
+        print()
+        problems = validate_bundle(bundle)
+        if problems:
+            print(f"{path}: invalid bundle: {'; '.join(problems)}",
+                  file=sys.stderr)
+            status = 2
+            continue
+        print(f"-- {path}")
+        print(summarize_bundle(bundle, tail=args.tail))
+    return status
+
+
+def _cmd_perf_trend(args: argparse.Namespace) -> int:
+    from .observe import format_trend, load_history
+    entries = load_history(args.history)
+    if not entries:
+        print(f"no perf history at {args.history}", file=sys.stderr)
+        return 1
+    print(format_trend(entries, scale=args.scale), end="")
     return 0
 
 
@@ -402,7 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace-event JSON of the run "
                             "(chrome://tracing / Perfetto)")
     p_run.add_argument("--metrics-out", metavar="FILE",
-                       help="write the metrics-registry snapshot as JSON")
+                       help="write the metrics-registry snapshot here")
+    p_run.add_argument("--metrics-format", choices=("json", "prom"),
+                       default="json",
+                       help="--metrics-out format: canonical JSON or "
+                            "the Prometheus text exposition")
     p_run.add_argument("--timeline", action="store_true",
                        help="print ASCII utilization heatmaps and the "
                             "per-node job Gantt")
@@ -423,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="run cells in this many worker processes "
                             "(results are bit-identical to --jobs 1)")
+    _add_observe_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I (wfprof)")
@@ -461,11 +592,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run fault points in this many worker "
                            "processes (baseline runs first; results "
                            "are identical to --jobs 1)")
+    _add_observe_args(p_fs)
     p_fs.set_defaults(func=_cmd_faultsweep)
+
+    p_pm = sub.add_parser("postmortem",
+                          help="summarize the crash bundles a failed "
+                               "sweep left under --crash-dir")
+    p_pm.add_argument("crash_dir", help="directory passed as --crash-dir")
+    p_pm.add_argument("--tail", type=int, default=8,
+                      help="flight-recorder events to show per bundle")
+    p_pm.set_defaults(func=_cmd_postmortem)
+
+    p_pt = sub.add_parser("perf-trend",
+                          help="per-benchmark trend over the perf-gate "
+                               "history (benchmarks/perf/history.jsonl)")
+    p_pt.add_argument("--history", default="benchmarks/perf/history.jsonl",
+                      help="history file written by scripts/perf_gate.py")
+    p_pt.add_argument("--scale", default="",
+                      help="restrict to one scale (smoke/full)")
+    p_pt.set_defaults(func=_cmd_perf_trend)
 
     p_lint = sub.add_parser(
         "lint",
-        help="simulation-invariant static analysis (SIM001-SIM008) and "
+        help="simulation-invariant static analysis (SIM001-SIM009) and "
              "the runtime determinism sanitizer")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "

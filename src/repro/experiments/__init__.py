@@ -9,11 +9,14 @@ from .config import (
 )
 from .faultsweep import FaultSweepPoint, fault_inflation_sweep, format_fault_sweep
 from .report import ReproductionReport, build_report
-from .runner import ExperimentResult, run_experiment, run_sweep
+from .runner import (CellError, ExperimentResult, ObserveOptions,
+                     run_experiment, run_sweep)
 
 __all__ = [
+    "CellError",
     "ExperimentConfig",
     "ExperimentResult",
+    "ObserveOptions",
     "FaultSweepPoint",
     "PAPER_APPS",
     "PAPER_NODE_COUNTS",

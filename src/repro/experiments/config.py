@@ -11,7 +11,9 @@ noted in §V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Tuple
 
 from ..faults.spec import NO_FAULTS, FaultSpec
@@ -109,6 +111,19 @@ class ExperimentConfig:
     def with_(self, **kwargs) -> "ExperimentConfig":
         """A modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
+
+    def digest(self) -> str:
+        """Stable content hash of this scenario (hex sha256).
+
+        Computed over the canonical JSON of every field (nested fault
+        specs included), so any two processes — or two sessions weeks
+        apart — derive the same digest for the same configuration.
+        Event-log lines and crash bundles carry it, making host-side
+        artifacts joinable back to the exact scenario that produced
+        them.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def paper_matrix(app: str,

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 
 from ..workflow.dag import Workflow
 from .config import ExperimentConfig
-from .runner import run_experiment, run_sweep
+from .runner import ExperimentResult, ObserveOptions, run_experiment, run_sweep
 
 
 @dataclass
@@ -65,6 +65,8 @@ def fault_inflation_sweep(base: ExperimentConfig,
                           node_mtbfs: Sequence[float] = (),
                           workflow: Optional[Workflow] = None,
                           jobs: int = 1,
+                          observe: Optional[ObserveOptions] = None,
+                          results_sink: Optional[List[ExperimentResult]] = None,
                           ) -> List[FaultSweepPoint]:
     """Sweep fault intensity for one cell; returns one point per setting.
 
@@ -76,8 +78,17 @@ def fault_inflation_sweep(base: ExperimentConfig,
     processes (the baseline always runs first, in-process, because
     every inflation figure is relative to it); point order and values
     are identical to a serial sweep.
+
+    ``observe`` threads host-side observability (monitor/event log,
+    crash bundles, profiling) through the underlying :func:`run_sweep`.
+    ``results_sink``, when given, receives every underlying
+    :class:`ExperimentResult` (baseline first) so callers — the
+    serial-vs-parallel equality tests in particular — can inspect the
+    full telemetry behind each point, which the flat points discard.
     """
     baseline = run_experiment(base, workflow=workflow)
+    if results_sink is not None:
+        results_sink.append(baseline)
     points = [FaultSweepPoint(
         storage_error_rate=0.0, node_mtbf=0.0,
         makespan=baseline.makespan, inflation=1.0,
@@ -107,9 +118,13 @@ def fault_inflation_sweep(base: ExperimentConfig,
         return points
     configs = [base.with_(storage_error_rate=rate, node_mtbf=mtbf)
                for rate, mtbf in settings]
-    results = run_sweep(configs, jobs=jobs, workflow=workflow)
+    results = run_sweep(configs, jobs=jobs, workflow=workflow,
+                        observe=observe)
+    if results_sink is not None:
+        results_sink.extend(r for r in results if r is not None)
     points.extend(to_point(rate, mtbf, result)
-                  for (rate, mtbf), result in zip(settings, results))
+                  for (rate, mtbf), result in zip(settings, results)
+                  if result is not None)
     return points
 
 

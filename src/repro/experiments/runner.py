@@ -10,13 +10,18 @@ cluster, and prices the run.  :func:`run_sweep` drives a list of cells
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..apps.templates import app_template
 from ..cloud.cluster import ContextBroker
 from ..cloud.ec2 import EC2Cloud
 from ..cost.model import WorkflowCost, compute_cost
 from ..faults import FaultCoordinator, FaultReport, RescueLog
+from ..observe import hostclock
+from ..observe.flight import (DEFAULT_RING_CAPACITY, FlightRecorder,
+                              crash_bundle, write_crash_bundle)
+from ..observe.monitor import SweepMonitor
+from ..observe.profiles import capture_profile
 from ..simcore.engine import Environment
 from ..simcore.tracing import NULL_COLLECTOR, TraceCollector
 from ..storage import make_storage
@@ -26,6 +31,65 @@ from ..telemetry.spans import Span, SpanBuilder, spans_from_trace
 from ..workflow.dag import Workflow
 from ..workflow.wms import PegasusWMS, WorkflowRun
 from .config import ExperimentConfig
+
+
+class CellError(RuntimeError):
+    """One or more sweep cells failed.
+
+    Raised by :func:`run_sweep` (unless ``keep_going``) after the whole
+    sweep has been driven and every failure recorded; ``failures``
+    holds one dict per failed cell — ``index``, ``label``, ``digest``,
+    the ``error`` record (type/message/traceback), and the crash
+    ``bundle`` path when ``--crash-dir`` was active.  The exception
+    message is a single line, suitable for a CLI exit summary; the full
+    tracebacks live in the failure dicts and the bundles.
+    """
+
+    def __init__(self, failures: List[Dict[str, Any]]) -> None:
+        self.failures = failures
+        parts = [f"cell {f['index']} {f['label']} "
+                 f"[{f['error']['type']}: {f['error']['message']}]"
+                 for f in failures]
+        noun = "cell" if len(failures) == 1 else "cells"
+        super().__init__(f"{len(failures)} sweep {noun} failed: "
+                         + "; ".join(parts))
+
+
+@dataclass
+class ObserveOptions:
+    """Host-side observability configuration for :func:`run_sweep`.
+
+    All features default off; a default-constructed instance makes
+    ``run_sweep`` behave exactly as if no options were passed.  None of
+    these options can alter simulation results — they only observe.
+    """
+
+    #: Receives every lifecycle transition (events/progress/summary).
+    monitor: Optional[SweepMonitor] = None
+    #: Directory for crash bundles of failed cells (created on demand).
+    crash_dir: Optional[str] = None
+    #: Keep a flight-recorder ring in every worker even without a
+    #: crash dir (the ring is only *persisted* via ``crash_dir``).
+    flight: bool = False
+    flight_capacity: int = DEFAULT_RING_CAPACITY
+    #: ``off`` or ``cprofile`` (host-CPU profile per cell).
+    profile: str = "off"
+    #: In-process re-runs of a failed cell before it counts as failed
+    #: (guards against host-level transients; the sim is deterministic).
+    cell_retries: int = 0
+    #: Collect failures and return ``None`` placeholders instead of
+    #: raising :class:`CellError` at the end of the sweep.
+    keep_going: bool = False
+
+    def active(self) -> bool:
+        """Whether any observability feature is switched on."""
+        return (self.monitor is not None or self.crash_dir is not None
+                or self.flight or self.profile != "off"
+                or self.cell_retries > 0 or self.keep_going)
+
+    def flight_enabled(self) -> bool:
+        """Ring buffers are on explicitly or implied by a crash dir."""
+        return self.flight or self.crash_dir is not None
 
 
 @dataclass
@@ -78,19 +142,27 @@ class ExperimentResult:
 
 def run_experiment(config: ExperimentConfig,
                    workflow: Optional[Workflow] = None,
-                   rescue: Optional[RescueLog] = None) -> ExperimentResult:
+                   rescue: Optional[RescueLog] = None,
+                   trace: Optional[TraceCollector] = None
+                   ) -> ExperimentResult:
     """Execute one experiment cell in a fresh simulated world.
 
     ``workflow`` overrides the application's default (paper-sized)
     instance — used by tests and sweeps over workflow scale.
     ``rescue`` resumes from / checkpoints to a rescue-DAG log.
+    ``trace`` supplies an external collector (the flight recorder's) so
+    observers see kernel events even when ``collect_traces`` is off;
+    the *result's* trace/metrics fields stay keyed to
+    ``config.collect_traces`` regardless, and an external collector is
+    purely a passive subscriber — it cannot change the run.
     """
     ok, why = config.is_valid()
     if not ok:
         raise ValueError(f"invalid experiment {config.label}: {why}")
 
     telemetry_on = config.collect_traces
-    trace = TraceCollector() if telemetry_on else NULL_COLLECTOR
+    if trace is None:
+        trace = TraceCollector() if telemetry_on else NULL_COLLECTOR
     metrics = MetricsRegistry() if telemetry_on else NULL_REGISTRY
     install_trace_bridge(metrics, trace)
     env = Environment()
@@ -185,6 +257,15 @@ def _set_summary_gauges(metrics: MetricsRegistry, config: ExperimentConfig,
 
 
 @dataclass
+class _CellObserve:
+    """Picklable per-cell observability switches shipped to workers."""
+
+    flight: bool = False
+    flight_capacity: int = DEFAULT_RING_CAPACITY
+    profile: str = "off"
+
+
+@dataclass
 class _SweepEnvelope:
     """Picklable result of one sweep cell run in a worker process.
 
@@ -194,27 +275,77 @@ class _SweepEnvelope:
     The envelope ships only plain data: the raw trace tuples plus the
     side artifacts; the parent replays the trace through a fresh
     collector + bridge, reconstructing bit-identical telemetry.
+
+    The host-side fields (``wall_*``, ``peak_rss``, ``profile_stats``,
+    ``error``) feed the sweep monitor and flight recorder only; none of
+    them ever reaches the deterministic result or its telemetry.
     """
 
+    index: int
     config: ExperimentConfig
-    run: WorkflowRun
-    cost: WorkflowCost
+    run: Optional[WorkflowRun]
+    cost: Optional[WorkflowCost]
     #: ``(time, category, event, fields)`` rows, or None (telemetry off).
     trace_records: Optional[List[tuple]]
     #: The worker collector's id counter (span ids continue from here).
     trace_next_id: int
     timeline: Optional[Timeline]
     faults: Optional[FaultReport]
+    #: Host epoch seconds when the worker picked the cell up.
+    wall_start: float = 0.0
+    #: Host wall-clock duration of the cell, seconds.
+    wall_seconds: float = 0.0
+    #: Worker peak RSS in bytes at cell completion (process-wide high
+    #: water mark — monotone within one worker process).
+    peak_rss: int = 0
+    #: pstats tables captured under ``--profile cprofile``.
+    profile_stats: Optional[List[Dict[Any, Any]]] = None
+    #: Crash bundle dict when the cell raised (run/cost are None then).
+    error: Optional[Dict[str, Any]] = None
 
 
 def _sweep_cell(payload) -> _SweepEnvelope:
-    """Worker entry point: run one cell, return its envelope."""
-    config, workflow, factory = payload
-    if workflow is None and factory is not None:
-        workflow = factory(config.app)
-    result = run_experiment(config, workflow=workflow)
+    """Worker entry point: run one cell, return its envelope.
+
+    Never raises: a failing cell comes back as an envelope whose
+    ``error`` field is a ready-to-write crash bundle (traceback,
+    scenario config + digest, flight-recorder ring, partial metrics),
+    so ``pool.map`` keeps yielding the remaining cells.
+    """
+    index, config, workflow, factory, obs = payload
+    obs = obs or _CellObserve()
+    wall_start = hostclock.wall_now()
+    t0 = hostclock.monotonic()
+    recorder = FlightRecorder(obs.flight_capacity) if obs.flight else None
+    profile_sink: List[Dict[Any, Any]] = []
+    try:
+        if workflow is None and factory is not None:
+            workflow = factory(config.app)
+        ext_trace = recorder.trace if recorder is not None else None
+        if obs.profile == "cprofile":
+            with capture_profile(profile_sink):
+                result = run_experiment(config, workflow=workflow,
+                                        trace=ext_trace)
+        else:
+            result = run_experiment(config, workflow=workflow,
+                                    trace=ext_trace)
+    # Catching everything here is the point: a worker must convert any
+    # cell failure (Interrupt and deadlock included) into an error
+    # envelope so pool.map keeps yielding the remaining cells, and the
+    # exception is preserved verbatim inside the crash bundle.
+    except Exception as exc:  # lint: ignore[SIM007]
+        return _SweepEnvelope(
+            index=index, config=config, run=None, cost=None,
+            trace_records=None, trace_next_id=0, timeline=None,
+            faults=None, wall_start=wall_start,
+            wall_seconds=hostclock.monotonic() - t0,
+            peak_rss=hostclock.peak_rss_bytes(),
+            profile_stats=profile_sink or None,
+            error=crash_bundle(config, index, exc, recorder),
+        )
     trace = result.trace
     return _SweepEnvelope(
+        index=index,
         config=result.config,
         run=result.run,
         cost=result.cost,
@@ -223,6 +354,10 @@ def _sweep_cell(payload) -> _SweepEnvelope:
         trace_next_id=trace._next_id if trace is not None else 0,
         timeline=result.timeline,
         faults=result.faults,
+        wall_start=wall_start,
+        wall_seconds=hostclock.monotonic() - t0,
+        peak_rss=hostclock.peak_rss_bytes(),
+        profile_stats=profile_sink or None,
     )
 
 
@@ -257,7 +392,8 @@ def run_sweep(configs: Iterable[ExperimentConfig],
               progress: Optional[Callable[[ExperimentResult], None]] = None,
               jobs: int = 1,
               workflow: Optional[Workflow] = None,
-              ) -> List[ExperimentResult]:
+              observe: Optional[ObserveOptions] = None,
+              ) -> List[Optional[ExperimentResult]]:
     """Run many cells; each gets its own fresh simulated world.
 
     ``workflow_factory(app_name)`` can supply down-scaled workflows for
@@ -271,15 +407,28 @@ def run_sweep(configs: Iterable[ExperimentConfig],
     sweep, including the telemetry of each result (see
     :class:`_SweepEnvelope`).  With ``jobs > 1`` the factory must be
     picklable (a module-level function, not a lambda).
+
+    ``observe`` switches on host-side observability (monitor/event log,
+    flight recorder + crash bundles, profiling, retries); see
+    :class:`ObserveOptions`.  A cell that raises is recorded (bundle
+    written, ``cell_failed`` event emitted) and — after the whole sweep
+    has been driven — the first-failure behaviour is a single
+    :class:`CellError` listing every failed cell.  With ``keep_going``
+    the sweep instead returns ``None`` placeholders at failed indexes.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if workflow is not None and workflow_factory is not None:
         raise ValueError("pass workflow or workflow_factory, not both")
     configs = list(configs)
+    opts = observe if observe is not None else ObserveOptions()
+    if opts.profile not in ("off", "cprofile"):
+        raise ValueError(f"unknown profile mode {opts.profile!r}")
 
-    if jobs == 1 or len(configs) <= 1:
-        results = []
+    if not opts.active() and (jobs == 1 or len(configs) <= 1):
+        # Fast path, byte-for-byte the historical behaviour: no
+        # envelope round-trip, results carry their live collectors.
+        results: List[Optional[ExperimentResult]] = []
         for config in configs:
             wf = workflow if workflow is not None else (
                 workflow_factory(config.app) if workflow_factory else None)
@@ -289,16 +438,113 @@ def run_sweep(configs: Iterable[ExperimentConfig],
                 progress(result)
         return results
 
-    from concurrent.futures import ProcessPoolExecutor
-
-    payloads = [(config, workflow, workflow_factory) for config in configs]
+    cell_obs = _CellObserve(flight=opts.flight_enabled(),
+                            flight_capacity=opts.flight_capacity,
+                            profile=opts.profile)
+    payloads = [(i, config, workflow, workflow_factory, cell_obs)
+                for i, config in enumerate(configs)]
+    monitor = opts.monitor
     results = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(configs))) as pool:
-        # map() yields in submission order regardless of completion
-        # order, so result order (and progress callbacks) match serial.
-        for envelope in pool.map(_sweep_cell, payloads):
-            result = _rehydrate(envelope)
-            results.append(result)
-            if progress is not None:
-                progress(result)
+    failures: List[Dict[str, Any]] = []
+
+    if monitor is not None:
+        monitor.sweep_started(len(configs), jobs)
+    try:
+        if jobs == 1 or len(configs) <= 1:
+            for payload in payloads:
+                if monitor is not None:
+                    monitor.cell_scheduled(payload[0], payload[1])
+                envelope = _run_with_retries(payload, opts)
+                results.append(_consume_envelope(
+                    envelope, opts, progress, failures))
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            if monitor is not None:
+                for index, config in enumerate(configs):
+                    monitor.cell_scheduled(index, config)
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(configs))) as pool:
+                # map() yields in submission order regardless of
+                # completion order, so result order (and progress
+                # callbacks) match serial.
+                for envelope in pool.map(_sweep_cell, payloads):
+                    if envelope.error is not None and opts.cell_retries:
+                        envelope = _run_with_retries(
+                            payloads[envelope.index], opts,
+                            first=envelope)
+                    results.append(_consume_envelope(
+                        envelope, opts, progress, failures))
+    finally:
+        if monitor is not None:
+            monitor.sweep_finished()
+    if failures and not opts.keep_going:
+        raise CellError(failures)
     return results
+
+
+def _run_with_retries(payload, opts: ObserveOptions,
+                      first: Optional[_SweepEnvelope] = None
+                      ) -> _SweepEnvelope:
+    """Run one cell in-process, retrying failures up to cell_retries.
+
+    The simulation itself is deterministic, so a retry only helps
+    against *host*-level transients (an OOM-killed worker, a full
+    tmpdir); each attempt is announced via ``cell_retried``.
+    """
+    envelope = first if first is not None else _sweep_cell(payload)
+    attempt = 0
+    while envelope.error is not None and attempt < opts.cell_retries:
+        attempt += 1
+        if opts.monitor is not None:
+            opts.monitor.cell_retried(payload[0], payload[1], attempt)
+        envelope = _sweep_cell(payload)
+    return envelope
+
+
+def _consume_envelope(envelope: _SweepEnvelope, opts: ObserveOptions,
+                      progress: Optional[Callable[[ExperimentResult], None]],
+                      failures: List[Dict[str, Any]]
+                      ) -> Optional[ExperimentResult]:
+    """Fold one envelope into monitor events, bundles, and a result.
+
+    ``cell_started`` is emitted here — retrospectively, at completion —
+    because a process pool gives the parent no signal when a worker
+    actually picks a cell up; the event's host ordering is therefore
+    schedule-accurate, not start-accurate (the worker-observed start
+    time is preserved in ``wall_start``).
+    """
+    monitor = opts.monitor
+    config = envelope.config
+    if monitor is not None:
+        monitor.cell_started(envelope.index, config)
+        for table in envelope.profile_stats or []:
+            monitor.add_profile_stats(table)
+    if envelope.error is not None:
+        bundle_path: Optional[str] = None
+        if opts.crash_dir is not None:
+            bundle_path = write_crash_bundle(opts.crash_dir, envelope.error)
+        err = envelope.error["error"]
+        failures.append({
+            "index": envelope.index,
+            "label": config.label,
+            "digest": envelope.error["digest"],
+            "error": err,
+            "bundle": bundle_path,
+        })
+        if monitor is not None:
+            monitor.cell_failed(
+                envelope.index, config,
+                error=f"{err['type']}: {err['message']}",
+                wall_seconds=envelope.wall_seconds,
+                peak_rss=envelope.peak_rss,
+                bundle_path=bundle_path)
+        return None
+    result = _rehydrate(envelope)
+    if monitor is not None:
+        monitor.cell_finished(envelope.index, config,
+                              wall_seconds=envelope.wall_seconds,
+                              peak_rss=envelope.peak_rss)
+    if progress is not None:
+        progress(result)
+    return result

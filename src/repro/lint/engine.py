@@ -46,6 +46,22 @@ EVENT_QUEUE_OWNERS = (
     "repro/storage/nfs.py",
 )
 
+#: The one package sanctioned to read the host clock: host-side sweep
+#: observability (progress lines, event-log timestamps, crash bundles).
+#: SIM001 is switched off here; everywhere else wall-clock reads are
+#: flagged, and inside the simulation kernel SIM009 additionally bans
+#: any reference to this package.
+HOST_OBSERVE_PREFIXES = ("repro/observe/",)
+
+#: The simulation kernel proper: modules whose outputs feed the
+#: deterministic telemetry hash-chain.  SIM009 guards this boundary —
+#: no wall-clock reads and no ``repro.observe`` references here.
+SIM_KERNEL_PREFIXES = (
+    "repro/simcore/",
+    "repro/storage/",
+    "repro/workflow/",
+)
+
 
 class ModuleContext:
     """Everything a rule may inspect about one source file."""
@@ -68,6 +84,14 @@ class ModuleContext:
     def is_event_queue_owner(self) -> bool:
         """Whether this file may manipulate the event heap."""
         return self.canonical in EVENT_QUEUE_OWNERS
+
+    def in_host_observe_module(self) -> bool:
+        """Whether this file is sanctioned host-side observability."""
+        return self.canonical.startswith(HOST_OBSERVE_PREFIXES)
+
+    def in_sim_kernel_module(self) -> bool:
+        """Whether this file is inside the simulation kernel proper."""
+        return self.canonical.startswith(SIM_KERNEL_PREFIXES)
 
 
 def _canonical_path(path: str) -> str:

@@ -1,4 +1,4 @@
-"""The simulation-invariant rules (SIM001–SIM008).
+"""The simulation-invariant rules (SIM001–SIM009).
 
 Each rule guards one way a code change can silently break the
 determinism contract the paper reproduction rests on: the simulator
@@ -115,11 +115,20 @@ _WALL_CLOCK = {
 
 @register
 class WallClockRule(Rule):
-    """SIM001: wall-clock reads make a run a function of the host."""
+    """SIM001: wall-clock reads make a run a function of the host.
+
+    ``repro/observe/`` is exempt: it is the sanctioned home for
+    host-side orchestration telemetry (progress lines, event-log
+    timestamps, crash bundles), and SIM009 enforces that nothing in the
+    simulation kernel reaches into it.
+    """
 
     id = "SIM001"
     title = "wall-clock access inside the simulator"
     severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.in_host_observe_module()
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         aliases = _import_aliases(ctx.tree)
@@ -607,3 +616,97 @@ class EventQueueRule(Rule):
         if isinstance(value, ast.Attribute):
             return value.attr == "env"
         return False
+
+
+# --------------------------------------------------------------------------
+# SIM009 — host-side observability leaking into the simulation kernel
+
+
+@register
+class HostObservabilityLeakRule(Rule):
+    """SIM009: the simulation kernel must not see host-side telemetry.
+
+    ``repro/observe/`` is where wall-clock reads legitimately live
+    (sweep progress, event-log timestamps, crash bundles) — but that
+    sanction is one-directional.  Inside the kernel proper
+    (``simcore/``, ``storage/``, ``workflow/``) any wall-clock read, or
+    any reference to the ``repro.observe`` package, is a channel
+    through which host time could reach simulation state and silently
+    break the telemetry hash-chain's bit-identity across machines.
+    Host measurements belong in the orchestration layer
+    (``experiments/runner.py``), which observes workers from outside.
+    """
+
+    id = "SIM009"
+    title = "host-side observability reference inside the sim kernel"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_sim_kernel_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        parents = _ParentMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_observe_module(alias.name):
+                        yield self._observe_finding(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if isinstance(node, ast.Name) \
+                        and not isinstance(node.ctx, ast.Load):
+                    continue
+                qual = _qualified(node, aliases)
+                if qual is None:
+                    continue
+                if qual in _WALL_CLOCK:
+                    yield self.finding(
+                        ctx, node,
+                        f"{qual} reads the host clock inside the sim "
+                        f"kernel; host-side probes live in "
+                        f"repro.observe and may only be used by the "
+                        f"orchestration layer")
+                elif self._is_observe_module(qual) \
+                        and not self._inside_attribute(parents, node):
+                    # Flag only the outermost node of a dotted chain so
+                    # ``hostclock.wall_now()`` is one finding, not two.
+                    yield self._observe_finding(ctx, node, qual)
+
+    def _check_import_from(self, ctx: ModuleContext,
+                           node: ast.ImportFrom) -> Iterator[Finding]:
+        module = node.module or ""
+        if node.level == 0:
+            if self._is_observe_module(module):
+                yield self._observe_finding(ctx, node, module)
+            return
+        # Relative import: ``from ..observe import ...`` or
+        # ``from .. import observe``.
+        if module == "observe" or module.startswith("observe."):
+            yield self._observe_finding(ctx, node,
+                                        f"{'.' * node.level}{module}")
+        elif not module:
+            for alias in node.names:
+                if alias.name == "observe":
+                    yield self._observe_finding(
+                        ctx, node, f"{'.' * node.level} import observe")
+
+    @staticmethod
+    def _is_observe_module(name: str) -> bool:
+        return name == "repro.observe" or name.startswith("repro.observe.")
+
+    @staticmethod
+    def _inside_attribute(parents: _ParentMap, node: ast.AST) -> bool:
+        link = parents.parent_of(node)
+        return link is not None and isinstance(link[0], ast.Attribute) \
+            and link[1] == "value"
+
+    def _observe_finding(self, ctx: ModuleContext, node: ast.AST,
+                         what: str) -> Finding:
+        return self.finding(
+            ctx, node,
+            f"{what}: the sim kernel must not reference host-side "
+            f"observability — wall-clock telemetry flows one way, from "
+            f"the orchestration layer's monitor, never into the "
+            f"deterministic kernel")

@@ -1,0 +1,56 @@
+"""Host-side observability for sweep orchestration.
+
+This package is the **only** sanctioned home for wall-clock reads in
+the repository (see lint rules SIM001/SIM009): the simulator itself
+must stay a pure function of ``(scenario, seed)``, while the host-side
+orchestration layer here measures how a sweep executes — per-cell
+latency, occupancy, throughput, peak RSS — and records failures.
+
+Nothing in this package may feed values back into simulation state or
+the deterministic telemetry hash-chain; the observability-invariance
+regression test pins that property.
+"""
+
+from .events import (EVENT_KINDS, EVENT_SCHEMA_VERSION, EventLogWriter,
+                     read_events, validate_event, validate_event_log)
+from .flight import (BUNDLE_SCHEMA_VERSION, DEFAULT_RING_CAPACITY,
+                     FlightRecorder, bundle_dirname, crash_bundle,
+                     load_crash_bundles, summarize_bundle,
+                     validate_bundle, write_crash_bundle)
+from .hostclock import monotonic, peak_rss_bytes, wall_now
+from .monitor import SweepMonitor
+from .perfhistory import (HISTORY_SCHEMA_VERSION, format_trend,
+                          load_history, trend_rows)
+from .profiles import (PROFILE_MODES, capture_profile, hotspot_report,
+                       merge_stats, stats_table)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "EventLogWriter",
+    "read_events",
+    "validate_event",
+    "validate_event_log",
+    "BUNDLE_SCHEMA_VERSION",
+    "DEFAULT_RING_CAPACITY",
+    "FlightRecorder",
+    "bundle_dirname",
+    "crash_bundle",
+    "load_crash_bundles",
+    "summarize_bundle",
+    "validate_bundle",
+    "write_crash_bundle",
+    "monotonic",
+    "peak_rss_bytes",
+    "wall_now",
+    "SweepMonitor",
+    "HISTORY_SCHEMA_VERSION",
+    "format_trend",
+    "load_history",
+    "trend_rows",
+    "PROFILE_MODES",
+    "capture_profile",
+    "hotspot_report",
+    "merge_stats",
+    "stats_table",
+]

@@ -1,0 +1,169 @@
+"""Schema-versioned structured event log for sweep orchestration.
+
+One JSONL line per sweep/cell lifecycle transition, written by the
+:class:`~repro.observe.monitor.SweepMonitor` (``--events-out``).  The
+log is the durable, auditable record of *how* a sweep executed on the
+host — which cells ran where and when, how long each took, what died
+and why — complementing the deterministic sim-time telemetry that
+records what happened *inside* each cell.
+
+Every line carries ``schema`` (the integer format version), ``seq`` (a
+per-log monotonic counter), ``ts`` (host epoch seconds), and ``kind``.
+Cell events additionally carry the cell ``index``, ``label``, and the
+scenario ``digest``, so a log line is joinable back to the exact
+configuration that produced it.
+
+:func:`validate_event` / :func:`validate_event_log` are the schema
+checks used by the tests and the CI observability smoke.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+from .hostclock import wall_now
+
+#: Bump when a field is added/renamed/retyped; consumers key on it.
+EVENT_SCHEMA_VERSION = 1
+
+#: Every legal ``kind`` value.
+EVENT_KINDS = (
+    "sweep_started",
+    "cell_scheduled",
+    "cell_started",
+    "cell_finished",
+    "cell_failed",
+    "cell_retried",
+    "sweep_finished",
+)
+
+#: Fields required on every event.
+_COMMON_REQUIRED = ("schema", "seq", "ts", "kind")
+#: Extra required fields per kind.
+_KIND_REQUIRED: Dict[str, tuple] = {
+    "sweep_started": ("n_cells", "jobs"),
+    "cell_scheduled": ("index", "label", "digest"),
+    "cell_started": ("index", "label", "digest"),
+    "cell_finished": ("index", "label", "digest", "wall_seconds"),
+    "cell_failed": ("index", "label", "digest", "error"),
+    "cell_retried": ("index", "label", "digest", "attempt"),
+    "sweep_finished": ("n_cells", "n_failed", "wall_seconds"),
+}
+
+
+class EventLogWriter:
+    """Line-buffered JSONL writer for sweep lifecycle events.
+
+    Accepts a path (opened/closed by the writer) or an already-open
+    text file object (left open).  ``emit`` stamps schema/seq/ts and
+    flushes per line, so a crashed sweep still leaves a parseable log.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Write one event line; returns the emitted object."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self._seq += 1
+        event = {"schema": EVENT_SCHEMA_VERSION, "seq": self._seq,
+                 "ts": wall_now(), "kind": kind}
+        event.update(fields)
+        problems = validate_event(event)
+        if problems:
+            raise ValueError(f"refusing to emit malformed {kind} event: "
+                             f"{'; '.join(problems)}")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        return event
+
+    def close(self) -> None:
+        """Close the underlying file if this writer opened it."""
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def validate_event(event: Dict[str, Any]) -> List[str]:
+    """Schema problems with one parsed event (empty list = valid)."""
+    problems: List[str] = []
+    for key in _COMMON_REQUIRED:
+        if key not in event:
+            problems.append(f"missing required field {key!r}")
+    if problems:
+        return problems
+    if event["schema"] != EVENT_SCHEMA_VERSION:
+        problems.append(f"schema {event['schema']!r} != "
+                        f"{EVENT_SCHEMA_VERSION}")
+    kind = event["kind"]
+    if kind not in EVENT_KINDS:
+        problems.append(f"unknown kind {kind!r}")
+        return problems
+    if not isinstance(event["seq"], int) or event["seq"] < 1:
+        problems.append(f"seq must be a positive integer, "
+                        f"got {event['seq']!r}")
+    if not isinstance(event["ts"], (int, float)):
+        problems.append(f"ts must be a number, got {event['ts']!r}")
+    for key in _KIND_REQUIRED[kind]:
+        if key not in event:
+            problems.append(f"{kind}: missing field {key!r}")
+    if "index" in event and not isinstance(event.get("index"), int):
+        problems.append(f"index must be an integer, "
+                        f"got {event.get('index')!r}")
+    if "digest" in event:
+        digest = event["digest"]
+        if not (isinstance(digest, str) and len(digest) >= 8):
+            problems.append(f"digest must be a hex string, got {digest!r}")
+    return problems
+
+
+def read_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Parsed events of one log file, in file order."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def validate_event_log(path: str,
+                       expect_kinds: Optional[List[str]] = None
+                       ) -> List[str]:
+    """Validate a whole log file; returns all problems found.
+
+    Beyond per-event schema checks this verifies ``seq`` is a gapless
+    1..N sequence and, when ``expect_kinds`` is given, that every
+    listed kind occurs at least once.
+    """
+    problems: List[str] = []
+    seen_kinds: List[str] = []
+    expected_seq = 1
+    try:
+        for lineno, event in enumerate(read_events(path), start=1):
+            for problem in validate_event(event):
+                problems.append(f"line {lineno}: {problem}")
+            seq = event.get("seq")
+            if seq != expected_seq:
+                problems.append(f"line {lineno}: seq {seq!r} != "
+                                f"expected {expected_seq}")
+            expected_seq += 1
+            seen_kinds.append(event.get("kind"))
+    except (OSError, ValueError) as exc:
+        return [f"unreadable event log {path}: {exc}"]
+    for kind in expect_kinds or []:
+        if kind not in seen_kinds:
+            problems.append(f"no {kind!r} event in log")
+    return problems

@@ -1,0 +1,42 @@
+"""Sanctioned host-side clock and process-resource probes.
+
+Everything in the simulator proper is forbidden to read the host clock
+(SIM001/SIM009): a run must be a pure function of ``(scenario, seed)``.
+The *orchestration* layer, however, legitimately needs wall-clock
+telemetry — cells/sec, per-cell latency, worker occupancy — which is
+why this module exists and why ``repro/observe/`` is the one package
+the lint rules exempt.  Nothing returned from here may ever flow into
+simulation state, trace records, or the telemetry hash-chain; it feeds
+only the host-side event log, the progress line, and crash bundles.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def wall_now() -> float:
+    """Host epoch seconds (event-log timestamps, crash bundles)."""
+    return time.time()
+
+
+def monotonic() -> float:
+    """Host monotonic seconds (latency and throughput measurement)."""
+    return time.perf_counter()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; Windows has
+    no ``resource`` module at all, so this degrades to 0 there.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-posix
+        return 0
+    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - mac only
+        return int(ru)
+    return int(ru) * 1024

@@ -1,0 +1,229 @@
+"""Host-side sweep monitor: latency, occupancy, progress, event log.
+
+:class:`SweepMonitor` is the single observer the sweep drivers
+(``run_sweep``, ``fault_inflation_sweep``) notify on every lifecycle
+transition.  From those notifications it derives the host-side view of
+a sweep — wall-clock latency per cell, worker occupancy, queue depth,
+throughput in cells/sec, and peak worker RSS — and fans it out to:
+
+* a schema-versioned JSONL event log (``--events-out``), via an
+  attached :class:`~repro.observe.events.EventLogWriter`;
+* a live single-line console progress display (``--progress``);
+* a final :meth:`summary` dict for reports and tests.
+
+The monitor only ever *receives* host-side measurements; it never
+touches simulation state, so attaching one cannot perturb the
+deterministic telemetry hash-chain.  Clocks are injectable so tests can
+drive it with synthetic time.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Any, Callable, Dict, List, Optional
+
+from . import hostclock
+from .events import EventLogWriter
+
+
+def _fmt_rss(n_bytes: int) -> str:
+    if n_bytes >= 1 << 30:
+        return f"{n_bytes / (1 << 30):.1f}GiB"
+    if n_bytes >= 1 << 20:
+        return f"{n_bytes / (1 << 20):.0f}MiB"
+    return f"{n_bytes / 1024:.0f}KiB"
+
+
+class SweepMonitor:
+    """Aggregates sweep lifecycle notifications into host telemetry.
+
+    Parameters
+    ----------
+    events:
+        Optional :class:`EventLogWriter`; every hook call becomes one
+        JSONL event line.
+    progress:
+        When true, redraw a single ``\\r``-terminated console line on
+        every transition (finalized with a newline at sweep end).
+    stream:
+        Where the progress line goes; defaults to stderr so stdout
+        stays clean for piped table/CSV output.
+    wall_clock / mono_clock:
+        Injectable time sources (tests drive these synthetically).
+    """
+
+    def __init__(self, events: Optional[EventLogWriter] = None,
+                 progress: bool = False,
+                 stream: Optional[IO[str]] = None,
+                 wall_clock: Callable[[], float] = hostclock.wall_now,
+                 mono_clock: Callable[[], float] = hostclock.monotonic
+                 ) -> None:
+        self.events = events
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self._wall = wall_clock
+        self._mono = mono_clock
+        self.n_cells = 0
+        self.jobs = 1
+        self.n_scheduled = 0
+        self.n_started = 0
+        self.n_finished = 0
+        self.n_failed = 0
+        self.n_retried = 0
+        self.latencies: List[float] = []
+        self.peak_rss = 0
+        self.failures: List[Dict[str, Any]] = []
+        self._t0: Optional[float] = None
+        self._t_end: Optional[float] = None
+        self._profile_stats: List[Dict[Any, Any]] = []
+
+    # ------------------------------------------------------ lifecycle
+
+    def sweep_started(self, n_cells: int, jobs: int) -> None:
+        self.n_cells = n_cells
+        self.jobs = jobs
+        self._t0 = self._mono()
+        if self.events:
+            self.events.emit("sweep_started", n_cells=n_cells, jobs=jobs)
+        self._redraw()
+
+    def cell_scheduled(self, index: int, config: Any) -> None:
+        self.n_scheduled += 1
+        if self.events:
+            self.events.emit("cell_scheduled", index=index,
+                             label=config.label, digest=config.digest())
+
+    def cell_started(self, index: int, config: Any) -> None:
+        self.n_started += 1
+        if self.events:
+            self.events.emit("cell_started", index=index,
+                             label=config.label, digest=config.digest())
+        self._redraw()
+
+    def cell_finished(self, index: int, config: Any,
+                      wall_seconds: float, peak_rss: int = 0) -> None:
+        self.n_finished += 1
+        self.latencies.append(wall_seconds)
+        self.peak_rss = max(self.peak_rss, peak_rss)
+        if self.events:
+            self.events.emit("cell_finished", index=index,
+                             label=config.label, digest=config.digest(),
+                             wall_seconds=wall_seconds,
+                             peak_rss=peak_rss)
+        self._redraw()
+
+    def cell_failed(self, index: int, config: Any, error: str,
+                    wall_seconds: Optional[float] = None,
+                    peak_rss: int = 0,
+                    bundle_path: Optional[str] = None) -> None:
+        self.n_failed += 1
+        if wall_seconds is not None:
+            self.latencies.append(wall_seconds)
+        self.peak_rss = max(self.peak_rss, peak_rss)
+        self.failures.append({"index": index, "label": config.label,
+                              "digest": config.digest(), "error": error,
+                              "bundle": bundle_path})
+        if self.events:
+            extra: Dict[str, Any] = {}
+            if wall_seconds is not None:
+                extra["wall_seconds"] = wall_seconds
+            if bundle_path is not None:
+                extra["bundle"] = bundle_path
+            self.events.emit("cell_failed", index=index,
+                             label=config.label, digest=config.digest(),
+                             error=error, **extra)
+        self._redraw()
+
+    def cell_retried(self, index: int, config: Any, attempt: int) -> None:
+        self.n_retried += 1
+        if self.events:
+            self.events.emit("cell_retried", index=index,
+                             label=config.label, digest=config.digest(),
+                             attempt=attempt)
+        self._redraw()
+
+    def sweep_finished(self) -> Dict[str, Any]:
+        self._t_end = self._mono()
+        summary = self.summary()
+        if self.events:
+            self.events.emit("sweep_finished", n_cells=self.n_cells,
+                             n_failed=self.n_failed,
+                             wall_seconds=summary["wall_seconds"])
+        if self.progress:
+            self.stream.write("\r" + self.render_progress() + "\n")
+            self.stream.flush()
+        return summary
+
+    # ---------------------------------------------------- derived views
+
+    def elapsed(self) -> float:
+        """Monotonic seconds since ``sweep_started`` (frozen at end)."""
+        if self._t0 is None:
+            return 0.0
+        end = self._t_end if self._t_end is not None else self._mono()
+        return max(0.0, end - self._t0)
+
+    @property
+    def n_done(self) -> int:
+        return self.n_finished + self.n_failed
+
+    @property
+    def occupancy(self) -> int:
+        """Cells currently executing (started but not yet done)."""
+        return max(0, self.n_started - self.n_done)
+
+    @property
+    def queue_depth(self) -> int:
+        """Cells scheduled on the pool but not yet started."""
+        return max(0, self.n_scheduled - self.n_started)
+
+    def cells_per_sec(self) -> float:
+        elapsed = self.elapsed()
+        return self.n_done / elapsed if elapsed > 0 else 0.0
+
+    def add_profile_stats(self, stats: Dict[Any, Any]) -> None:
+        """Collect one worker's pstats table for later merging."""
+        self._profile_stats.append(stats)
+
+    @property
+    def profile_stats(self) -> List[Dict[Any, Any]]:
+        return list(self._profile_stats)
+
+    def render_progress(self) -> str:
+        """The live console line, e.g.
+        ``[sweep 12/20] ok=11 fail=1 run=4 queue=3 1.82 cells/s ...``"""
+        parts = [f"[sweep {self.n_done}/{self.n_cells}]",
+                 f"ok={self.n_finished}", f"fail={self.n_failed}"]
+        if self.n_retried:
+            parts.append(f"retry={self.n_retried}")
+        parts.append(f"run={self.occupancy}")
+        parts.append(f"queue={self.queue_depth}")
+        rate = self.cells_per_sec()
+        parts.append(f"{rate:.2f} cells/s")
+        if rate > 0 and self.n_done < self.n_cells:
+            parts.append(f"eta={((self.n_cells - self.n_done) / rate):.0f}s")
+        if self.peak_rss:
+            parts.append(f"rss={_fmt_rss(self.peak_rss)}")
+        return " ".join(parts)
+
+    def summary(self) -> Dict[str, Any]:
+        """Final host-side telemetry of the sweep, as a plain dict."""
+        lat = self.latencies
+        return {
+            "n_cells": self.n_cells,
+            "jobs": self.jobs,
+            "n_finished": self.n_finished,
+            "n_failed": self.n_failed,
+            "n_retried": self.n_retried,
+            "wall_seconds": self.elapsed(),
+            "cells_per_sec": self.cells_per_sec(),
+            "latency_mean": sum(lat) / len(lat) if lat else 0.0,
+            "latency_max": max(lat) if lat else 0.0,
+            "peak_rss_bytes": self.peak_rss,
+            "failures": list(self.failures),
+        }
+
+    def _redraw(self) -> None:
+        if self.progress:
+            self.stream.write("\r" + self.render_progress())
+            self.stream.flush()

@@ -1,0 +1,80 @@
+"""Per-cell cProfile capture with cross-process merge.
+
+``--profile cprofile`` wraps each sweep cell in a :mod:`cProfile`
+profiler.  Profiler objects are not picklable, so workers ship the
+plain ``pstats`` *table* (``pstats.Stats(pr).stats`` — a dict of tuples)
+back in the envelope; :func:`merge_stats` folds any number of those
+tables into one :class:`pstats.Stats` in the parent, and
+:func:`hotspot_report` renders the top-N cumulative-time hotspots.
+
+Profiling measures host CPU, never simulated time — it is diagnostic
+only and has no effect on results or telemetry digests.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+#: CLI values accepted by ``--profile``.
+PROFILE_MODES = ("off", "cprofile")
+
+
+class _StatsCarrier:
+    """Minimal object ``pstats.Stats`` accepts as a profile source.
+
+    ``pstats.Stats(obj)`` wants either a filename, a Profile, or
+    anything exposing ``create_stats()`` and a ``stats`` dict — this is
+    the latter, carrying a table that crossed a process boundary.
+    """
+
+    def __init__(self, table: Dict[Any, Any]) -> None:
+        self.stats = table
+
+    def create_stats(self) -> None:
+        pass
+
+
+@contextmanager
+def capture_profile(sink: List[Dict[Any, Any]]) -> Iterator[None]:
+    """Profile the enclosed block, appending its pstats table to sink."""
+    pr = cProfile.Profile()
+    pr.enable()
+    try:
+        yield
+    finally:
+        pr.disable()
+        sink.append(stats_table(pr))
+
+
+def stats_table(profile: cProfile.Profile) -> Dict[Any, Any]:
+    """The picklable pstats table of one finished profiler."""
+    return pstats.Stats(profile).stats
+
+
+def merge_stats(tables: Iterable[Dict[Any, Any]]
+                ) -> Optional[pstats.Stats]:
+    """Fold pstats tables from any number of workers into one Stats."""
+    merged: Optional[pstats.Stats] = None
+    for table in tables:
+        carrier = _StatsCarrier(table)
+        if merged is None:
+            merged = pstats.Stats(carrier)
+        else:
+            merged.add(carrier)
+    return merged
+
+
+def hotspot_report(tables: Iterable[Dict[Any, Any]],
+                   top: int = 15) -> str:
+    """Top-``top`` cumulative-time hotspots across all merged tables."""
+    merged = merge_stats(tables)
+    if merged is None:
+        return "no profile data captured\n"
+    buf = io.StringIO()
+    merged.stream = buf
+    merged.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()

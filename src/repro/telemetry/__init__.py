@@ -16,6 +16,12 @@ Everything is inert when the run's trace collector is disabled, so
 benchmark sweeps pay nothing.  See ``docs/observability.md``.
 """
 
+from .export import (
+    to_json_snapshot,
+    to_prometheus,
+    validate_exposition,
+    write_metrics,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -46,6 +52,10 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "install_trace_bridge",
+    "to_prometheus",
+    "to_json_snapshot",
+    "write_metrics",
+    "validate_exposition",
     "Span",
     "SpanBuilder",
     "spans_from_trace",

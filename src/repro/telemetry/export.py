@@ -1,0 +1,289 @@
+"""Metrics export: Prometheus/OpenMetrics text exposition and JSON.
+
+The :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot feeds two
+wire formats:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, escaped label values, cumulative
+  ``_bucket``/``_sum``/``_count`` histogram series).  This is the
+  surface a future simulation-as-a-service scrape endpoint serves, and
+  what ``repro-ec2 run --metrics-out m.prom --metrics-format prom``
+  writes today.
+* :func:`to_json_snapshot` — the registry snapshot as JSON, shared with
+  ``--metrics-out`` in its default mode.
+
+Both exports are **canonical**: metric names sorted, label names sorted
+within a series, series sorted by label key, histogram buckets in
+ascending numeric order with ``+Inf`` last.  Two registries holding the
+same values produce byte-identical documents regardless of insertion
+order — the regression tests pin this, because sweep artifacts are
+diffed across runs and machines.
+
+:func:`validate_exposition` is a promtool-style checker (pure python,
+no external dependency) used by the tests and the CI observability
+smoke to prove the exposition we emit actually parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Metric/label name grammar from the Prometheus data model.
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$")
+
+_EXPOSITION_KINDS = ("counter", "gauge", "histogram")
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double quote, newline)."""
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    """Canonical sample value: integral floats render as integers,
+    everything else as the shortest round-trip ``repr``."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _label_str(labels: Dict[str, str],
+               extra: Optional[Tuple[str, str]] = None) -> str:
+    """``{a="1",le="0.5"}`` with names sorted; '' when empty."""
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(str(v))}"'
+                    for k, v in items)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Deterministic end to end: metric names sorted, one ``# HELP`` /
+    ``# TYPE`` pair per metric, series ordered by their sorted label
+    key, histogram buckets ascending with ``+Inf`` last.
+    """
+    lines: List[str] = []
+    for name in registry.names():
+        inst = registry.get(name)
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"metric name {name!r} is not a valid "
+                             f"Prometheus metric name")
+        if inst.help:
+            lines.append(f"# HELP {name} {escape_help(inst.help)}")
+        lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, (Counter, Gauge)):
+            for row in inst.series():
+                lines.append(f"{name}{_label_str(row['labels'])} "
+                             f"{format_value(row['value'])}")
+        elif isinstance(inst, Histogram):
+            for row in inst.series():
+                labels = row["labels"]
+                for bucket in row["buckets"]:
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_label_str(labels, ('le', bucket['le']))} "
+                        f"{bucket['count']}")
+                lines.append(f"{name}_sum{_label_str(labels)} "
+                             f"{format_value(row['sum'])}")
+                lines.append(f"{name}_count{_label_str(labels)} "
+                             f"{row['count']}")
+        else:  # pragma: no cover - no other instrument kinds exist
+            raise TypeError(f"unknown instrument kind {inst.kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_snapshot(registry: MetricsRegistry,
+                     indent: Optional[int] = 2) -> str:
+    """The canonical JSON snapshot (same bytes for same values)."""
+    return registry.to_json(indent=indent)
+
+
+def write_metrics(path: str, registry: MetricsRegistry,
+                  fmt: str = "json") -> None:
+    """Write the registry to ``path`` in ``json`` or ``prom`` format."""
+    if fmt not in ("json", "prom"):
+        raise ValueError(f"metrics format must be 'json' or 'prom', "
+                         f"got {fmt!r}")
+    text = to_prometheus(registry) if fmt == "prom" \
+        else to_json_snapshot(registry) + "\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+# ------------------------------------------------------------ validation
+
+
+def _parse_labels(raw: str) -> Tuple[Dict[str, str], Optional[str]]:
+    """Parse a ``k="v",...`` label body; returns (labels, error)."""
+    labels: Dict[str, str] = {}
+    pos = 0
+    pair_re = re.compile(
+        r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+        r'"(?P<value>(?:\\.|[^"\\])*)"\s*(?P<sep>,|$)')
+    while pos < len(raw):
+        m = pair_re.match(raw, pos)
+        if m is None:
+            return labels, f"malformed label pair at {raw[pos:pos+20]!r}"
+        name = m.group("name")
+        if name in labels:
+            return labels, f"duplicate label name {name!r}"
+        labels[name] = _unescape(m.group("value"))
+        pos = m.end()
+    return labels, None
+
+
+def _base_metric(sample_name: str, typed: Dict[str, str]) -> str:
+    """The declared metric a sample belongs to (histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name[:-len(suffix)] if sample_name.endswith(suffix) \
+            else None
+        if base and typed.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Promtool-style format checks; returns a list of problems.
+
+    Checks: sample lines parse; label names/values well-formed with no
+    duplicates; every sample's metric carries a preceding ``# TYPE`` of
+    a known kind; at most one HELP/TYPE per metric; no duplicate
+    series; histogram buckets numerically ascending ending in ``+Inf``
+    with non-decreasing cumulative counts, and ``_count`` equal to the
+    ``+Inf`` bucket.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    seen_series: set = set()
+    # (metric, label-key) -> list of (le-float, count) in document order.
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                  List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP line")
+                continue
+            name = parts[2]
+            if helped.get(name):
+                problems.append(f"line {lineno}: second HELP for {name}")
+            helped[name] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if name in typed:
+                problems.append(f"line {lineno}: second TYPE for {name}")
+            elif kind not in _EXPOSITION_KINDS + ("summary", "untyped"):
+                problems.append(f"line {lineno}: unknown type {kind!r}")
+            else:
+                typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = m.group("name")
+        labels, err = _parse_labels(m.group("labels") or "")
+        if err:
+            problems.append(f"line {lineno}: {err}")
+            continue
+        value_text = m.group("value")
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_text)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: bad sample value {value_text!r}")
+                continue
+        base = _base_metric(name, typed)
+        if base not in typed:
+            problems.append(f"line {lineno}: sample for {name} has no "
+                            f"preceding # TYPE")
+            continue
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            problems.append(f"line {lineno}: duplicate series "
+                            f"{name}{sorted(labels.items())}")
+        seen_series.add(series_key)
+        if typed.get(base) == "histogram":
+            bare = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            if name == base + "_bucket":
+                le_text = labels.get("le")
+                if le_text is None:
+                    problems.append(
+                        f"line {lineno}: {name} sample without le=")
+                    continue
+                le = float("inf") if le_text == "+Inf" else float(le_text)
+                buckets.setdefault((base, bare), []).append(
+                    (le, float(value_text)))
+            elif name == base + "_count":
+                counts[(base, bare)] = float(value_text)
+
+    for (base, bare), rows in sorted(buckets.items()):
+        les = [le for le, _ in rows]
+        if les != sorted(les) or len(set(les)) != len(les):
+            problems.append(f"{base}{dict(bare)}: bucket le values are "
+                            f"not strictly ascending")
+        if not les or not math.isinf(les[-1]):
+            problems.append(f"{base}{dict(bare)}: buckets do not end "
+                            f"with le=\"+Inf\"")
+        vals = [v for _, v in rows]
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            problems.append(f"{base}{dict(bare)}: cumulative bucket "
+                            f"counts decrease")
+        expected = counts.get((base, bare))
+        if expected is not None and vals and vals[-1] != expected:
+            problems.append(f"{base}{dict(bare)}: _count {expected:g} != "
+                            f"+Inf bucket {vals[-1]:g}")
+    return problems

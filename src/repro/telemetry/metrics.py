@@ -255,15 +255,24 @@ class Histogram(Instrument):
 
     def bucket_counts(self, **labels: Any) -> Dict[str, int]:
         """Cumulative counts per upper bound (Prometheus ``le`` style)."""
+        return dict(self.bucket_rows(**labels))
+
+    def bucket_rows(self, **labels: Any) -> List[Tuple[str, int]]:
+        """Cumulative ``(le, count)`` pairs in ascending bucket order.
+
+        The ordered form feeds the exporters: a plain dict would be
+        re-sorted lexicographically by ``json.dumps(sort_keys=True)``,
+        scrambling ``"+Inf"`` and ``"25"`` in between numeric bounds.
+        """
         child = self._children.get(_label_key(labels))
         raw = child.bucket_counts if child \
             else [0] * (len(self.buckets) + 1)
-        out: Dict[str, int] = {}
+        out: List[Tuple[str, int]] = []
         running = 0
         for bound, n in zip(self.buckets, raw):
             running += n
-            out[f"{bound:g}"] = running
-        out["+Inf"] = running + raw[-1]
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", running + raw[-1]))
         return out
 
     def label_sets(self) -> List[Dict[str, str]]:
@@ -278,7 +287,11 @@ class Histogram(Instrument):
                 "count": child.count,
                 "sum": child.sum,
                 "mean": child.sum / child.count if child.count else 0.0,
-                "buckets": self.bucket_counts(**labels),
+                # Ordered list-of-objects so ascending bucket order
+                # survives every JSON serializer (sort_keys would
+                # lexicographically scramble a dict keyed by bound).
+                "buckets": [{"le": le, "count": n}
+                            for le, n in self.bucket_rows(**labels)],
                 "quantiles": {f"p{int(q * 100)}": self.quantile(q, **labels)
                               for q in SUMMARY_QUANTILES},
             })

@@ -1,0 +1,198 @@
+"""Failing sweep cells: CellError, keep_going, bundles, event log."""
+
+import io
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.experiments import (
+    CellError,
+    ExperimentConfig,
+    ObserveOptions,
+    run_sweep,
+)
+from repro.observe import (
+    EventLogWriter,
+    SweepMonitor,
+    load_crash_bundles,
+    read_events,
+    summarize_bundle,
+    validate_bundle,
+    validate_event_log,
+)
+
+
+def small_wf(app_name="any"):
+    return build_synthetic(n_tasks=12, width=4, cpu_seconds=5.0, seed=1)
+
+
+def _good(**over):
+    return ExperimentConfig("synthetic", "local", 1).with_(**over)
+
+
+def _bad(**over):
+    # Nearly every attempt crashes and the retry budget is zero, so the
+    # WMS deterministically raises WorkflowFailedError for this cell.
+    return _good(task_failure_rate=0.95, retries=0).with_(**over)
+
+
+def _cells():
+    return [_good(), _bad(), _good(seed=1)]
+
+
+class TestCellError:
+    def test_serial_sweep_raises_after_driving_all_cells(self):
+        progressed = []
+        with pytest.raises(CellError) as exc_info:
+            run_sweep(_cells(), workflow_factory=small_wf,
+                      observe=ObserveOptions(flight=True),
+                      progress=progressed.append)
+        exc = exc_info.value
+        assert [f["index"] for f in exc.failures] == [1]
+        assert exc.failures[0]["label"] == _bad().label
+        assert exc.failures[0]["digest"] == _bad().digest()
+        assert exc.failures[0]["error"]["type"] == "WorkflowFailedError"
+        assert "Traceback" in exc.failures[0]["error"]["traceback"]
+        # The healthy cells still ran to completion around the failure.
+        assert len(progressed) == 2
+
+    def test_message_is_one_line(self):
+        with pytest.raises(CellError) as exc_info:
+            run_sweep(_cells(), workflow_factory=small_wf,
+                      observe=ObserveOptions(flight=True))
+        message = str(exc_info.value)
+        assert "\n" not in message
+        assert message.startswith("1 sweep cell failed: cell 1")
+        assert "WorkflowFailedError" in message
+
+    def test_parallel_sweep_collects_same_failure(self):
+        with pytest.raises(CellError) as exc_info:
+            run_sweep(_cells(), workflow_factory=small_wf, jobs=3,
+                      observe=ObserveOptions(flight=True))
+        assert [f["index"] for f in exc_info.value.failures] == [1]
+
+    def test_keep_going_returns_placeholders(self):
+        results = run_sweep(_cells(), workflow_factory=small_wf,
+                            observe=ObserveOptions(keep_going=True))
+        assert [r is not None for r in results] == [True, False, True]
+        healthy = [r for r in results if r is not None]
+        assert all(r.makespan > 0 for r in healthy)
+
+    def test_observed_results_match_plain_sweep(self):
+        plain = run_sweep([_good(), _good(seed=1)],
+                          workflow_factory=small_wf)
+        observed = run_sweep([_good(), _good(seed=1)],
+                             workflow_factory=small_wf,
+                             observe=ObserveOptions(
+                                 monitor=SweepMonitor(stream=io.StringIO()),
+                                 flight=True))
+        for p, o in zip(plain, observed):
+            assert repr(o.makespan) == repr(p.makespan)
+            assert o.summary_row() == p.summary_row()
+
+
+class TestCrashBundles:
+    def test_bundle_written_validates_and_summarizes(self, tmp_path):
+        crash_dir = str(tmp_path / "crashes")
+        with pytest.raises(CellError) as exc_info:
+            run_sweep(_cells(), workflow_factory=small_wf,
+                      observe=ObserveOptions(crash_dir=crash_dir))
+        bundle_path = exc_info.value.failures[0]["bundle"]
+        assert bundle_path is not None and bundle_path.endswith(
+            "bundle.json")
+        bundles = load_crash_bundles(crash_dir)
+        assert len(bundles) == 1
+        path, bundle = bundles[0]
+        assert path == bundle_path
+        assert validate_bundle(bundle) == []
+        assert bundle["index"] == 1
+        assert bundle["label"] == _bad().label
+        # crash_dir implies the flight recorder: the ring captured the
+        # kernel activity leading up to the failure.
+        assert bundle["flight"]["n_seen"] > 0
+        summary = summarize_bundle(bundle)
+        assert "WorkflowFailedError" in summary
+        assert "flight ring" in summary
+
+    def test_no_bundle_without_crash_dir(self, tmp_path):
+        with pytest.raises(CellError) as exc_info:
+            run_sweep(_cells(), workflow_factory=small_wf,
+                      observe=ObserveOptions(flight=True))
+        assert exc_info.value.failures[0]["bundle"] is None
+
+    def test_parallel_bundle_matches_serial_failure(self, tmp_path):
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        for jobs, crash_dir in ((1, serial_dir), (3, parallel_dir)):
+            with pytest.raises(CellError):
+                run_sweep(_cells(), workflow_factory=small_wf, jobs=jobs,
+                          observe=ObserveOptions(crash_dir=crash_dir))
+        (_, serial), = load_crash_bundles(serial_dir)
+        (_, parallel), = load_crash_bundles(parallel_dir)
+        assert parallel["digest"] == serial["digest"]
+        assert parallel["error"]["type"] == serial["error"]["type"]
+        # The deterministic kernel died at the same point in both runs.
+        assert parallel["flight"]["n_seen"] == serial["flight"]["n_seen"]
+        assert parallel["flight"]["events"] == serial["flight"]["events"]
+
+
+class TestEventLog:
+    def _run(self, tmp_path, jobs=1, cell_retries=0):
+        events_path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(events_path) as events:
+            monitor = SweepMonitor(events=events, stream=io.StringIO())
+            observe = ObserveOptions(monitor=monitor, keep_going=True,
+                                     cell_retries=cell_retries)
+            run_sweep(_cells(), workflow_factory=small_wf, jobs=jobs,
+                      observe=observe)
+        return events_path, monitor
+
+    def test_lifecycle_order_and_schema(self, tmp_path):
+        events_path, monitor = self._run(tmp_path)
+        assert validate_event_log(events_path, expect_kinds=[
+            "sweep_started", "cell_scheduled", "cell_started",
+            "cell_finished", "cell_failed", "sweep_finished"]) == []
+        kinds = [e["kind"] for e in read_events(events_path)]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert kinds.count("cell_scheduled") == 3
+        assert kinds.count("cell_finished") == 2
+        assert kinds.count("cell_failed") == 1
+        # cell_started is emitted retrospectively at completion, so
+        # every cell still gets exactly one.
+        assert kinds.count("cell_started") == 3
+        assert monitor.n_started == 3
+
+    def test_events_join_back_to_configs(self, tmp_path):
+        events_path, _ = self._run(tmp_path)
+        digests = {c.digest(): c.label for c in _cells()}
+        for event in read_events(events_path):
+            if "digest" in event:
+                assert digests[event["digest"]] == event["label"]
+
+    def test_retries_emit_cell_retried(self, tmp_path):
+        events_path, monitor = self._run(tmp_path, cell_retries=2)
+        retried = [e for e in read_events(events_path)
+                   if e["kind"] == "cell_retried"]
+        # The failing cell is deterministic, so every retry fails too
+        # and the full budget is spent on cell 1 alone.
+        assert [(e["index"], e["attempt"]) for e in retried] == \
+            [(1, 1), (1, 2)]
+        assert monitor.n_retried == 2
+        assert monitor.n_failed == 1
+
+    def test_parallel_retries_rerun_in_parent(self, tmp_path):
+        events_path, monitor = self._run(tmp_path, jobs=3, cell_retries=1)
+        retried = [e for e in read_events(events_path)
+                   if e["kind"] == "cell_retried"]
+        assert [(e["index"], e["attempt"]) for e in retried] == [(1, 1)]
+        assert monitor.n_failed == 1
+
+    def test_monitor_summary_after_sweep(self, tmp_path):
+        _, monitor = self._run(tmp_path)
+        summary = monitor.summary()
+        assert summary["n_cells"] == 3
+        assert summary["n_finished"] == 2
+        assert summary["n_failed"] == 1
+        assert summary["latency_max"] >= summary["latency_mean"] > 0
+        assert summary["failures"][0]["index"] == 1

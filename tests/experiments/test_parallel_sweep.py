@@ -73,6 +73,34 @@ def test_parallel_fault_sweep_matches_serial():
     assert [p.row() for p in parallel] == [s.row() for s in serial]
 
 
+def test_parallel_fault_sweep_replays_full_telemetry():
+    # Beyond the flat points: the underlying results (exposed via
+    # results_sink) must carry bit-identical metrics snapshots and
+    # trace streams regardless of worker count.
+    base = ExperimentConfig("synthetic", "nfs", 2, seed=3,
+                            collect_traces=True)
+    serial_results, parallel_results = [], []
+    serial = fault_inflation_sweep(base, error_rates=(0.02,),
+                                   node_mtbfs=(4000.0,),
+                                   workflow=small_wf(),
+                                   results_sink=serial_results)
+    parallel = fault_inflation_sweep(base, error_rates=(0.02,),
+                                     node_mtbfs=(4000.0,),
+                                     workflow=small_wf(), jobs=2,
+                                     results_sink=parallel_results)
+    assert [p.row() for p in parallel] == [s.row() for s in serial]
+    assert len(parallel_results) == len(serial_results) == 3
+    for s, p in zip(serial_results, parallel_results):
+        assert p.config.label == s.config.label
+        assert p.metrics is not None and s.metrics is not None
+        assert p.metrics.to_json() == s.metrics.to_json()
+        s_records = [(r.time, r.category, r.event, r.fields)
+                     for r in s.trace.records]
+        p_records = [(r.time, r.category, r.event, r.fields)
+                     for r in p.trace.records]
+        assert p_records == s_records
+
+
 def test_jobs_validation():
     with pytest.raises(ValueError):
         run_sweep(_cells(), workflow_factory=small_wf, jobs=0)

@@ -1,0 +1,13 @@
+"""Fixture: host observability inside the kernel (SIM009 fires 4x)."""
+
+import time
+
+from repro.observe import hostclock
+
+from ..observe.monitor import SweepMonitor
+
+
+def measure(env):
+    t0 = time.perf_counter()
+    wall = hostclock.wall_now()
+    return SweepMonitor, env.now, t0, wall

@@ -21,6 +21,7 @@ CASES = {
     "SIM006": ("sim006", "repro/telemetry/collect.py", 2),
     "SIM007": ("sim007", "repro/workflow/driver.py", 2),
     "SIM008": ("sim008", "repro/workflow/scheduler.py", 4),
+    "SIM009": ("sim009", "repro/simcore/kernel.py", 4),
 }
 
 
@@ -53,6 +54,7 @@ def test_every_rule_has_a_case():
 @pytest.mark.parametrize("rule_id,path", [
     ("SIM003", "repro/telemetry/collect.py"),
     ("SIM005", "repro/apps/montage.py"),
+    ("SIM009", "repro/experiments/runner.py"),
 ])
 def test_scoped_rules_inactive_off_scheduling_path(rule_id, path):
     stem, _, _ = CASES[rule_id]
@@ -65,6 +67,24 @@ def test_sim008_allowed_inside_kernel():
     findings = lint_source(source, path="repro/simcore/engine.py",
                            select=["SIM008"])
     assert findings == []
+
+
+def test_sim001_exempts_host_observe_package():
+    # repro/observe is the sanctioned wall-clock location; SIM001 must
+    # not fire there, without any inline suppressions.
+    source = (FIXTURES / "sim001_bad.py").read_text()
+    findings = lint_source(source, path="repro/observe/hostclock.py",
+                           select=["SIM001"])
+    assert findings == []
+
+
+def test_sim009_counts_dotted_chain_once():
+    source = ("from repro.observe import hostclock\n"
+              "t = hostclock.wall_now()\n")
+    findings = lint_source(source, path="repro/storage/s3.py",
+                           select=["SIM009"])
+    # One finding for the import, one for the (whole) call chain.
+    assert len(findings) == 2
 
 
 def test_src_layout_paths_canonicalised():

@@ -1,0 +1,126 @@
+"""Event log: schema stamping, validation, gapless seq, file round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe.events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    EventLogWriter,
+    read_events,
+    validate_event,
+    validate_event_log,
+)
+
+
+class TestWriter:
+    def test_emit_stamps_schema_seq_ts(self):
+        buf = io.StringIO()
+        writer = EventLogWriter(buf)
+        e1 = writer.emit("sweep_started", n_cells=3, jobs=2)
+        e2 = writer.emit("sweep_finished", n_cells=3, n_failed=0,
+                         wall_seconds=1.5)
+        assert e1["schema"] == EVENT_SCHEMA_VERSION
+        assert (e1["seq"], e2["seq"]) == (1, 2)
+        assert isinstance(e1["ts"], float)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "sweep_started"
+
+    def test_unknown_kind_rejected(self):
+        writer = EventLogWriter(io.StringIO())
+        with pytest.raises(ValueError, match="unknown event kind"):
+            writer.emit("cell_exploded")
+
+    def test_malformed_event_refused(self):
+        # cell_finished requires index/label/digest/wall_seconds.
+        writer = EventLogWriter(io.StringIO())
+        with pytest.raises(ValueError, match="malformed"):
+            writer.emit("cell_finished", index=0)
+
+    def test_path_target_owns_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as writer:
+            writer.emit("sweep_started", n_cells=1, jobs=1)
+        events = list(read_events(path))
+        assert [e["kind"] for e in events] == ["sweep_started"]
+
+    def test_stream_target_left_open(self):
+        buf = io.StringIO()
+        with EventLogWriter(buf) as writer:
+            writer.emit("sweep_started", n_cells=1, jobs=1)
+        assert not buf.closed
+
+
+class TestValidateEvent:
+    def _event(self, **over):
+        base = {"schema": EVENT_SCHEMA_VERSION, "seq": 1, "ts": 0.0,
+                "kind": "cell_scheduled", "index": 0, "label": "x",
+                "digest": "a" * 64}
+        base.update(over)
+        return base
+
+    def test_valid(self):
+        assert validate_event(self._event()) == []
+
+    def test_every_kind_has_requirements(self):
+        # A bare common-fields event is only valid for kinds with no
+        # extra requirements; every kind in EVENT_KINDS must be known.
+        for kind in EVENT_KINDS:
+            problems = validate_event(
+                {"schema": EVENT_SCHEMA_VERSION, "seq": 1, "ts": 0.0,
+                 "kind": kind})
+            assert all("unknown kind" not in p for p in problems)
+
+    def test_missing_common_field(self):
+        assert any("missing required field" in p
+                   for p in validate_event({"kind": "sweep_started"}))
+
+    def test_wrong_schema(self):
+        problems = validate_event(self._event(schema=99))
+        assert any("schema" in p for p in problems)
+
+    def test_bad_seq_and_index_types(self):
+        assert any("seq" in p
+                   for p in validate_event(self._event(seq=0)))
+        assert any("index" in p
+                   for p in validate_event(self._event(index="zero")))
+
+    def test_short_digest(self):
+        assert any("digest" in p
+                   for p in validate_event(self._event(digest="ab")))
+
+
+class TestValidateLog:
+    def test_gapless_log_passes(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as writer:
+            writer.emit("sweep_started", n_cells=1, jobs=1)
+            writer.emit("cell_scheduled", index=0, label="x",
+                        digest="a" * 64)
+            writer.emit("sweep_finished", n_cells=1, n_failed=0,
+                        wall_seconds=0.1)
+        assert validate_event_log(path) == []
+
+    def test_seq_gap_flagged(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        rows = [{"schema": 1, "seq": s, "ts": 0.0, "kind": "sweep_started",
+                 "n_cells": 1, "jobs": 1} for s in (1, 3)]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert any("seq" in p for p in validate_event_log(str(path)))
+
+    def test_expected_kind_missing(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as writer:
+            writer.emit("sweep_started", n_cells=1, jobs=1)
+        problems = validate_event_log(path,
+                                      expect_kinds=["sweep_finished"])
+        assert any("sweep_finished" in p for p in problems)
+
+    def test_unreadable_log(self, tmp_path):
+        bad = tmp_path / "events.jsonl"
+        bad.write_text("{not json\n")
+        assert validate_event_log(str(bad))
+        assert validate_event_log(str(tmp_path / "absent.jsonl"))

@@ -1,0 +1,164 @@
+"""SweepMonitor: derived views, progress line, summary, event fan-out."""
+
+import io
+
+from repro.observe.events import EventLogWriter, read_events
+from repro.observe.monitor import SweepMonitor, _fmt_rss
+
+
+class _FakeClock:
+    """Injectable time source the tests advance explicitly."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class _Cfg:
+    def __init__(self, label: str = "montage/local/n1") -> None:
+        self.label = label
+
+    def digest(self) -> str:
+        return "ab" * 32
+
+
+def _monitor(**kwargs):
+    clock = _FakeClock()
+    mon = SweepMonitor(wall_clock=clock, mono_clock=clock,
+                       stream=io.StringIO(), **kwargs)
+    return mon, clock
+
+
+class TestCounters:
+    def test_occupancy_and_queue_depth(self):
+        mon, _ = _monitor()
+        mon.sweep_started(n_cells=4, jobs=2)
+        for i in range(4):
+            mon.cell_scheduled(i, _Cfg())
+        assert (mon.queue_depth, mon.occupancy) == (4, 0)
+        mon.cell_started(0, _Cfg())
+        mon.cell_started(1, _Cfg())
+        assert (mon.queue_depth, mon.occupancy) == (2, 2)
+        mon.cell_finished(0, _Cfg(), wall_seconds=1.0)
+        assert (mon.queue_depth, mon.occupancy, mon.n_done) == (2, 1, 1)
+
+    def test_throughput_and_elapsed_frozen_at_end(self):
+        mon, clock = _monitor()
+        mon.sweep_started(n_cells=2, jobs=1)
+        clock.advance(4.0)
+        for i in range(2):
+            mon.cell_scheduled(i, _Cfg())
+            mon.cell_started(i, _Cfg())
+            mon.cell_finished(i, _Cfg(), wall_seconds=2.0)
+        assert mon.cells_per_sec() == 2 / 4.0
+        mon.sweep_finished()
+        clock.advance(100.0)
+        assert mon.elapsed() == 4.0
+
+    def test_failed_cells_tracked(self):
+        mon, _ = _monitor()
+        mon.sweep_started(n_cells=1, jobs=1)
+        mon.cell_scheduled(0, _Cfg())
+        mon.cell_started(0, _Cfg())
+        mon.cell_failed(0, _Cfg(), error="ValueError: boom",
+                        wall_seconds=0.5, bundle_path="/tmp/b")
+        assert mon.n_failed == 1
+        assert mon.failures[0]["error"] == "ValueError: boom"
+        assert mon.failures[0]["bundle"] == "/tmp/b"
+
+    def test_peak_rss_is_max_over_cells(self):
+        mon, _ = _monitor()
+        mon.sweep_started(n_cells=2, jobs=1)
+        mon.cell_finished(0, _Cfg(), wall_seconds=1.0, peak_rss=10 << 20)
+        mon.cell_finished(1, _Cfg(), wall_seconds=1.0, peak_rss=5 << 20)
+        assert mon.peak_rss == 10 << 20
+
+
+class TestProgress:
+    def test_render_progress_fields(self):
+        mon, clock = _monitor()
+        mon.sweep_started(n_cells=20, jobs=4)
+        clock.advance(6.0)
+        for i in range(19):
+            mon.cell_scheduled(i, _Cfg())
+        for i in range(16):
+            mon.cell_started(i, _Cfg())
+        for i in range(11):
+            mon.cell_finished(i, _Cfg(), wall_seconds=1.0,
+                              peak_rss=36 << 20)
+        mon.cell_failed(11, _Cfg(), error="boom")
+        line = mon.render_progress()
+        assert line.startswith("[sweep 12/20]")
+        assert "ok=11" in line and "fail=1" in line
+        assert "run=4" in line and "queue=3" in line
+        assert "2.00 cells/s" in line and "eta=4s" in line
+        assert "rss=36MiB" in line
+
+    def test_progress_written_to_stream(self):
+        mon, _ = _monitor(progress=True)
+        mon.sweep_started(n_cells=1, jobs=1)
+        mon.cell_scheduled(0, _Cfg())
+        mon.cell_started(0, _Cfg())
+        mon.cell_finished(0, _Cfg(), wall_seconds=1.0)
+        mon.sweep_finished()
+        out = mon.stream.getvalue()
+        assert out.count("\r") >= 3
+        assert out.endswith("\n")
+
+    def test_no_progress_no_output(self):
+        mon, _ = _monitor(progress=False)
+        mon.sweep_started(n_cells=1, jobs=1)
+        mon.sweep_finished()
+        assert mon.stream.getvalue() == ""
+
+    def test_fmt_rss(self):
+        assert _fmt_rss(512 << 10) == "512KiB"
+        assert _fmt_rss(36 << 20) == "36MiB"
+        assert _fmt_rss(3 << 30) == "3.0GiB"
+
+
+class TestSummaryAndEvents:
+    def test_summary_contents(self):
+        mon, clock = _monitor()
+        mon.sweep_started(n_cells=3, jobs=2)
+        clock.advance(2.0)
+        for i, wall in enumerate((1.0, 3.0)):
+            mon.cell_scheduled(i, _Cfg())
+            mon.cell_started(i, _Cfg())
+            mon.cell_finished(i, _Cfg(), wall_seconds=wall)
+        mon.cell_scheduled(2, _Cfg())
+        mon.cell_started(2, _Cfg())
+        mon.cell_retried(2, _Cfg(), attempt=1)
+        mon.cell_failed(2, _Cfg(), error="boom")
+        summary = mon.sweep_finished()
+        assert summary["n_finished"] == 2
+        assert summary["n_failed"] == 1
+        assert summary["n_retried"] == 1
+        assert summary["latency_mean"] == 2.0
+        assert summary["latency_max"] == 3.0
+        assert summary["wall_seconds"] == 2.0
+        assert len(summary["failures"]) == 1
+
+    def test_events_fan_out(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLogWriter(path) as events:
+            mon, _ = _monitor(events=events)
+            mon.sweep_started(n_cells=1, jobs=1)
+            mon.cell_scheduled(0, _Cfg())
+            mon.cell_started(0, _Cfg())
+            mon.cell_retried(0, _Cfg(), attempt=1)
+            mon.cell_finished(0, _Cfg(), wall_seconds=0.5)
+            mon.sweep_finished()
+        kinds = [e["kind"] for e in read_events(path)]
+        assert kinds == ["sweep_started", "cell_scheduled", "cell_started",
+                        "cell_retried", "cell_finished", "sweep_finished"]
+
+    def test_profile_stats_collected(self):
+        mon, _ = _monitor()
+        mon.add_profile_stats({("f.py", 1, "f"): (1, 1, 0.1, 0.1, {})})
+        assert len(mon.profile_stats) == 1

@@ -1,0 +1,127 @@
+"""cProfile capture/merge and perf-history trend reporting."""
+
+import json
+
+from repro.observe.perfhistory import (
+    format_trend,
+    load_history,
+    trend_rows,
+)
+from repro.observe.profiles import (
+    capture_profile,
+    hotspot_report,
+    merge_stats,
+)
+
+
+def _busy_work(n=200):
+    return sum(i * i for i in range(n))
+
+
+class TestProfiles:
+    def test_capture_appends_table(self):
+        sink = []
+        with capture_profile(sink):
+            _busy_work()
+        assert len(sink) == 1
+        assert isinstance(sink[0], dict) and sink[0]
+
+    def test_capture_appends_even_on_error(self):
+        sink = []
+        try:
+            with capture_profile(sink):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(sink) == 1
+
+    def test_tables_survive_pickle_and_merge(self):
+        import pickle
+        sink = []
+        for _ in range(2):
+            with capture_profile(sink):
+                _busy_work()
+        tables = [pickle.loads(pickle.dumps(t)) for t in sink]
+        merged = merge_stats(tables)
+        assert merged is not None
+        assert merged.total_calls >= sum(
+            pstats_calls(t) for t in tables) // 2
+
+    def test_merge_empty(self):
+        assert merge_stats([]) is None
+
+    def test_hotspot_report(self):
+        sink = []
+        with capture_profile(sink):
+            _busy_work()
+        report = hotspot_report(sink, top=5)
+        assert "cumulative" in report
+        assert "_busy_work" in report
+
+    def test_hotspot_report_empty(self):
+        assert hotspot_report([]) == "no profile data captured\n"
+
+
+def pstats_calls(table):
+    # Each value is (cc, nc, tt, ct, callers); nc is the call count.
+    return sum(v[1] for v in table.values())
+
+
+def _history_file(tmp_path, entries):
+    path = tmp_path / "history.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    return str(path)
+
+
+def _entry(scale, **norms):
+    return {"schema": 1, "ts": 0.0, "scale": scale,
+            "results": {name: {"seconds": v * 2, "normalized": v}
+                        for name, v in norms.items()}}
+
+
+class TestPerfHistory:
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(json.dumps(_entry("smoke", bench=1.0)) + "\n"
+                        "{torn line\n"
+                        "\n"
+                        + json.dumps({"no_results": True}) + "\n"
+                        + json.dumps(_entry("smoke", bench=2.0)) + "\n")
+        entries = load_history(str(path))
+        assert len(entries) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_trend_rows(self, tmp_path):
+        path = _history_file(tmp_path, [
+            _entry("smoke", event_loop=2.0, dag_build=1.0),
+            _entry("smoke", event_loop=1.0, dag_build=1.5),
+            _entry("full", event_loop=9.0),
+        ])
+        rows = trend_rows(load_history(path), scale="smoke")
+        by_name = {r["name"]: r for r in rows}
+        assert set(by_name) == {"event_loop", "dag_build"}
+        ev = by_name["event_loop"]
+        assert (ev["n"], ev["first"], ev["last"], ev["best"]) == \
+            (2, 2.0, 1.0, 1.0)
+        assert ev["delta_pct"] == -50.0
+
+    def test_trend_all_scales_when_unfiltered(self, tmp_path):
+        path = _history_file(tmp_path, [
+            _entry("smoke", bench=1.0), _entry("full", bench=3.0)])
+        rows = trend_rows(load_history(path))
+        assert rows[0]["n"] == 2
+
+    def test_format_trend_table(self, tmp_path):
+        path = _history_file(tmp_path, [
+            _entry("smoke", event_loop=2.0),
+            _entry("smoke", event_loop=1.0),
+        ])
+        text = format_trend(load_history(path), scale="smoke")
+        assert "event_loop" in text
+        assert "-50.0%" in text
+
+    def test_format_trend_empty(self):
+        assert format_trend([], scale="nope").startswith(
+            "no perf history entries")

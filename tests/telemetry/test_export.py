@@ -1,0 +1,185 @@
+"""Prometheus/JSON exporter: format, escaping, determinism, validator."""
+
+import math
+
+import pytest
+
+from repro.telemetry.export import (
+    escape_help,
+    escape_label_value,
+    format_value,
+    to_json_snapshot,
+    to_prometheus,
+    validate_exposition,
+    write_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _sample_registry(order=("a", "b")):
+    """A registry with counters/gauge/histogram; ``order`` controls
+    label-insertion order to prove canonicalization."""
+    reg = MetricsRegistry()
+    c = reg.counter("ops_total", "operations by kind")
+    for kind in order:
+        c.inc(2, kind=kind, node=f"worker-{kind}")
+    g = reg.gauge("queue_depth", "scheduler queue depth")
+    g.set(3.5)
+    h = reg.histogram("op_seconds", "operation latency",
+                      buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    return reg
+
+
+class TestFormat:
+    def test_help_type_and_samples(self):
+        text = to_prometheus(_sample_registry())
+        lines = text.splitlines()
+        assert "# HELP ops_total operations by kind" in lines
+        assert "# TYPE ops_total counter" in lines
+        assert "# TYPE op_seconds histogram" in lines
+        assert 'ops_total{kind="a",node="worker-a"} 2' in lines
+        assert "queue_depth 3.5" in lines
+        assert text.endswith("\n")
+
+    def test_histogram_series(self):
+        text = to_prometheus(_sample_registry())
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("op_seconds")]
+        assert lines == [
+            'op_seconds_bucket{le="0.1"} 1',
+            'op_seconds_bucket{le="1"} 2',
+            'op_seconds_bucket{le="10"} 3',
+            'op_seconds_bucket{le="+Inf"} 4',
+            "op_seconds_sum 55.55",
+            "op_seconds_count 4",
+        ]
+
+    def test_metric_names_sorted(self):
+        text = to_prometheus(_sample_registry())
+        typed = [ln.split()[2] for ln in text.splitlines()
+                 if ln.startswith("# TYPE")]
+        assert typed == sorted(typed)
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_bad_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("bad-name", "dashes are not legal")
+        with pytest.raises(ValueError, match="bad-name"):
+            to_prometheus(reg)
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_help_escapes(self):
+        assert escape_help("line1\nline2\\x") == "line1\\nline2\\\\x"
+
+    def test_escaped_document_validates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("weird_total", 'help with \\ and\nnewline')
+        c.inc(1, path='C:\\tmp\n"quoted"')
+        text = to_prometheus(reg)
+        assert validate_exposition(text) == []
+
+    def test_format_value(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.5) == "3.5"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+        assert float(format_value(0.1 + 0.2)) == 0.1 + 0.2
+
+
+class TestDeterminism:
+    def test_insertion_order_does_not_matter(self):
+        assert to_prometheus(_sample_registry(("a", "b"))) == \
+            to_prometheus(_sample_registry(("b", "a")))
+        assert to_json_snapshot(_sample_registry(("a", "b"))) == \
+            to_json_snapshot(_sample_registry(("b", "a")))
+
+    def test_write_metrics_byte_identical(self, tmp_path):
+        for fmt in ("json", "prom"):
+            p1, p2 = tmp_path / f"m1.{fmt}", tmp_path / f"m2.{fmt}"
+            write_metrics(str(p1), _sample_registry(("a", "b")), fmt=fmt)
+            write_metrics(str(p2), _sample_registry(("b", "a")), fmt=fmt)
+            assert p1.read_bytes() == p2.read_bytes()
+
+    def test_write_metrics_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="yaml"):
+            write_metrics(str(tmp_path / "m"), MetricsRegistry(),
+                          fmt="yaml")
+
+
+class TestValidator:
+    def test_valid_document_passes(self):
+        assert validate_exposition(to_prometheus(_sample_registry())) == []
+
+    def test_missing_type_flagged(self):
+        assert validate_exposition("orphan_total 1\n")
+
+    def test_duplicate_series_flagged(self):
+        text = ("# TYPE x counter\n"
+                'x{a="1"} 1\n'
+                'x{a="1"} 2\n')
+        assert any("duplicate series" in p
+                   for p in validate_exposition(text))
+
+    def test_duplicate_label_flagged(self):
+        text = '# TYPE x counter\nx{a="1",a="2"} 1\n'
+        assert any("duplicate label" in p
+                   for p in validate_exposition(text))
+
+    def test_unparsable_sample_flagged(self):
+        text = "# TYPE x counter\nx{oops 1\n"
+        assert any("unparsable" in p or "malformed" in p
+                   for p in validate_exposition(text))
+
+    def test_histogram_bucket_order_checked(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\n'
+                'h_bucket{le="0.5"} 1\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1\n"
+                "h_count 3\n")
+        assert any("ascending" in p for p in validate_exposition(text))
+
+    def test_histogram_missing_inf_flagged(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\n'
+                "h_sum 1\nh_count 2\n")
+        assert any("+Inf" in p for p in validate_exposition(text))
+
+    def test_histogram_decreasing_counts_flagged(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="2"} 3\n'
+                'h_bucket{le="+Inf"} 5\n'
+                "h_sum 1\nh_count 5\n")
+        assert any("decrease" in p for p in validate_exposition(text))
+
+    def test_histogram_count_mismatch_flagged(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 4\n'
+                "h_sum 1\nh_count 5\n")
+        assert any("_count" in p for p in validate_exposition(text))
+
+    def test_second_type_flagged(self):
+        text = "# TYPE x counter\n# TYPE x counter\nx 1\n"
+        assert any("second TYPE" in p for p in validate_exposition(text))
+
+    def test_label_roundtrip_with_escapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "").inc(1, k='v with "quotes" and \\')
+        assert validate_exposition(to_prometheus(reg)) == []
+
+    def test_inf_sum_is_legal(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", "", buckets=(1.0,)).observe(math.inf)
+        text = to_prometheus(reg)
+        assert "h_sum +Inf" in text
+        assert validate_exposition(text) == []

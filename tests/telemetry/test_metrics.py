@@ -229,3 +229,29 @@ def test_bridge_is_noop_when_either_side_disabled():
     reg = MetricsRegistry()
     install_trace_bridge(reg, TraceCollector(enabled=False))
     assert len(reg) == 0
+
+
+# ------------------------------------------------------- export ordering
+
+def test_histogram_bucket_rows_ordered():
+    h = Histogram("dur", buckets=(0.5, 1.0, 10.0, 25.0))
+    for v in (0.1, 5.0, 20.0, 100.0):
+        h.observe(v)
+    rows = h.bucket_rows()
+    # Ascending bucket order with +Inf last — a plain dict sorted by
+    # json.dumps would scramble "25" in between "0.5" and "+Inf".
+    assert rows == [("0.5", 1), ("1", 1), ("10", 2), ("25", 3),
+                    ("+Inf", 4)]
+
+
+def test_histogram_series_buckets_are_ordered_objects():
+    h = Histogram("dur", buckets=(0.5, 25.0))
+    h.observe(1.0)
+    (row,) = h.series()
+    assert row["buckets"] == [{"le": "0.5", "count": 0},
+                              {"le": "25", "count": 1},
+                              {"le": "+Inf", "count": 1}]
+    # The ordering survives a sort_keys JSON round trip.
+    import json
+    doc = json.loads(json.dumps(row, sort_keys=True))
+    assert [b["le"] for b in doc["buckets"]] == ["0.5", "25", "+Inf"]

@@ -161,3 +161,101 @@ def test_faultsweep_csv_export(tmp_path, capsys):
     rows = list(csv.DictReader(open(csv_file)))
     assert len(rows) == 3  # baseline + one rate + one mtbf
     assert rows[0]["inflation"] == "1.0"
+
+
+# ---------------------------------------------------------------- observe
+
+def test_run_metrics_out_prom_format(tmp_path, capsys):
+    from repro.telemetry import validate_exposition
+
+    metrics_file = tmp_path / "m.prom"
+    assert main(["run", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--metrics-out", str(metrics_file),
+                 "--metrics-format", "prom"]) == 0
+    assert "(prom)" in capsys.readouterr().err
+    text = metrics_file.read_text()
+    assert "# TYPE tasks_completed_total counter" in text
+    assert validate_exposition(text) == []
+
+
+def test_faultsweep_with_observability(tmp_path, capsys):
+    from repro.observe import read_events, validate_event_log
+
+    events_file = str(tmp_path / "events.jsonl")
+    assert main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--rates", "0.01",
+                 "--events-out", events_file, "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "[sweep" in err and "cells/s" in err
+    assert validate_event_log(events_file, expect_kinds=[
+        "sweep_started", "cell_finished", "sweep_finished"]) == []
+    # The event log covers the swept point, not the in-process baseline.
+    finished = [e for e in read_events(events_file)
+                if e["kind"] == "cell_finished"]
+    assert len(finished) == 1
+
+
+def test_faultsweep_failed_cell_one_line_summary(tmp_path, capsys):
+    crash_dir = str(tmp_path / "crashes")
+    rc = main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+               "--nodes", "2", "--rates", "0.9", "--retries", "0",
+               "--crash-dir", crash_dir])
+    assert rc == 1
+    err = capsys.readouterr().err
+    line = next(ln for ln in err.splitlines()
+                if ln.startswith("error:"))
+    assert "1 sweep cell failed: cell 0 epigenome/nfs@2" in line
+    assert "WorkflowFailedError" in line
+    assert "Traceback" not in err
+    assert "postmortem" in err
+
+    # The bundle it pointed at is summarizable by the subcommand.
+    capsys.readouterr()
+    assert main(["postmortem", crash_dir]) == 0
+    out = capsys.readouterr().out
+    assert "1 crash bundle(s)" in out
+    assert "WorkflowFailedError" in out
+    assert "flight ring" in out
+
+
+def test_faultsweep_keep_going_still_fails(capsys):
+    rc = main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+               "--nodes", "2", "--rates", "0.9", "--retries", "0",
+               "--keep-going"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "inflation" in captured.out  # table still printed
+    assert "1 sweep point(s) failed" in captured.err
+
+
+def test_faultsweep_profile_prints_hotspots(capsys):
+    assert main(["faultsweep", "--app", "epigenome", "--storage", "nfs",
+                 "--nodes", "2", "--rates", "0.01",
+                 "--profile", "cprofile", "--profile-top", "5"]) == 0
+    err = capsys.readouterr().err
+    assert "cumulative" in err
+
+
+def test_postmortem_empty_dir(tmp_path, capsys):
+    assert main(["postmortem", str(tmp_path)]) == 1
+    assert "no crash bundles" in capsys.readouterr().err
+
+
+def test_perf_trend_command(tmp_path, capsys):
+    import json
+
+    history = tmp_path / "history.jsonl"
+    entries = [{"schema": 1, "ts": float(i), "scale": "smoke",
+                "results": {"event_loop": {"seconds": 0.1,
+                                           "normalized": 2.0 - i}}}
+               for i in range(2)]
+    history.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    assert main(["perf-trend", "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "event_loop" in out and "-50.0%" in out
+
+
+def test_perf_trend_missing_history(tmp_path, capsys):
+    assert main(["perf-trend", "--history",
+                 str(tmp_path / "absent.jsonl")]) == 1
+    assert "no perf history" in capsys.readouterr().err
