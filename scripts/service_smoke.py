@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI service smoke: the full job-API stack end-to-end, twice.
+
+Boots the whole service in-process — SQLite store, lease queue, cell
+cache, worker thread, WSGI server on an ephemeral port — and drives it
+through :class:`repro.service.client.ServiceClient` (the same path the
+``repro-ec2 submit``/``status``/``fetch`` commands take):
+
+* submit a paper-scale ``montage/nfs@2`` scenario, poll it to
+  completion, fetch the result (JSON and CSV);
+* resubmit the identical scenario and require a 100% cache-hit job
+  whose payloads are byte-identical to the first run's, with the
+  event log showing zero kernel wall-time;
+* validate the ``/metrics`` Prometheus exposition and write the
+  event-log artifact, schema-checked line by line.
+
+Usage::
+
+    python scripts/service_smoke.py [--artifacts DIR]
+
+Exits 0 when everything checks out, 1 on any problem.  ``--artifacts``
+keeps the event log / database for CI upload (default: a temp dir
+discarded on success).
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="directory to keep the artifacts in "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+    artifacts = args.artifacts or Path(tempfile.mkdtemp(prefix="svc-smoke-"))
+    artifacts.mkdir(parents=True, exist_ok=True)
+
+    from repro.experiments import ExperimentConfig
+    from repro.observe.events import validate_event
+    from repro.service import (CellCache, JobQueue, ServiceApp,
+                               ServiceWorker, open_store, serve)
+    from repro.service.client import ServiceClient
+    from repro.telemetry.export import validate_exposition
+
+    store = open_store(str(artifacts / "service.db"))
+    queue = JobQueue(store)
+    cache = CellCache(store)
+    worker = ServiceWorker(store, queue, cache).start()
+    server = serve(ServiceApp(store, queue, cache), port=0, quiet=True)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(f"http://{host}:{port}", timeout=60)
+    print(f"service up on http://{host}:{port}")
+
+    try:
+        # -- cold run: paper-scale montage/NFS cell ------------------------
+        cell = ExperimentConfig("montage", "nfs", 2)
+        doc = client.submit([cell])
+        job_id = doc["job_id"]
+        status = client.wait(job_id, timeout=600)
+        if status["state"] != "done" or status["n_failed"]:
+            return fail(f"cold job did not finish cleanly: {status}")
+        if status["n_cache_hits"] != 0:
+            return fail("cold job claims cache hits on an empty store")
+        cold = client.result(job_id)
+        makespan_end = cold["cells"][0]["result"]["run"]["end_time"]
+        print(f"cold run done: makespan {makespan_end:,.0f} s sim-time")
+        csv_text = client.result_csv(job_id)
+        if not csv_text.splitlines()[0].startswith("app,storage,nodes"):
+            return fail("CSV fetch did not return the summary table")
+
+        # -- warm resubmit: must be 100% cache hits, bit-identical ---------
+        doc2 = client.submit([cell])
+        status2 = client.wait(doc2["job_id"], timeout=120)
+        if status2["state"] != "done":
+            return fail(f"warm job did not finish: {status2}")
+        if status2["n_cache_hits"] != status2["n_done"] == 1:
+            return fail(f"warm job was not a pure cache hit: {status2}")
+        warm = client.result(doc2["job_id"])
+        cold_payload = json.dumps(cold["cells"][0]["result"],
+                                  sort_keys=True)
+        warm_payload = json.dumps(warm["cells"][0]["result"],
+                                  sort_keys=True)
+        if warm_payload != cold_payload:
+            return fail("warm result is not byte-identical to cold")
+        warm_events = list(client.events(doc2["job_id"]))
+        finished = [e for e in warm_events if e["kind"] == "cell_finished"]
+        if not finished or any(e["wall_seconds"] != 0.0 for e in finished):
+            return fail("warm job spent kernel wall-time on a cached cell")
+        print("warm resubmit: 100% cache hits, byte-identical payload, "
+              "zero kernel time")
+
+        # -- artifacts: event log + metrics --------------------------------
+        events_path = artifacts / "events.jsonl"
+        with open(events_path, "w") as fh:
+            for event in client.events(job_id):
+                problems = validate_event(event)
+                if problems:
+                    return fail(f"event schema: {problems}")
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        print(f"event log validated: {events_path}")
+
+        metrics_text = client.metrics()
+        problems = validate_exposition(metrics_text)
+        if problems:
+            return fail(f"/metrics exposition invalid: {problems}")
+        for needle in ('sweep_cache_hits_total{app="montage",'
+                       'storage="nfs"} 1',
+                       'service_cells_total{source="cache"} 1',
+                       "sweep_cache_stored_results 1"):
+            if needle not in metrics_text:
+                return fail(f"/metrics missing {needle!r}")
+        (artifacts / "metrics.prom").write_text(metrics_text)
+        print("metrics exposition validated")
+    finally:
+        worker.stop()
+        server.shutdown()
+        server.server_close()
+        store.close()
+
+    print(f"OK — artifacts in {artifacts}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -477,6 +477,146 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import (CellCache, JobQueue, ServiceApp, ServiceWorker,
+                          open_store, serve)
+    store = open_store(args.db)
+    queue = JobQueue(store)
+    cache = CellCache(store)
+    workers = [
+        ServiceWorker(store, queue, cache, name=f"worker-{i}",
+                      jobs=args.jobs, crash_dir=args.crash_dir).start()
+        for i in range(args.workers)
+    ]
+    app = ServiceApp(store, queue, cache)
+    server = serve(app, host=args.host, port=args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"repro-ec2 service on http://{host}:{port} "
+          f"(db {args.db}, {args.workers} worker(s) x {args.jobs} "
+          f"process(es), {store.result_count()} cached cells)",
+          file=sys.stderr)
+    print(f"  submit: repro-ec2 submit --url http://{host}:{port} "
+          f"--app montage --storage nfs --nodes 4", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        for worker in workers:
+            worker.stop()
+        server.server_close()
+        store.close()
+    return 0
+
+
+def _parse_submit_cells(args: argparse.Namespace) -> List["ExperimentConfig"]:
+    """The cell list one ``submit`` invocation describes."""
+    common = dict(seed=args.seed, collect_traces=args.traces)
+    if args.matrix:
+        return paper_matrix(args.matrix, **common)
+    if not (args.app and args.storage):
+        raise ValueError("pass --app/--storage/--nodes for one cell, "
+                         "or --matrix APP for a full paper sweep")
+    config = ExperimentConfig(args.app, args.storage, args.nodes, **common)
+    ok, why = config.is_valid()
+    if not ok:
+        raise ValueError(why)
+    return [config]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+    try:
+        cells = _parse_submit_cells(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url)
+    extra = {}
+    if args.scale != "paper":
+        extra["scale"] = args.scale
+    try:
+        doc = client.submit(cells, jobs=args.jobs or None, **extra)
+        job_id = doc["job_id"]
+        print(f"job {job_id}: {doc['n_cells']} cell(s) queued "
+              f"({doc['kind']})")
+        if not args.wait:
+            print(f"  poll:  repro-ec2 status {job_id} --url {args.url}")
+            print(f"  fetch: repro-ec2 fetch {job_id} --url {args.url}")
+            return 0
+        status = client.wait(job_id, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job_id} {status['state']}: {status['n_done']} done, "
+          f"{status['n_failed']} failed, "
+          f"{status['n_cache_hits']} cache hit(s)")
+    return 0 if status["state"] == "done" and not status["n_failed"] else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+    from .service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.job is None:
+            jobs = client.list_jobs()
+            if not jobs:
+                print("no jobs")
+                return 0
+            print(f"{'id':>5} {'state':<8} {'kind':<10} "
+                  f"{'done':>5} {'fail':>5} {'hits':>5}")
+            for job in jobs:
+                print(f"{job['id']:>5} {job['state']:<8} "
+                      f"{job['kind']:<10} {job['n_done']:>5} "
+                      f"{job['n_failed']:>5} {job['n_cache_hits']:>5}")
+            return 0
+        status = client.status(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.events:
+        for event in client.events(args.job, follow=args.follow):
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+    from .service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.url)
+    try:
+        if args.csv:
+            text = client.result_csv(args.job)
+            with open(args.csv, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.csv}", file=sys.stderr)
+            return 0
+        doc = client.result(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        from .experiments.serialize import result_from_dict
+        for cell in doc["cells"]:
+            if cell["result"] is None:
+                print(f"  {cell['label']}: FAILED ({cell['error']})")
+                continue
+            result = result_from_dict(cell["result"])
+            tag = " [cached]" if cell["cached"] else ""
+            print(f"  {result.label}: makespan {result.makespan:,.0f} s, "
+                  f"cost ${result.cost.per_hour_total:.2f}/h{tag}")
+    n_failed = doc["job"]["n_failed"]
+    return 1 if n_failed else 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("applications:")
     for name, builder in APP_BUILDERS.items():
@@ -650,6 +790,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--emit-digest", action="store_true",
                         help=argparse.SUPPRESS)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (REST API + job workers)")
+    p_serve.add_argument("--db", default="repro-service.db",
+                         help="SQLite database path (jobs, results, "
+                              "the content-addressed cell cache)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="supervisor threads draining the job queue")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="default worker processes per sweep "
+                              "(job payloads may override)")
+    p_serve.add_argument("--crash-dir",
+                         help="write crash bundles for failed cells here")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logging")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser("submit",
+                           help="submit a cell or sweep to a running "
+                                "service")
+    p_sub.add_argument("--url", default="http://127.0.0.1:8642",
+                       help="service base URL")
+    p_sub.add_argument("--app", choices=sorted(APP_BUILDERS))
+    p_sub.add_argument("--storage", choices=STORAGE_NAMES)
+    p_sub.add_argument("--nodes", type=int, default=1)
+    p_sub.add_argument("--matrix", choices=sorted(APP_BUILDERS),
+                       help="submit the full paper matrix for this app "
+                            "instead of a single cell")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--traces", action="store_true",
+                       help="collect spans/metrics for each cell")
+    p_sub.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for this sweep "
+                            "(0 = server default)")
+    p_sub.add_argument("--scale", choices=("paper", "small"),
+                       default="paper",
+                       help="'small' runs the down-scaled smoke "
+                            "workflows")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job reaches a terminal "
+                            "state")
+    p_sub.add_argument("--timeout", type=float, default=600.0,
+                       help="--wait timeout in seconds")
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_st = sub.add_parser("status",
+                          help="job table, or one job's status/events")
+    p_st.add_argument("job", nargs="?", type=int,
+                      help="job id (omit for the job table)")
+    p_st.add_argument("--url", default="http://127.0.0.1:8642")
+    p_st.add_argument("--events", action="store_true",
+                      help="print the job's schema-v1 JSONL event log")
+    p_st.add_argument("--follow", action="store_true",
+                      help="with --events: stream until the job ends")
+    p_st.set_defaults(func=_cmd_status)
+
+    p_fetch = sub.add_parser("fetch",
+                             help="fetch a finished job's results")
+    p_fetch.add_argument("job", type=int, help="job id")
+    p_fetch.add_argument("--url", default="http://127.0.0.1:8642")
+    p_fetch.add_argument("--csv", metavar="FILE",
+                         help="write the figure-style CSV here")
+    p_fetch.add_argument("--output", metavar="FILE",
+                         help="write the full JSON result document here")
+    p_fetch.set_defaults(func=_cmd_fetch)
 
     p_list = sub.add_parser("list", help="list applications and systems")
     p_list.set_defaults(func=_cmd_list)

@@ -11,6 +11,8 @@ from .faultsweep import FaultSweepPoint, fault_inflation_sweep, format_fault_swe
 from .report import ReproductionReport, build_report
 from .runner import (CellError, ExperimentResult, ObserveOptions,
                      run_experiment, run_sweep)
+from .serialize import (RESULT_SCHEMA_VERSION, result_digest,
+                        result_from_json, result_to_json)
 
 __all__ = [
     "CellError",
@@ -21,11 +23,15 @@ __all__ = [
     "PAPER_APPS",
     "PAPER_NODE_COUNTS",
     "PAPER_STORAGE_SYSTEMS",
+    "RESULT_SCHEMA_VERSION",
     "ReproductionReport",
     "build_report",
     "fault_inflation_sweep",
     "format_fault_sweep",
     "paper_matrix",
+    "result_digest",
+    "result_from_json",
+    "result_to_json",
     "run_experiment",
     "run_sweep",
 ]

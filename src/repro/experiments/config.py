@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..faults.spec import NO_FAULTS, FaultSpec
 
@@ -112,15 +112,66 @@ class ExperimentConfig:
         """A modified copy (convenience for sweeps)."""
         return replace(self, **kwargs)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-compatible; nested fault spec included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output / parsed JSON.
+
+        Rejects unknown keys loudly — a silently dropped field would
+        change the scenario (and its digest) without anyone noticing.
+        """
+        from dataclasses import fields as dc_fields
+        known = {f.name for f in dc_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        spec = kwargs.get("fault_spec")
+        if spec is not None and not isinstance(spec, FaultSpec):
+            kwargs["fault_spec"] = FaultSpec.from_dict(spec)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
     def digest(self) -> str:
         """Stable content hash of this scenario (hex sha256).
 
-        Computed over the canonical JSON of every field (nested fault
-        specs included), so any two processes — or two sessions weeks
-        apart — derive the same digest for the same configuration.
-        Event-log lines and crash bundles carry it, making host-side
-        artifacts joinable back to the exact scenario that produced
-        them.
+        Computed over the canonical JSON of every field, so any two
+        processes — or two sessions weeks apart — derive the same
+        digest for the same configuration.  Event-log lines, crash
+        bundles, and the service result store all key on it, making
+        host-side artifacts joinable back to the exact scenario that
+        produced them — and making the content-addressed cell cache
+        (``repro.service.cache``) safe: equal digest ⇒ equal scenario
+        ⇒ (by the determinism contract) bit-identical results.
+
+        Canonicalization rules — the digest payload is
+        ``json.dumps(asdict(self), sort_keys=True, default=repr)``:
+
+        * every dataclass field participates, including defaults;
+          nested dataclasses (``fault_spec`` and its crash/outage/retry
+          members) are recursively converted to dicts by ``asdict``;
+        * object keys are sorted at every nesting level
+          (``sort_keys=True``), so field declaration order is
+          irrelevant;
+        * tuples and lists both serialize as JSON arrays; ints and
+          floats follow JSON semantics (``json.dumps`` emits the
+          shortest round-trip ``repr`` for floats, so no precision is
+          dropped; note ``0`` and ``0.0`` serialize differently —
+          construct configs with the declared field types);
+        * any non-JSON value falls back to ``repr`` (``default=repr``);
+          no current field needs this fallback, and new fields must
+          keep it that way (a ``repr`` contains memory addresses for
+          arbitrary objects, which would destroy digest stability);
+        * the payload is UTF-8 encoded and hashed with SHA-256.
+
+        Any change to these rules — or to the field set — silently
+        invalidates every stored cache entry keyed by the old digests.
+        ``tests/experiments/test_config_digest.py`` pins known digests
+        so an accidental payload-format change fails loudly; bump the
+        pins only for an *intentional* format change.
         """
         payload = json.dumps(asdict(self), sort_keys=True, default=repr)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

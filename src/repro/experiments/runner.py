@@ -139,6 +139,18 @@ class ExperimentResult:
             "cache_hits": self.run.storage_stats.cache_hits,
         }
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Lossless, schema-versioned JSON (see
+        :mod:`repro.experiments.serialize`)."""
+        from .serialize import result_to_json
+        return result_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result serialized by :meth:`to_json`."""
+        from .serialize import result_from_json
+        return result_from_json(text)
+
 
 def run_experiment(config: ExperimentConfig,
                    workflow: Optional[Workflow] = None,
@@ -393,6 +405,7 @@ def run_sweep(configs: Iterable[ExperimentConfig],
               jobs: int = 1,
               workflow: Optional[Workflow] = None,
               observe: Optional[ObserveOptions] = None,
+              cache: Optional[Any] = None,
               ) -> List[Optional[ExperimentResult]]:
     """Run many cells; each gets its own fresh simulated world.
 
@@ -415,6 +428,20 @@ def run_sweep(configs: Iterable[ExperimentConfig],
     has been driven — the first-failure behaviour is a single
     :class:`CellError` listing every failed cell.  With ``keep_going``
     the sweep instead returns ``None`` placeholders at failed indexes.
+
+    ``cache`` is a content-addressed cell cache (anything with the
+    :class:`repro.service.cache.CellCache` ``get(config)``/
+    ``put(config, result)`` shape).  Every cell is looked up by its
+    ``config.digest()`` before any world is built; hits are served
+    without simulating (zero kernel events) and misses are stored
+    after the run, so a repeated sweep is O(new cells).  The cache
+    counts ``sweep_cache_hits_total`` / ``sweep_cache_misses_total``
+    per lookup.  Caching only ever changes *whether* a cell is
+    simulated, never its result: a hit is the losslessly round-tripped
+    result of an earlier run of the same scenario, and serial vs
+    parallel sweeps populate identical cache contents.  The cache is
+    deliberately *not* used for cells that fail — only completed
+    results are stored.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -425,14 +452,29 @@ def run_sweep(configs: Iterable[ExperimentConfig],
     if opts.profile not in ("off", "cprofile"):
         raise ValueError(f"unknown profile mode {opts.profile!r}")
 
+    # Content-addressed lookup happens up front, in config order, so
+    # hit/miss counters are deterministic and no worker process is ever
+    # spawned for a cell the store can already answer.
+    cached: Dict[int, ExperimentResult] = {}
+    if cache is not None:
+        for index, config in enumerate(configs):
+            hit = cache.get(config)
+            if hit is not None:
+                cached[index] = hit
+
     if not opts.active() and (jobs == 1 or len(configs) <= 1):
         # Fast path, byte-for-byte the historical behaviour: no
         # envelope round-trip, results carry their live collectors.
         results: List[Optional[ExperimentResult]] = []
-        for config in configs:
-            wf = workflow if workflow is not None else (
-                workflow_factory(config.app) if workflow_factory else None)
-            result = run_experiment(config, workflow=wf)
+        for index, config in enumerate(configs):
+            result = cached.get(index)
+            if result is None:
+                wf = workflow if workflow is not None else (
+                    workflow_factory(config.app) if workflow_factory
+                    else None)
+                result = run_experiment(config, workflow=wf)
+                if cache is not None:
+                    cache.put(config, result)
             results.append(result)
             if progress is not None:
                 progress(result)
@@ -450,31 +492,44 @@ def run_sweep(configs: Iterable[ExperimentConfig],
     if monitor is not None:
         monitor.sweep_started(len(configs), jobs)
     try:
-        if jobs == 1 or len(configs) <= 1:
+        if jobs == 1 or len(configs) - len(cached) <= 1:
             for payload in payloads:
                 if monitor is not None:
                     monitor.cell_scheduled(payload[0], payload[1])
+                if payload[0] in cached:
+                    results.append(_consume_cached(
+                        payload[0], payload[1], cached[payload[0]],
+                        opts, progress))
+                    continue
                 envelope = _run_with_retries(payload, opts)
                 results.append(_consume_envelope(
-                    envelope, opts, progress, failures))
+                    envelope, opts, progress, failures, cache=cache))
         else:
             from concurrent.futures import ProcessPoolExecutor
 
             if monitor is not None:
                 for index, config in enumerate(configs):
                     monitor.cell_scheduled(index, config)
+            miss_payloads = [p for p in payloads if p[0] not in cached]
             with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(configs))) as pool:
+                    max_workers=min(jobs, len(miss_payloads))) as pool:
                 # map() yields in submission order regardless of
-                # completion order, so result order (and progress
-                # callbacks) match serial.
-                for envelope in pool.map(_sweep_cell, payloads):
+                # completion order; interleaving the cached indexes
+                # back in keeps result order (and progress callbacks)
+                # identical to serial.
+                envelopes = pool.map(_sweep_cell, miss_payloads)
+                for index, config in enumerate(configs):
+                    if index in cached:
+                        results.append(_consume_cached(
+                            index, config, cached[index], opts, progress))
+                        continue
+                    envelope = next(envelopes)
                     if envelope.error is not None and opts.cell_retries:
                         envelope = _run_with_retries(
                             payloads[envelope.index], opts,
                             first=envelope)
                     results.append(_consume_envelope(
-                        envelope, opts, progress, failures))
+                        envelope, opts, progress, failures, cache=cache))
     finally:
         if monitor is not None:
             monitor.sweep_finished()
@@ -502,9 +557,28 @@ def _run_with_retries(payload, opts: ObserveOptions,
     return envelope
 
 
+def _consume_cached(index: int, config: ExperimentConfig,
+                    result: ExperimentResult, opts: ObserveOptions,
+                    progress: Optional[Callable[[ExperimentResult], None]]
+                    ) -> ExperimentResult:
+    """Fold one cache hit into monitor events and the result list.
+
+    A hit costs no simulation, so its lifecycle collapses to an
+    immediate started/finished pair with zero wall-clock attributed.
+    """
+    monitor = opts.monitor
+    if monitor is not None:
+        monitor.cell_started(index, config)
+        monitor.cell_finished(index, config, wall_seconds=0.0, peak_rss=0)
+    if progress is not None:
+        progress(result)
+    return result
+
+
 def _consume_envelope(envelope: _SweepEnvelope, opts: ObserveOptions,
                       progress: Optional[Callable[[ExperimentResult], None]],
-                      failures: List[Dict[str, Any]]
+                      failures: List[Dict[str, Any]],
+                      cache: Optional[Any] = None
                       ) -> Optional[ExperimentResult]:
     """Fold one envelope into monitor events, bundles, and a result.
 
@@ -541,6 +615,8 @@ def _consume_envelope(envelope: _SweepEnvelope, opts: ObserveOptions,
                 bundle_path=bundle_path)
         return None
     result = _rehydrate(envelope)
+    if cache is not None:
+        cache.put(config, result)
     if monitor is not None:
         monitor.cell_finished(envelope.index, config,
                               wall_seconds=envelope.wall_seconds,

@@ -46,12 +46,13 @@ EVENT_QUEUE_OWNERS = (
     "repro/storage/nfs.py",
 )
 
-#: The one package sanctioned to read the host clock: host-side sweep
-#: observability (progress lines, event-log timestamps, crash bundles).
-#: SIM001 is switched off here; everywhere else wall-clock reads are
-#: flagged, and inside the simulation kernel SIM009 additionally bans
-#: any reference to this package.
-HOST_OBSERVE_PREFIXES = ("repro/observe/",)
+#: Packages sanctioned to read the host clock: host-side sweep
+#: observability (progress lines, event-log timestamps, crash bundles)
+#: and the job service (lease deadlines, submission timestamps, HTTP
+#: polling).  SIM001 is switched off here; everywhere else wall-clock
+#: reads are flagged, and inside the simulation kernel SIM009
+#: additionally bans any reference to these packages.
+HOST_OBSERVE_PREFIXES = ("repro/observe/", "repro/service/")
 
 #: The simulation kernel proper: modules whose outputs feed the
 #: deterministic telemetry hash-chain.  SIM009 guards this boundary —

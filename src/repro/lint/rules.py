@@ -117,10 +117,11 @@ _WALL_CLOCK = {
 class WallClockRule(Rule):
     """SIM001: wall-clock reads make a run a function of the host.
 
-    ``repro/observe/`` is exempt: it is the sanctioned home for
-    host-side orchestration telemetry (progress lines, event-log
-    timestamps, crash bundles), and SIM009 enforces that nothing in the
-    simulation kernel reaches into it.
+    ``repro/observe/`` and ``repro/service/`` are exempt: they are the
+    sanctioned homes for host-side orchestration telemetry (progress
+    lines, event-log timestamps, crash bundles) and the job service
+    (lease deadlines, submission timestamps), and SIM009 enforces that
+    nothing in the simulation kernel reaches into them.
     """
 
     id = "SIM001"
@@ -621,20 +622,26 @@ class EventQueueRule(Rule):
 # --------------------------------------------------------------------------
 # SIM009 — host-side observability leaking into the simulation kernel
 
+#: Top-level ``repro`` subpackages sanctioned to touch the host
+#: (mirrors ``engine.HOST_OBSERVE_PREFIXES``): the kernel must not
+#: reference any of them.
+_HOST_SIDE_PACKAGES = frozenset({"observe", "service"})
+
 
 @register
 class HostObservabilityLeakRule(Rule):
     """SIM009: the simulation kernel must not see host-side telemetry.
 
-    ``repro/observe/`` is where wall-clock reads legitimately live
-    (sweep progress, event-log timestamps, crash bundles) — but that
-    sanction is one-directional.  Inside the kernel proper
-    (``simcore/``, ``storage/``, ``workflow/``) any wall-clock read, or
-    any reference to the ``repro.observe`` package, is a channel
-    through which host time could reach simulation state and silently
-    break the telemetry hash-chain's bit-identity across machines.
-    Host measurements belong in the orchestration layer
-    (``experiments/runner.py``), which observes workers from outside.
+    ``repro/observe/`` and ``repro/service/`` are where wall-clock
+    reads legitimately live (sweep progress, event-log timestamps,
+    crash bundles, job-lease deadlines) — but that sanction is
+    one-directional.  Inside the kernel proper (``simcore/``,
+    ``storage/``, ``workflow/``) any wall-clock read, or any reference
+    to those host-side packages, is a channel through which host time
+    could reach simulation state and silently break the telemetry
+    hash-chain's bit-identity across machines.  Host measurements
+    belong in the orchestration layer (``experiments/runner.py``),
+    which observes workers from outside.
     """
 
     id = "SIM009"
@@ -682,19 +689,22 @@ class HostObservabilityLeakRule(Rule):
                 yield self._observe_finding(ctx, node, module)
             return
         # Relative import: ``from ..observe import ...`` or
-        # ``from .. import observe``.
-        if module == "observe" or module.startswith("observe."):
+        # ``from .. import observe`` (likewise ``service``).
+        head = module.split(".", 1)[0]
+        if head in _HOST_SIDE_PACKAGES:
             yield self._observe_finding(ctx, node,
                                         f"{'.' * node.level}{module}")
         elif not module:
             for alias in node.names:
-                if alias.name == "observe":
+                if alias.name in _HOST_SIDE_PACKAGES:
                     yield self._observe_finding(
-                        ctx, node, f"{'.' * node.level} import observe")
+                        ctx, node,
+                        f"{'.' * node.level} import {alias.name}")
 
     @staticmethod
     def _is_observe_module(name: str) -> bool:
-        return name == "repro.observe" or name.startswith("repro.observe.")
+        return any(name == f"repro.{pkg}" or name.startswith(f"repro.{pkg}.")
+                   for pkg in _HOST_SIDE_PACKAGES)
 
     @staticmethod
     def _inside_attribute(parents: _ParentMap, node: ast.AST) -> bool:

@@ -1,0 +1,46 @@
+"""Simulation-as-a-service: job API, result store, cell cache, worker.
+
+This package stands the deterministic simulator up as a long-running
+service (the ROADMAP's "serve the paper's answers under sustained
+traffic" direction):
+
+* :mod:`~repro.service.store` — SQLite-backed job queue + result
+  store behind a thin adapter interface (schema versioning, WAL mode,
+  Postgres-shaped SQL).
+* :mod:`~repro.service.cache` — content-addressed cell cache keyed by
+  ``ExperimentConfig.digest()``: repeated sweeps are O(new cells).
+* :mod:`~repro.service.queue` — leased job queue with crash recovery
+  (an expired lease re-queues the job instead of losing it).
+* :mod:`~repro.service.worker` — supervisor that drains the queue
+  onto :func:`repro.experiments.run_sweep`.
+* :mod:`~repro.service.api` — stdlib-only WSGI REST API (submit /
+  status / events / results / ``/metrics``).
+* :mod:`~repro.service.client` — ``urllib``-based client used by the
+  ``repro-ec2 submit``/``status``/``fetch`` CLI trio.
+
+Like :mod:`repro.observe`, this package is host-side orchestration:
+it may read the wall clock (lint fence ``HOST_OBSERVE_PREFIXES``),
+but nothing in it can feed values back into simulation state — cache
+hits are served from lossless serialized results of earlier runs, and
+misses run through the unmodified deterministic runner.
+"""
+
+from .api import ServiceApp, serve
+from .cache import CellCache
+from .queue import JOB_KINDS, JOB_STATES, JobQueue, JobRow
+from .store import SCHEMA_VERSION, SQLiteStore, open_store
+from .worker import ServiceWorker
+
+__all__ = [
+    "CellCache",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRow",
+    "SCHEMA_VERSION",
+    "SQLiteStore",
+    "ServiceApp",
+    "ServiceWorker",
+    "open_store",
+    "serve",
+]

@@ -1,0 +1,364 @@
+"""Stdlib-only WSGI REST API for the simulation service.
+
+No framework, no new dependency: a plain WSGI callable
+(:class:`ServiceApp`) served by ``wsgiref``'s threading server
+(:func:`serve`).  Endpoints (all JSON unless noted):
+
+========  =============================  =====================================
+Method    Path                           Purpose
+========  =============================  =====================================
+GET       ``/api/v1/health``             liveness + schema/queue snapshot
+POST      ``/api/v1/jobs``               submit a scenario / sweep / faultsweep
+GET       ``/api/v1/jobs``               list jobs (``?state=queued``)
+GET       ``/api/v1/jobs/{id}``          job status incl. cell outcomes
+GET       ``/api/v1/jobs/{id}/events``   schema-v1 JSONL event stream
+                                         (``?follow=1`` tails a running job)
+GET       ``/api/v1/jobs/{id}/result``   full result payloads
+                                         (``?format=csv`` → summary CSV)
+GET       ``/api/v1/results/{digest}``   one cached cell by content digest
+GET       ``/metrics``                   Prometheus text exposition
+========  =============================  =====================================
+
+Submissions are validated eagerly — every config must parse and pass
+``is_valid()`` *before* the job row is created, so a bad request is a
+400, never a failed job.  The events endpoint re-serves the worker's
+JSONL log straight from the store as a chunked/streamed body; with
+``follow=1`` it polls until the job reaches a terminal state, which is
+how a client tails live progress over plain HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from socketserver import ThreadingMixIn
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from urllib.parse import parse_qs
+from wsgiref.simple_server import (WSGIRequestHandler, WSGIServer,
+                                   make_server)
+
+from ..experiments.results import to_csv
+from ..experiments.serialize import RESULT_SCHEMA_VERSION, result_from_json
+from ..telemetry.export import to_prometheus
+from ..telemetry.metrics import MetricsRegistry
+from .cache import CellCache
+from .queue import JOB_KINDS, JOB_STATES, JobQueue
+from .store import SCHEMA_VERSION, SQLiteStore
+from .worker import expand_job
+
+#: Terminal job states (the events endpoint stops following at these).
+_TERMINAL = ("done", "failed")
+
+
+class _HTTPError(Exception):
+    """Internal control flow: becomes a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "200 OK",
+    201: "201 Created",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    413: "413 Payload Too Large",
+    500: "500 Internal Server Error",
+}
+
+#: Submission body size cap (a 20k-cell sweep is ~10 MB of configs).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceApp:
+    """The WSGI application: routes requests onto store/queue/cache."""
+
+    def __init__(self, store: SQLiteStore, queue: JobQueue,
+                 cache: CellCache,
+                 metrics: Optional[MetricsRegistry] = None,
+                 follow_poll_interval: float = 0.1,
+                 follow_timeout: float = 600.0) -> None:
+        self.store = store
+        self.queue = queue
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else cache.metrics
+        self.follow_poll_interval = follow_poll_interval
+        self.follow_timeout = follow_timeout
+        self._requests = self.metrics.counter(
+            "service_http_requests_total", "API requests by route/status")
+        self._submitted = self.metrics.counter(
+            "service_jobs_submitted_total", "jobs accepted by kind")
+
+    # -- WSGI entry ---------------------------------------------------------
+
+    def __call__(self, environ: Dict[str, Any],
+                 start_response: Callable) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        route = "unmatched"
+        try:
+            route, handler, args = self._route(method, path)
+            response = handler(environ, query, *args)
+        except _HTTPError as exc:
+            response = _json_response(exc.status, {"error": exc.message})
+        except Exception as exc:  # lint: ignore[SIM007]
+            # The server must answer every request; anything unplanned
+            # becomes a 500 with the exception type as the hint.
+            response = _json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"})
+        status, headers, body = response
+        self._requests.inc(route=route, status=str(status))
+        start_response(_STATUS_TEXT[status], headers)
+        return body
+
+    def _route(self, method: str, path: str):
+        parts = [p for p in path.split("/") if p]
+        if path == "/metrics":
+            self._require(method, "GET")
+            return "/metrics", self._h_metrics, ()
+        if parts[:2] == ["api", "v1"]:
+            tail = parts[2:]
+            if tail == ["health"]:
+                self._require(method, "GET")
+                return "/api/v1/health", self._h_health, ()
+            if tail == ["jobs"]:
+                if method == "POST":
+                    return "/api/v1/jobs", self._h_submit, ()
+                self._require(method, "GET")
+                return "/api/v1/jobs", self._h_list_jobs, ()
+            if len(tail) >= 2 and tail[0] == "jobs":
+                job_id = self._int(tail[1], "job id")
+                if len(tail) == 2:
+                    self._require(method, "GET")
+                    return "/api/v1/jobs/{id}", self._h_job, (job_id,)
+                if tail[2:] == ["events"]:
+                    self._require(method, "GET")
+                    return ("/api/v1/jobs/{id}/events",
+                            self._h_events, (job_id,))
+                if tail[2:] == ["result"]:
+                    self._require(method, "GET")
+                    return ("/api/v1/jobs/{id}/result",
+                            self._h_result, (job_id,))
+            if len(tail) == 2 and tail[0] == "results":
+                self._require(method, "GET")
+                return ("/api/v1/results/{digest}",
+                        self._h_result_by_digest, (tail[1],))
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HTTPError(405, f"method {method} not allowed here")
+
+    @staticmethod
+    def _int(text: str, what: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            raise _HTTPError(400, f"bad {what}: {text!r}") from None
+
+    # -- handlers -----------------------------------------------------------
+
+    def _h_health(self, environ, query):
+        return _json_response(200, {
+            "status": "ok",
+            "store_schema": SCHEMA_VERSION,
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "jobs": self.queue.counts(),
+            "cached_results": len(self.cache),
+        })
+
+    def _h_metrics(self, environ, query):
+        text = to_prometheus(self.metrics)
+        return (200,
+                [("Content-Type", "text/plain; version=0.0.4; "
+                                  "charset=utf-8")],
+                [text.encode("utf-8")])
+
+    def _h_submit(self, environ, query):
+        body = _read_body(environ)
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"request body is not JSON: {exc}") \
+                from None
+        if not isinstance(request, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        kind = request.get("kind", "scenario")
+        if kind not in JOB_KINDS:
+            raise _HTTPError(400, f"unknown kind {kind!r} "
+                                  f"(expected one of {JOB_KINDS})")
+        payload = {k: v for k, v in request.items() if k != "kind"}
+        try:
+            configs = expand_job(payload, kind)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"bad submission: {exc}") from None
+        job_id = self.queue.submit(kind, payload, n_cells=len(configs))
+        self._submitted.inc(kind=kind)
+        # The advertised digests are the *storage keys* the job will
+        # use (scale-namespaced when the job overrides the workflow),
+        # so each one is addressable via /api/v1/results/{digest}.
+        cache = self.cache.for_scale(payload.get("scale"))
+        return _json_response(201, {
+            "job_id": job_id,
+            "kind": kind,
+            "n_cells": len(configs),
+            "digests": [cache.key(c) for c in configs],
+        })
+
+    def _h_list_jobs(self, environ, query):
+        state = query.get("state", [None])[0]
+        if state is not None and state not in JOB_STATES:
+            raise _HTTPError(400, f"unknown state {state!r}")
+        limit = self._int(query.get("limit", ["100"])[0], "limit")
+        jobs = self.queue.list_jobs(state=state, limit=limit)
+        return _json_response(200, {
+            "jobs": [j.status_dict() for j in jobs]})
+
+    def _h_job(self, environ, query, job_id: int):
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"no job {job_id}")
+        status = job.status_dict()
+        status["cells"] = self.store.cell_rows(job_id)
+        return _json_response(200, status)
+
+    def _h_events(self, environ, query, job_id: int):
+        if self.queue.get(job_id) is None:
+            raise _HTTPError(404, f"no job {job_id}")
+        follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
+        body = self._event_stream(job_id, follow)
+        return (200, [("Content-Type", "application/x-ndjson")], body)
+
+    def _event_stream(self, job_id: int,
+                      follow: bool) -> Iterator[bytes]:
+        """Yield event lines; with ``follow``, tail until terminal.
+
+        Yielding per line makes the WSGI server flush each chunk as it
+        is produced (chunked transfer under HTTP/1.1, progressive body
+        otherwise), which is what lets a client watch a running sweep.
+        """
+        last_seq = 0
+        waited = 0.0
+        done_event = threading.Event()  # purely a sleep primitive
+        while True:
+            for seq, line in self.store.events_after(job_id, last_seq):
+                last_seq = seq
+                yield (line + "\n").encode("utf-8")
+            if not follow:
+                return
+            job = self.queue.get(job_id)
+            if job is None or job.state in _TERMINAL:
+                # Drain whatever raced in between the read and the
+                # state check, then stop.
+                for seq, line in self.store.events_after(job_id, last_seq):
+                    last_seq = seq
+                    yield (line + "\n").encode("utf-8")
+                return
+            if waited >= self.follow_timeout:
+                return
+            done_event.wait(self.follow_poll_interval)
+            waited += self.follow_poll_interval
+
+    def _h_result(self, environ, query, job_id: int):
+        job = self.queue.get(job_id)
+        if job is None:
+            raise _HTTPError(404, f"no job {job_id}")
+        if job.state not in _TERMINAL:
+            raise _HTTPError(404, f"job {job_id} is {job.state}; "
+                                  f"results are available once done")
+        cells = self.store.cell_rows(job_id)
+        fmt = query.get("format", ["json"])[0]
+        if fmt == "csv":
+            results = []
+            for cell in cells:
+                if cell["digest"] is None:
+                    continue
+                payload = self.store.get_result(cell["digest"])
+                if payload is not None:
+                    results.append(result_from_json(payload))
+            return (200, [("Content-Type", "text/csv; charset=utf-8")],
+                    [to_csv(results).encode("utf-8")])
+        if fmt != "json":
+            raise _HTTPError(400, f"unknown format {fmt!r}")
+        out: List[Dict[str, Any]] = []
+        for cell in cells:
+            entry: Dict[str, Any] = {
+                "cell_index": cell["cell_index"],
+                "label": cell["label"],
+                "digest": cell["digest"],
+                "cached": cell["cached"],
+                "error": cell["error"],
+                "result": None,
+            }
+            if cell["digest"] is not None:
+                payload = self.store.get_result(cell["digest"])
+                if payload is not None:
+                    entry["result"] = json.loads(payload)
+            out.append(entry)
+        return _json_response(200, {
+            "job": job.status_dict(),
+            "cells": out,
+        })
+
+    def _h_result_by_digest(self, environ, query, digest: str):
+        payload = self.store.get_result(digest)
+        if payload is None:
+            raise _HTTPError(404, f"no cached result for digest "
+                                  f"{digest[:16]}...")
+        return (200, [("Content-Type", "application/json")],
+                [payload.encode("utf-8")])
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _json_response(status: int, doc: Dict[str, Any]):
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return (status,
+            [("Content-Type", "application/json"),
+             ("Content-Length", str(len(body)))],
+            [body])
+
+
+def _read_body(environ: Dict[str, Any]) -> bytes:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    if length > MAX_BODY_BYTES:
+        raise _HTTPError(413, f"request body over {MAX_BODY_BYTES} bytes")
+    if length <= 0:
+        raise _HTTPError(400, "empty request body")
+    return environ["wsgi.input"].read(length)
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request so event streaming can't starve polls."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler with per-request stderr logging switched off."""
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+
+def serve(app: ServiceApp, host: str = "127.0.0.1", port: int = 0,
+          quiet: bool = False):
+    """A ready-to-run threaded WSGI server bound to ``(host, port)``.
+
+    ``port=0`` binds an ephemeral port (tests); read the actual one
+    from ``server.server_address[1]``.  Call ``serve_forever()`` to
+    block, ``shutdown()`` from another thread to stop.  ``quiet``
+    suppresses the per-request access log on stderr.
+    """
+    return make_server(host, port, app, server_class=_ThreadingWSGIServer,
+                       handler_class=_QuietHandler if quiet
+                       else WSGIRequestHandler)

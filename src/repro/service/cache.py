@@ -1,0 +1,136 @@
+"""Content-addressed cell cache keyed by ``ExperimentConfig.digest()``.
+
+The determinism contract (every cell is a pure function of
+``(ExperimentConfig, seed)``, with the seed part of the config) makes
+result caching sound: equal digest ⇒ equal scenario ⇒ bit-identical
+result.  :class:`CellCache` fronts the store's ``results`` table with
+that contract plus hit/miss telemetry, turning a repeated sweep from
+O(cells) simulation into O(new cells) — the workload shape the
+companion EC2 studies imply (large near-identical configuration
+sweeps).
+
+Hits are served by losslessly deserializing the stored payload
+(:mod:`repro.experiments.serialize`), so a cached result carries the
+same makespan, cost, metrics snapshot, and Prometheus exposition as
+the run that produced it.  Misses are *not* negative-cached: the
+absence of a row simply means "simulate".
+
+Counters — the ``sweep.cache.{hit,miss}`` pair, spelled in valid
+Prometheus metric grammar: ``sweep_cache_hits_total`` /
+``sweep_cache_misses_total``, labelled by app and storage system, and
+``sweep_cache_stored_results`` (a gauge of distinct cells in the
+store).  They register in whatever
+:class:`~repro.telemetry.metrics.MetricsRegistry` the cache is handed
+— the service wires its own registry through to the ``/metrics``
+Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import ExperimentResult
+from ..experiments.serialize import result_from_json, result_to_json
+from ..telemetry.metrics import MetricsRegistry
+from .store import SQLiteStore
+
+
+class CellCache:
+    """Store-backed result cache with the ``get``/``put`` sweep shape.
+
+    Pass an instance as ``run_sweep(..., cache=...)``: the sweep looks
+    every cell up before simulating and stores every fresh result.
+    """
+
+    def __init__(self, store: SQLiteStore,
+                 metrics: Optional[MetricsRegistry] = None,
+                 namespace: str = "") -> None:
+        self.store = store
+        self.namespace = namespace
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "sweep_cache_hits_total",
+            "sweep cells served from the content-addressed result store")
+        self._misses = self.metrics.counter(
+            "sweep_cache_misses_total",
+            "sweep cells that had to be simulated")
+        self._stored = self.metrics.gauge(
+            "sweep_cache_stored_results",
+            "distinct cells in the content-addressed result store")
+
+    def key(self, config: ExperimentConfig) -> str:
+        """The storage key for this scenario.
+
+        ``config.digest()`` alone is only sound when every run of the
+        config simulates the same workflow — a ``workflow_factory``
+        override (e.g. the service's ``scale: "small"`` smoke jobs)
+        changes the computation without changing the config, so scoped
+        caches prefix the digest with their namespace to keep those
+        result universes apart.
+        """
+        digest = config.digest()
+        return f"{self.namespace}:{digest}" if self.namespace else digest
+
+    def scoped(self, namespace: str) -> "CellCache":
+        """A view of this cache keyed under ``namespace``.
+
+        Shares the store and the telemetry instruments (the registry
+        get-or-creates by name), so hit/miss counts aggregate across
+        scopes while the cached results never mix.
+        """
+        if namespace == self.namespace:
+            return self
+        return CellCache(self.store, metrics=self.metrics,
+                         namespace=namespace)
+
+    def for_scale(self, scale: Optional[str]) -> "CellCache":
+        """The cache view for a job's workflow scale.
+
+        ``None``/``"paper"`` is the base (unprefixed) cache; any other
+        scale — e.g. the down-scaled ``"small"`` smoke workflows —
+        gets its own namespace, because it simulates a different
+        workflow for the same config digest.
+        """
+        if scale in (None, "paper"):
+            return self if self.namespace == "" \
+                else CellCache(self.store, metrics=self.metrics)
+        return self.scoped(str(scale))
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """The cached result for this scenario, or None (counted)."""
+        payload = self.store.get_result(self.key(config))
+        if payload is None:
+            self._misses.inc(app=config.app, storage=config.storage)
+            return None
+        self._hits.inc(app=config.app, storage=config.storage)
+        return result_from_json(payload)
+
+    def peek(self, config: ExperimentConfig) -> bool:
+        """Whether a result is cached, without counting a lookup."""
+        return self.store.has_result(self.key(config))
+
+    def put(self, config: ExperimentConfig,
+            result: ExperimentResult) -> bool:
+        """Store one result under its scenario digest.
+
+        Returns False when the digest was already present (idempotent:
+        the racing writer's payload is byte-identical by determinism).
+        """
+        stored = self.store.put_result(
+            self.key(config), config.label, result_to_json(result))
+        self._stored.set(self.store.result_count())
+        return stored
+
+    @property
+    def hits(self) -> float:
+        """Total cache hits counted so far."""
+        return self._hits.total()
+
+    @property
+    def misses(self) -> float:
+        """Total cache misses counted so far."""
+        return self._misses.total()
+
+    def __len__(self) -> int:
+        return self.store.result_count()

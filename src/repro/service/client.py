@@ -1,0 +1,153 @@
+"""Stdlib HTTP client for the service API (used by the CLI trio).
+
+:class:`ServiceClient` wraps ``urllib.request`` — no new dependency —
+and mirrors the API surface one-to-one: ``submit``/``status``/
+``result``/``events``/``metrics``/``health``, plus :meth:`wait` to
+poll a job to a terminal state.  Errors come back as
+:class:`ServiceError` carrying the HTTP status and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..experiments.config import ExperimentConfig
+
+
+class ServiceError(RuntimeError):
+    """An API call failed (HTTP error or unreachable server)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status
+                         else message)
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one running ``repro-ec2 serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (KeyError, TypeError, ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")[:200]
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        return json.loads(self._request("GET", path).decode("utf-8"))
+
+    # -- API surface --------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /api/v1/health``."""
+        return self._get_json("/api/v1/health")
+
+    def submit(self, configs: List[ExperimentConfig],
+               kind: Optional[str] = None,
+               jobs: Optional[int] = None,
+               scale: Optional[str] = None,
+               **extra: Any) -> Dict[str, Any]:
+        """Submit one scenario or a sweep; returns the creation doc.
+
+        ``kind`` defaults to ``scenario`` for one config and ``sweep``
+        for several.  ``jobs``/``scale`` and any ``extra`` keys pass
+        through into the job payload (e.g. ``error_rates=[...]`` with
+        ``kind="faultsweep"``).
+        """
+        if not configs:
+            raise ValueError("nothing to submit")
+        if kind is None:
+            kind = "scenario" if len(configs) == 1 else "sweep"
+        body: Dict[str, Any] = {"kind": kind, **extra}
+        if kind == "sweep":
+            body["configs"] = [c.to_dict() for c in configs]
+        else:
+            if len(configs) != 1:
+                raise ValueError(f"{kind} jobs take exactly one config")
+            body["config"] = configs[0].to_dict()
+        if jobs is not None:
+            body["jobs"] = jobs
+        if scale is not None:
+            body["scale"] = scale
+        raw = self._request("POST", "/api/v1/jobs", body=body)
+        return json.loads(raw.decode("utf-8"))
+
+    def status(self, job_id: int) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}``."""
+        return self._get_json(f"/api/v1/jobs/{job_id}")
+
+    def list_jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """``GET /api/v1/jobs``."""
+        path = "/api/v1/jobs" + (f"?state={state}" if state else "")
+        return self._get_json(path)["jobs"]
+
+    def wait(self, job_id: int, timeout: float = 600.0,
+             poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job is done/failed; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {status['state']} after "
+                       f"{timeout:.0f}s")
+            time.sleep(poll_interval)
+
+    def result(self, job_id: int) -> Dict[str, Any]:
+        """``GET /api/v1/jobs/{id}/result`` (full payloads)."""
+        return self._get_json(f"/api/v1/jobs/{job_id}/result")
+
+    def result_csv(self, job_id: int) -> str:
+        """``GET /api/v1/jobs/{id}/result?format=csv``."""
+        raw = self._request(
+            "GET", f"/api/v1/jobs/{job_id}/result?format=csv")
+        return raw.decode("utf-8")
+
+    def result_by_digest(self, digest: str) -> Dict[str, Any]:
+        """``GET /api/v1/results/{digest}``."""
+        return self._get_json(f"/api/v1/results/{digest}")
+
+    def events(self, job_id: int, follow: bool = False
+               ) -> Iterator[Dict[str, Any]]:
+        """Parsed JSONL events of one job, in seq order."""
+        suffix = "?follow=1" if follow else ""
+        raw = self._request(
+            "GET", f"/api/v1/jobs/{job_id}/events{suffix}")
+        for line in raw.decode("utf-8").splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+    def metrics(self) -> str:
+        """``GET /metrics`` (Prometheus text exposition)."""
+        return self._request("GET", "/metrics").decode("utf-8")

@@ -1,0 +1,252 @@
+"""Leased job queue over the SQLite store.
+
+The queue implements the classic lease/ack protocol so a worker crash
+can never lose a job:
+
+* ``submit`` inserts a ``queued`` row.
+* ``lease`` atomically claims the oldest ``queued`` job for one owner
+  and marks it ``running`` with a lease deadline.
+* ``complete`` / ``fail`` finish the job.
+* A worker that dies mid-job simply stops heartbeating; once its lease
+  expires, :meth:`JobQueue.release_expired` flips the job back to
+  ``queued`` (attempt count preserved) and another worker picks it up.
+  Jobs that keep dying are failed after :attr:`JobQueue.max_attempts`.
+
+Determinism note: re-running a job is always safe — every cell is a
+pure function of ``(ExperimentConfig, seed)`` and the result store is
+content-addressed, so a retried job re-derives byte-identical rows.
+
+The wall clock is injectable (``clock=``) so tests can expire leases
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..observe.hostclock import wall_now
+from .store import SQLiteStore
+
+#: Legal job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Legal job kinds: a single scenario, a config sweep, or a fault
+#: sweep (a base scenario expanded over error rates / MTBF points).
+JOB_KINDS = ("scenario", "sweep", "faultsweep")
+
+#: Default lease duration, seconds.
+DEFAULT_LEASE_SECONDS = 300.0
+
+
+@dataclass
+class JobRow:
+    """One queue row, payload already parsed."""
+
+    id: int
+    kind: str
+    state: str
+    payload: Dict[str, Any]
+    submitted_ts: float
+    started_ts: Optional[float]
+    finished_ts: Optional[float]
+    lease_owner: Optional[str]
+    lease_expires_ts: Optional[float]
+    attempts: int
+    error: Optional[str]
+    n_cells: int
+    n_done: int
+    n_failed: int
+    n_cache_hits: int
+
+    def status_dict(self) -> Dict[str, Any]:
+        """JSON-compatible status view (served by the API)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "submitted_ts": self.submitted_ts,
+            "started_ts": self.started_ts,
+            "finished_ts": self.finished_ts,
+            "attempts": self.attempts,
+            "error": self.error,
+            "n_cells": self.n_cells,
+            "n_done": self.n_done,
+            "n_failed": self.n_failed,
+            "n_cache_hits": self.n_cache_hits,
+        }
+
+
+def _row_to_job(row: Any) -> JobRow:
+    return JobRow(
+        id=int(row["id"]),
+        kind=row["kind"],
+        state=row["state"],
+        payload=json.loads(row["payload"]),
+        submitted_ts=row["submitted_ts"],
+        started_ts=row["started_ts"],
+        finished_ts=row["finished_ts"],
+        lease_owner=row["lease_owner"],
+        lease_expires_ts=row["lease_expires_ts"],
+        attempts=int(row["attempts"]),
+        error=row["error"],
+        n_cells=int(row["n_cells"]),
+        n_done=int(row["n_done"]),
+        n_failed=int(row["n_failed"]),
+        n_cache_hits=int(row["n_cache_hits"]),
+    )
+
+
+_SELECT = ("SELECT id, kind, state, payload, submitted_ts, started_ts, "
+           "finished_ts, lease_owner, lease_expires_ts, attempts, error, "
+           "n_cells, n_done, n_failed, n_cache_hits FROM jobs ")
+
+
+class JobQueue:
+    """The lease/ack queue protocol over one :class:`SQLiteStore`."""
+
+    def __init__(self, store: SQLiteStore,
+                 clock: Callable[[], float] = wall_now,
+                 max_attempts: int = 3) -> None:
+        self.store = store
+        self.clock = clock
+        self.max_attempts = max_attempts
+
+    # -- producer side ------------------------------------------------------
+
+    def submit(self, kind: str, payload: Dict[str, Any],
+               n_cells: int = 0) -> int:
+        """Enqueue one job; returns its id."""
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r} "
+                             f"(expected one of {JOB_KINDS})")
+        cur = self.store.execute(
+            "INSERT INTO jobs (kind, state, payload, submitted_ts, n_cells) "
+            "VALUES (?, 'queued', ?, ?, ?)",
+            (kind, json.dumps(payload, sort_keys=True), self.clock(),
+             n_cells))
+        return int(cur.lastrowid)
+
+    # -- consumer side ------------------------------------------------------
+
+    def lease(self, owner: str,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS
+              ) -> Optional[JobRow]:
+        """Atomically claim the oldest queued job, or None when idle.
+
+        Expired leases are reclaimed first, so a single polling worker
+        both recovers crashed jobs and picks up new ones.
+        """
+        self.release_expired()
+        now = self.clock()
+        with self.store.transaction() as conn:
+            row = conn.execute(
+                _SELECT + "WHERE state = 'queued' ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state = 'running', lease_owner = ?, "
+                "lease_expires_ts = ?, started_ts = ?, "
+                "attempts = attempts + 1 WHERE id = ? AND state = 'queued'",
+                (owner, now + lease_seconds, now, int(row["id"])))
+        return self.get(int(row["id"]))
+
+    def heartbeat(self, job_id: int, owner: str,
+                  lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
+        """Extend a held lease; False when the lease was lost."""
+        cur = self.store.execute(
+            "UPDATE jobs SET lease_expires_ts = ? "
+            "WHERE id = ? AND state = 'running' AND lease_owner = ?",
+            (self.clock() + lease_seconds, job_id, owner))
+        return cur.rowcount > 0
+
+    def complete(self, job_id: int, n_done: int = 0, n_failed: int = 0,
+                 n_cache_hits: int = 0) -> None:
+        """Mark a running job done and record its cell counts."""
+        self.store.execute(
+            "UPDATE jobs SET state = 'done', finished_ts = ?, "
+            "lease_owner = NULL, lease_expires_ts = NULL, n_done = ?, "
+            "n_failed = ?, n_cache_hits = ? "
+            "WHERE id = ? AND state = 'running'",
+            (self.clock(), n_done, n_failed, n_cache_hits, job_id))
+
+    def fail(self, job_id: int, error: str) -> None:
+        """Mark a running job failed with an error message."""
+        self.store.execute(
+            "UPDATE jobs SET state = 'failed', finished_ts = ?, "
+            "lease_owner = NULL, lease_expires_ts = NULL, error = ? "
+            "WHERE id = ? AND state = 'running'",
+            (self.clock(), error, job_id))
+
+    def update_progress(self, job_id: int, n_cells: Optional[int] = None,
+                        n_done: Optional[int] = None,
+                        n_failed: Optional[int] = None,
+                        n_cache_hits: Optional[int] = None) -> None:
+        """Update the live cell counters of a running job."""
+        sets, params = [], []
+        for column, value in (("n_cells", n_cells), ("n_done", n_done),
+                              ("n_failed", n_failed),
+                              ("n_cache_hits", n_cache_hits)):
+            if value is not None:
+                sets.append(f"{column} = ?")
+                params.append(value)
+        if not sets:
+            return
+        params.append(job_id)
+        self.store.execute(
+            f"UPDATE jobs SET {', '.join(sets)} WHERE id = ?", params)
+
+    def release_expired(self) -> int:
+        """Re-queue every running job whose lease has expired.
+
+        Jobs that have already burned :attr:`max_attempts` leases are
+        failed instead of looping forever.  Returns how many jobs
+        changed state.
+        """
+        now = self.clock()
+        message = (f"worker lease expired {self.max_attempts} time(s); "
+                   f"giving up")
+        with self.store.transaction() as conn:
+            failed = conn.execute(
+                "UPDATE jobs SET state = 'failed', finished_ts = ?, "
+                "lease_owner = NULL, lease_expires_ts = NULL, error = ? "
+                "WHERE state = 'running' AND lease_expires_ts < ? "
+                "AND attempts >= ?",
+                (now, message, now, self.max_attempts)).rowcount
+            requeued = conn.execute(
+                "UPDATE jobs SET state = 'queued', lease_owner = NULL, "
+                "lease_expires_ts = NULL "
+                "WHERE state = 'running' AND lease_expires_ts < ?",
+                (now,)).rowcount
+        return failed + requeued
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, job_id: int) -> Optional[JobRow]:
+        """One job by id, or None."""
+        rows = self.store.query(_SELECT + "WHERE id = ?", (job_id,))
+        return _row_to_job(rows[0]) if rows else None
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: int = 100) -> List[JobRow]:
+        """Most-recent-first job listing, optionally by state."""
+        if state is not None:
+            if state not in JOB_STATES:
+                raise ValueError(f"unknown job state {state!r}")
+            rows = self.store.query(
+                _SELECT + "WHERE state = ? ORDER BY id DESC LIMIT ?",
+                (state, limit))
+        else:
+            rows = self.store.query(
+                _SELECT + "ORDER BY id DESC LIMIT ?", (limit,))
+        return [_row_to_job(r) for r in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: n}`` over all jobs (absent states included as 0)."""
+        out = {state: 0 for state in JOB_STATES}
+        for row in self.store.query(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
+            out[row["state"]] = int(row["n"])
+        return out

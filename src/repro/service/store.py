@@ -1,0 +1,306 @@
+"""SQLite-backed job + result store behind a thin adapter interface.
+
+One :class:`SQLiteStore` owns one database file (or an in-memory
+database for tests) holding four tables:
+
+``results``
+    Full serialized :class:`~repro.experiments.runner.ExperimentResult`
+    payloads, keyed by the scenario's content digest
+    (``ExperimentConfig.digest()``).  This is the content-addressed
+    half of the service: equal digest ⇒ equal scenario ⇒ (by the
+    determinism contract) interchangeable payload, so writes are
+    idempotent ``ON CONFLICT DO NOTHING``.
+``jobs``
+    The work queue (see :mod:`repro.service.queue` for the leasing
+    protocol built on top).
+``job_events``
+    The per-job schema-v1 JSONL event log (one row per line), written
+    live by the worker's :class:`~repro.observe.SweepMonitor` sink and
+    re-served over HTTP by the API's streaming endpoint.
+``job_results``
+    Per-cell outcome of one job: result digest (joinable to
+    ``results``), cache-hit flag, or the error string.
+
+Design constraints:
+
+* **Schema versioning.**  ``schema_info`` records the applied version;
+  :data:`MIGRATIONS` is an append-only list and ``_migrate`` replays
+  whatever is missing, so a v1 database opened by v2 code upgrades in
+  place and a *newer* database fails loudly instead of corrupting.
+* **WAL mode** so the API's readers never block the worker's writes
+  (best-effort: in-memory and some network filesystems don't support
+  WAL; the store falls back silently because correctness never depends
+  on the journal mode).
+* **Postgres-shaped SQL.**  Standard types (``TEXT`` / ``BIGINT`` /
+  ``DOUBLE PRECISION``), ``INSERT ... ON CONFLICT``, no SQLite-only
+  syntax outside the ``PRAGMA`` block — a Postgres adapter can reuse
+  every statement by swapping ``?`` placeholders for ``%s``.
+* **Thread safety.**  One shared connection guarded by an RLock (plus
+  a generous ``busy_timeout`` for multi-process use): N concurrent
+  HTTP submitters serialize on the lock instead of racing into
+  ``database is locked`` errors.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..observe.hostclock import wall_now
+
+#: Bump (and append a migration) whenever the schema changes.
+SCHEMA_VERSION = 1
+
+#: Append-only migration list: ``(version, [statements...])``.  A
+#: database at version N replays every entry with version > N, in
+#: order, inside one transaction per entry.
+MIGRATIONS: List[Tuple[int, List[str]]] = [
+    (1, [
+        """
+        CREATE TABLE results (
+            digest      TEXT PRIMARY KEY,
+            label       TEXT NOT NULL,
+            created_ts  DOUBLE PRECISION NOT NULL,
+            payload     TEXT NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE jobs (
+            id               INTEGER PRIMARY KEY,
+            kind             TEXT NOT NULL,
+            state            TEXT NOT NULL DEFAULT 'queued',
+            payload          TEXT NOT NULL,
+            submitted_ts     DOUBLE PRECISION NOT NULL,
+            started_ts       DOUBLE PRECISION,
+            finished_ts      DOUBLE PRECISION,
+            lease_owner      TEXT,
+            lease_expires_ts DOUBLE PRECISION,
+            attempts         BIGINT NOT NULL DEFAULT 0,
+            error            TEXT,
+            n_cells          BIGINT NOT NULL DEFAULT 0,
+            n_done           BIGINT NOT NULL DEFAULT 0,
+            n_failed         BIGINT NOT NULL DEFAULT 0,
+            n_cache_hits     BIGINT NOT NULL DEFAULT 0
+        )
+        """,
+        """
+        CREATE INDEX idx_jobs_state ON jobs (state, id)
+        """,
+        """
+        CREATE TABLE job_events (
+            job_id  BIGINT NOT NULL,
+            seq     BIGINT NOT NULL,
+            line    TEXT NOT NULL,
+            PRIMARY KEY (job_id, seq)
+        )
+        """,
+        """
+        CREATE TABLE job_results (
+            job_id     BIGINT NOT NULL,
+            cell_index BIGINT NOT NULL,
+            label      TEXT NOT NULL,
+            digest     TEXT,
+            cached     BIGINT NOT NULL DEFAULT 0,
+            error      TEXT,
+            PRIMARY KEY (job_id, cell_index)
+        )
+        """,
+    ]),
+]
+
+
+class SQLiteStore:
+    """The SQLite adapter (see module docstring for the contract)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            # SQLite-specific tuning lives here and only here; every
+            # statement below this block is portable SQL.
+            self._conn.execute("PRAGMA busy_timeout = 30000")
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._migrate()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- low-level access (used by the queue layer) -------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()
+                ) -> sqlite3.Cursor:
+        """Run one statement under the store lock; autocommits."""
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            self._conn.commit()
+            return cur
+
+    def query(self, sql: str, params: Sequence[Any] = ()
+              ) -> List[sqlite3.Row]:
+        """Run one read-only statement; returns all rows."""
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def transaction(self) -> "_Transaction":
+        """``with store.transaction():`` — atomic multi-statement block.
+
+        Holds the store lock for the duration, so a lease decision
+        (read candidate + mark running) is a single atomic unit even
+        with many worker threads.
+        """
+        return _Transaction(self._conn, self._lock)
+
+    # -- schema -------------------------------------------------------------
+
+    def schema_version(self) -> int:
+        """The migration version this database is at."""
+        rows = self.query("SELECT version FROM schema_info")
+        return int(rows[0]["version"]) if rows else 0
+
+    def _migrate(self) -> None:
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS schema_info "
+                "(version BIGINT NOT NULL)")
+            rows = self._conn.execute(
+                "SELECT version FROM schema_info").fetchall()
+            current = int(rows[0]["version"]) if rows else 0
+            if current > SCHEMA_VERSION:
+                raise ValueError(
+                    f"database {self.path!r} is at schema {current}, "
+                    f"newer than this code ({SCHEMA_VERSION}); refusing "
+                    f"to open")
+            for version, statements in MIGRATIONS:
+                if version <= current:
+                    continue
+                for statement in statements:
+                    self._conn.execute(statement)
+                self._conn.execute("DELETE FROM schema_info")
+                self._conn.execute(
+                    "INSERT INTO schema_info (version) VALUES (?)",
+                    (version,))
+                self._conn.commit()
+
+    # -- results (content-addressed) ----------------------------------------
+
+    def put_result(self, digest: str, label: str, payload: str) -> bool:
+        """Store one serialized result; returns False on duplicate.
+
+        Idempotent by construction: the digest keys the full scenario,
+        so a second writer racing on the same cell simply loses the
+        ``ON CONFLICT DO NOTHING`` and both end up with the same row.
+        """
+        cur = self.execute(
+            "INSERT INTO results (digest, label, created_ts, payload) "
+            "VALUES (?, ?, ?, ?) ON CONFLICT (digest) DO NOTHING",
+            (digest, label, wall_now(), payload))
+        return cur.rowcount > 0
+
+    def get_result(self, digest: str) -> Optional[str]:
+        """The serialized result payload for one digest, or None."""
+        rows = self.query(
+            "SELECT payload FROM results WHERE digest = ?", (digest,))
+        return rows[0]["payload"] if rows else None
+
+    def has_result(self, digest: str) -> bool:
+        """Whether a result is stored for this digest."""
+        rows = self.query(
+            "SELECT 1 FROM results WHERE digest = ?", (digest,))
+        return bool(rows)
+
+    def result_count(self) -> int:
+        """Number of distinct cached cells."""
+        return int(self.query("SELECT COUNT(*) AS n FROM results")[0]["n"])
+
+    def result_rows(self) -> List[Dict[str, Any]]:
+        """Digest/label/creation rows (payloads omitted), digest order."""
+        return [dict(digest=r["digest"], label=r["label"],
+                     created_ts=r["created_ts"])
+                for r in self.query(
+                    "SELECT digest, label, created_ts FROM results "
+                    "ORDER BY digest")]
+
+    # -- per-job event log ---------------------------------------------------
+
+    def append_event(self, job_id: int, seq: int, line: str) -> None:
+        """Append one JSONL event line to a job's log."""
+        self.execute(
+            "INSERT INTO job_events (job_id, seq, line) VALUES (?, ?, ?) "
+            "ON CONFLICT (job_id, seq) DO NOTHING",
+            (job_id, seq, line))
+
+    def events_after(self, job_id: int, after_seq: int = 0
+                     ) -> Iterator[Tuple[int, str]]:
+        """``(seq, line)`` rows with seq > after_seq, in order."""
+        for row in self.query(
+                "SELECT seq, line FROM job_events "
+                "WHERE job_id = ? AND seq > ? ORDER BY seq",
+                (job_id, after_seq)):
+            yield int(row["seq"]), row["line"]
+
+    # -- per-job cell outcomes ----------------------------------------------
+
+    def record_cell(self, job_id: int, cell_index: int, label: str,
+                    digest: Optional[str], cached: bool,
+                    error: Optional[str] = None) -> None:
+        """Record the outcome of one cell of one job."""
+        self.execute(
+            "INSERT INTO job_results "
+            "(job_id, cell_index, label, digest, cached, error) "
+            "VALUES (?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT (job_id, cell_index) DO UPDATE SET "
+            "digest = excluded.digest, cached = excluded.cached, "
+            "error = excluded.error",
+            (job_id, cell_index, label, digest, int(cached), error))
+
+    def cell_rows(self, job_id: int) -> List[Dict[str, Any]]:
+        """All recorded cell outcomes of one job, in cell order."""
+        return [dict(cell_index=r["cell_index"], label=r["label"],
+                     digest=r["digest"], cached=bool(r["cached"]),
+                     error=r["error"])
+                for r in self.query(
+                    "SELECT cell_index, label, digest, cached, error "
+                    "FROM job_results WHERE job_id = ? "
+                    "ORDER BY cell_index", (job_id,))]
+
+
+class _Transaction:
+    """Context manager pairing the store lock with a DB transaction."""
+
+    def __init__(self, conn: sqlite3.Connection,
+                 lock: threading.RLock) -> None:
+        self._conn = conn
+        self._lock = lock
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._lock.acquire()
+        return self._conn
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        try:
+            if exc_type is None:
+                self._conn.commit()
+            else:
+                self._conn.rollback()
+        finally:
+            self._lock.release()
+
+
+def open_store(path: str = ":memory:") -> SQLiteStore:
+    """Open (creating/migrating as needed) the store at ``path``."""
+    return SQLiteStore(path)

@@ -1,0 +1,83 @@
+"""Pinned scenario digests: the content address must never drift.
+
+``ExperimentConfig.digest()`` keys the service's content-addressed
+result store.  A silent change to the canonicalization (field rename,
+dict ordering, float formatting) would orphan every cached result and,
+worse, could alias *different* scenarios to one digest.  These pins
+make any such drift an explicit, reviewed decision: if one fails you
+changed the digest function (or the config schema) and must bump the
+store's story deliberately.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.faults.spec import FaultSpec
+
+#: (constructor kwargs, expected sha256 hex).  Regenerate via
+#: ``ExperimentConfig(**kwargs).digest()`` only when a digest change
+#: is intended.
+PINNED = [
+    (dict(app="montage", storage="nfs", n_workers=4),
+     "6a7e2f9e92ac50db61f5e017b0eb2dac9dfe3c0831ef15f877010b56a736dcfa"),
+    (dict(app="epigenome", storage="s3", n_workers=8, seed=7,
+          collect_traces=True),
+     "64d93e25f774272eb548d6af6853d6061e570c13df2903c2e437d98c0f794b7b"),
+    (dict(app="broadband", storage="glusterfs-nufa", n_workers=2,
+          storage_error_rate=0.01),
+     "58c974d447e4fb1b2270a0d07ca4894ed0d59b718c5c2f3061657a3ba76c7d62"),
+]
+
+
+@pytest.mark.parametrize("kwargs,expected", PINNED,
+                         ids=[k["app"] for k, _ in PINNED])
+def test_digest_is_pinned(kwargs, expected):
+    assert ExperimentConfig(**kwargs).digest() == expected
+
+
+def test_digest_is_sensitive_to_every_field():
+    # Any field change must change the address (no two scenarios may
+    # share a cache slot).  Perturb each field away from its default.
+    base = ExperimentConfig("montage", "nfs", 4)
+    perturbed = {
+        "app": "broadband",
+        "storage": "s3",
+        "n_workers": 5,
+        "worker_type": "m1.small",
+        "nfs_server_type": "m1.small",
+        "scheduler": "locality",
+        "seed": 1,
+        "cpu_jitter_sigma": 0.1,
+        "task_failure_rate": 0.1,
+        "retries": 9,
+        "initialized_disks": not base.initialized_disks,
+        "collect_traces": not base.collect_traces,
+        "sample_interval": 123.0,
+        "fault_spec": FaultSpec(storage_error_rate=0.5),
+        "node_mtbf": 3600.0,
+        "storage_error_rate": 0.5,
+        "halt_on_failure": not base.halt_on_failure,
+    }
+    assert set(perturbed) == {f.name for f in fields(ExperimentConfig)}
+    seen = {base.digest()}
+    for field_name, value in perturbed.items():
+        digest = base.with_(**{field_name: value}).digest()
+        assert digest not in seen, f"digest blind to {field_name}"
+        seen.add(digest)
+
+
+def test_digest_survives_dict_round_trip():
+    config = ExperimentConfig("epigenome", "s3", 8, seed=3,
+                              storage_error_rate=0.005,
+                              fault_spec=FaultSpec(node_mtbf=7200.0))
+    clone = ExperimentConfig.from_dict(config.to_dict())
+    assert clone == config
+    assert clone.digest() == config.digest()
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown"):
+        ExperimentConfig.from_dict(
+            dict(app="montage", storage="nfs", n_workers=1, bogus=1))

@@ -1,0 +1,112 @@
+"""Lossless ExperimentResult round-trip (satellite of the service PR).
+
+The content-addressed cache serves deserialized payloads in place of
+fresh simulations, so ``result_from_json(result_to_json(r))`` must be
+indistinguishable from ``r``: same numbers to the last bit, same
+telemetry exposition, same fault report — and the canonical JSON must
+be byte-stable across cycles so payloads can be compared with ``==``.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.serialize import (
+    RESULT_SCHEMA_VERSION,
+    result_digest,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.telemetry.export import to_json_snapshot, to_prometheus
+
+
+def _small_wf():
+    return build_synthetic(n_tasks=16, width=4, cpu_seconds=5.0, seed=1)
+
+
+def _run(storage="nfs", **overrides):
+    config = ExperimentConfig("synthetic", storage, 2, **overrides)
+    return run_experiment(config, workflow=_small_wf())
+
+
+def _assert_equivalent(original, clone):
+    assert clone.config == original.config
+    assert repr(clone.makespan) == repr(original.makespan)
+    assert repr(clone.cost.per_hour_total) == repr(original.cost.per_hour_total)
+    assert clone.summary_row() == original.summary_row()
+    assert [r for r in clone.run.records] == [r for r in original.run.records]
+    assert clone.run.storage_stats == original.run.storage_stats
+
+
+def test_plain_result_round_trips():
+    original = _run()
+    clone = result_from_json(result_to_json(original))
+    _assert_equivalent(original, clone)
+    assert clone.trace is None and clone.metrics is None
+
+
+def test_traced_result_round_trips_telemetry_bit_for_bit():
+    original = _run(collect_traces=True)
+    clone = result_from_json(result_to_json(original))
+    _assert_equivalent(original, clone)
+    # The replayed collectors reproduce the exact record stream...
+    o_records = [(r.time, r.category, r.event, r.fields)
+                 for r in original.trace.records]
+    c_records = [(r.time, r.category, r.event, r.fields)
+                 for r in clone.trace.records]
+    assert c_records == o_records
+    assert clone.trace._next_id == original.trace._next_id
+    # ...and byte-identical exports in both formats.
+    assert (to_json_snapshot(clone.metrics)
+            == to_json_snapshot(original.metrics))
+    assert to_prometheus(clone.metrics) == to_prometheus(original.metrics)
+
+
+def test_s3_and_faulted_results_round_trip():
+    s3 = _run("s3")
+    assert s3.cost.s3_fees is not None
+    _assert_equivalent(s3, result_from_json(result_to_json(s3)))
+
+    faulted = _run(storage_error_rate=0.01, retries=10)
+    assert faulted.faults is not None
+    clone = result_from_json(result_to_json(faulted))
+    _assert_equivalent(faulted, clone)
+    assert clone.faults == faulted.faults
+
+
+def test_canonical_json_is_stable_across_cycles():
+    original = _run(collect_traces=True)
+    once = result_to_json(original)
+    twice = result_to_json(result_from_json(once))
+    assert twice == once
+    assert result_digest(result_from_json(once)) == result_digest(original)
+
+
+def test_document_is_versioned_and_rejects_unknown_schema():
+    doc = result_to_dict(_run())
+    assert doc["schema"] == RESULT_SCHEMA_VERSION
+    doc["schema"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="unsupported result schema"):
+        result_from_dict(doc)
+
+
+def test_plan_is_excluded_by_design():
+    # run.plan holds the live simulated world; serialized results
+    # deliberately drop it (nothing downstream of a finished run
+    # reads it).
+    original = _run()
+    clone = result_from_json(result_to_json(original))
+    assert clone.run.plan is None
+
+
+def test_result_methods_survive_round_trip():
+    original = _run(collect_traces=True)
+    clone = result_from_json(result_to_json(original))
+    assert clone.to_json() == original.to_json()
+    from repro.experiments.runner import ExperimentResult
+    again = ExperimentResult.from_json(clone.to_json())
+    assert again.summary_row() == original.summary_row()

@@ -31,9 +31,11 @@ def test_whole_package_lints_clean():
     report = lint_paths([PKG_DIR])
     assert report.parse_errors == []
     assert report.findings == [], [f.format() for f in report.findings]
-    # The dag.py set->set updates are the only sanctioned suppressions
-    # in the package; new ones should be a conscious, reviewed choice.
-    assert len(report.suppressed) <= 4
+    # Sanctioned suppressions only: the dag.py set->set updates, the
+    # sweep/worker supervisors' catch-alls (a cell failure must become
+    # a placeholder/failed job, never kill the pool), and the HTTP
+    # layer's 500 handler.  New ones are a conscious, reviewed choice.
+    assert len(report.suppressed) <= 6
 
 
 def test_input_bytes_is_order_independent():

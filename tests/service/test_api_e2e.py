@@ -1,0 +1,258 @@
+"""End-to-end service tests over a real socket (ephemeral port).
+
+One fixture boots the whole stack — SQLite store, job queue, cell
+cache, a worker thread, the WSGI app behind an actual HTTP server —
+and the tests drive it exclusively through :class:`ServiceClient`,
+exactly the path ``repro-ec2 submit``/``status``/``fetch`` use.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments import ExperimentConfig
+from repro.observe.events import EVENT_KINDS, validate_event
+from repro.service import (
+    CellCache,
+    JobQueue,
+    ServiceApp,
+    ServiceWorker,
+    open_store,
+    serve,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.telemetry.export import validate_exposition
+
+
+class Stack:
+    """The whole service, bound to an ephemeral port."""
+
+    def __init__(self):
+        self.store = open_store()
+        self.queue = JobQueue(self.store)
+        self.cache = CellCache(self.store)
+        self.worker = ServiceWorker(self.store, self.queue, self.cache)
+        self.app = ServiceApp(self.store, self.queue, self.cache)
+        self.server = serve(self.app, port=0, quiet=True)
+        host, port = self.server.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}", timeout=30)
+        self._http = threading.Thread(
+            target=self.server.serve_forever, daemon=True)
+        self._http.start()
+        self.worker.start()
+
+    def close(self):
+        self.worker.stop()
+        self.server.shutdown()
+        self.server.server_close()
+        self.store.close()
+
+
+@pytest.fixture()
+def stack():
+    s = Stack()
+    yield s
+    s.close()
+
+
+def _cell(storage="nfs", nodes=2, **overrides):
+    return ExperimentConfig("montage", storage, nodes, **overrides)
+
+
+def test_health_and_404(stack):
+    doc = stack.client.health()
+    assert doc["status"] == "ok"
+    with pytest.raises(ServiceError) as err:
+        stack.client.status(999)
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        stack.client.result_by_digest("0" * 64)
+    assert err.value.status == 404
+
+
+def test_submit_poll_fetch_roundtrip(stack):
+    doc = stack.client.submit([_cell()], scale="small")
+    assert doc["kind"] == "scenario" and doc["n_cells"] == 1
+    job_id = doc["job_id"]
+    status = stack.client.wait(job_id, timeout=120)
+    assert status["state"] == "done"
+    assert status["n_done"] == 1 and status["n_failed"] == 0
+
+    result = stack.client.result(job_id)
+    cells = result["cells"]
+    assert len(cells) == 1
+    assert cells[0]["label"] == "montage/nfs@2"
+    assert cells[0]["cached"] is False
+    payload = cells[0]["result"]
+    assert payload["schema"] == 1
+    assert payload["run"]["end_time"] > 0
+
+    # The stored payload is addressable by scenario digest too.
+    by_digest = stack.client.result_by_digest(doc["digests"][0])
+    assert by_digest == payload
+
+    csv_text = stack.client.result_csv(job_id)
+    assert csv_text.splitlines()[0].startswith("app,storage,nodes")
+    assert "montage" in csv_text
+
+
+def test_warm_resubmit_is_all_cache_hits_and_bit_identical(
+        stack, monkeypatch):
+    cells = [_cell("nfs"), _cell("s3")]
+    first = stack.client.submit(cells, scale="small")
+    assert stack.client.wait(first["job_id"],
+                             timeout=120)["state"] == "done"
+    cold = stack.client.result(first["job_id"])
+
+    # Second identical submission: the kernel must not run at all.
+    def _boom(*args, **kwargs):
+        raise AssertionError("warm resubmit reached the kernel")
+
+    monkeypatch.setattr(runner_mod, "run_experiment", _boom)
+    second = stack.client.submit(cells, scale="small")
+    status = stack.client.wait(second["job_id"], timeout=60)
+    assert status["state"] == "done"
+    assert status["n_cache_hits"] == status["n_done"] == len(cells)
+    warm = stack.client.result(second["job_id"])
+    for c, w in zip(cold["cells"], warm["cells"]):
+        assert w["cached"] is True
+        assert w["digest"] == c["digest"]
+        # Bit-identical payloads, not merely equal numbers.
+        assert json.dumps(w["result"], sort_keys=True) \
+            == json.dumps(c["result"], sort_keys=True)
+    # And the warm job's event log shows zero kernel activity: no
+    # cell pays wall-clock time.
+    finished = [e for e in stack.client.events(second["job_id"])
+                if e["kind"] == "cell_finished"]
+    assert len(finished) == len(cells)
+    assert all(e["wall_seconds"] == 0.0 for e in finished)
+
+
+def test_event_log_is_schema_valid_and_streamable(stack):
+    doc = stack.client.submit([_cell()], scale="small")
+    # follow=1 streams until the job reaches a terminal state, so
+    # collecting the events also proves the long-poll path works.
+    events = list(stack.client.events(doc["job_id"], follow=True))
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "sweep_started"
+    assert kinds[-1] == "sweep_finished"
+    assert "cell_finished" in kinds
+    for event in events:
+        assert event["kind"] in EVENT_KINDS
+        assert validate_event(event) == []
+    # Sequence numbers are gapless from 1.
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+
+def test_metrics_exposition_is_valid(stack):
+    doc = stack.client.submit([_cell()], scale="small")
+    stack.client.wait(doc["job_id"], timeout=120)
+    stack.client.submit([_cell()], scale="small")
+    stack.client.wait(doc["job_id"] + 1, timeout=60)
+    text = stack.client.metrics()
+    assert validate_exposition(text) == []
+    assert 'sweep_cache_hits_total{app="montage",storage="nfs"} 1' in text
+    assert 'service_cells_total{source="cache"} 1' in text
+    assert 'service_cells_total{source="simulated"} 1' in text
+    assert 'service_jobs_submitted_total{kind="scenario"} 2' in text
+    assert "sweep_cache_stored_results 1" in text
+
+
+def test_scales_never_share_cache_entries(stack):
+    # 'scale' changes the simulated workflow without changing the
+    # config digest, so small- and paper-scale results must live in
+    # separate cache namespaces — a small smoke run may never answer
+    # a paper-scale submission.
+    cell = ExperimentConfig("epigenome", "local", 1)
+    small = stack.client.submit([cell], scale="small")
+    assert stack.client.wait(small["job_id"],
+                             timeout=120)["state"] == "done"
+    paper = stack.client.submit([cell])
+    status = stack.client.wait(paper["job_id"], timeout=120)
+    assert status["state"] == "done"
+    assert status["n_cache_hits"] == 0  # NOT served from the small run
+    small_cell = stack.client.result(small["job_id"])["cells"][0]
+    paper_cell = stack.client.result(paper["job_id"])["cells"][0]
+    assert small_cell["digest"] == "small:" + cell.digest()
+    assert paper_cell["digest"] == cell.digest()
+    assert (small_cell["result"]["run"]["end_time"]
+            != paper_cell["result"]["run"]["end_time"])
+    # Resubmitting at paper scale is a hit within its own namespace.
+    again = stack.client.submit([cell])
+    assert stack.client.wait(again["job_id"],
+                             timeout=60)["n_cache_hits"] == 1
+
+
+def test_faultsweep_job_expands_the_grid(stack):
+    doc = stack.client.submit([_cell(nodes=1)], kind="faultsweep",
+                              scale="small",
+                              error_rates=[0.001], node_mtbfs=[50000.0])
+    assert doc["n_cells"] == 3  # baseline + one rate + one mtbf
+    status = stack.client.wait(doc["job_id"], timeout=180)
+    assert status["state"] == "done"
+    assert status["n_done"] == 3
+    labels = [c["label"]
+              for c in stack.client.result(doc["job_id"])["cells"]]
+    assert len(labels) == 3
+
+
+def test_invalid_submissions_fail_eagerly_with_400(stack):
+    bad = _cell().to_dict()
+    bad["n_workers"] = 0
+    with pytest.raises(ServiceError) as err:
+        stack.client._request("POST", "/api/v1/jobs",
+                              body={"kind": "scenario", "config": bad})
+    assert err.value.status == 400
+    # Nothing was enqueued for the invalid payload.
+    assert all(j["state"] != "queued" for j in stack.client.list_jobs())
+    with pytest.raises(ServiceError) as err:
+        stack.client._request("POST", "/api/v1/jobs",
+                              body={"kind": "banana"})
+    assert err.value.status == 400
+
+
+def test_result_of_unfinished_job_is_404(stack):
+    # Stop the worker so the job stays queued.
+    stack.worker.stop()
+    doc = stack.client.submit([_cell()], scale="small")
+    with pytest.raises(ServiceError) as err:
+        stack.client.result(doc["job_id"])
+    assert err.value.status == 404
+    assert "once done" in err.value.message
+
+
+def test_concurrent_submitters_do_not_lock_the_database(stack):
+    # Many threads racing submissions through HTTP must all succeed —
+    # the store lock serializes them instead of surfacing SQLite's
+    # 'database is locked'.
+    n_threads, per_thread = 8, 5
+    errors, ids = [], []
+    lock = threading.Lock()
+
+    def submitter(tid):
+        try:
+            client = ServiceClient(stack.client.base_url, timeout=30)
+            for i in range(per_thread):
+                doc = client.submit(
+                    [_cell(nodes=1 + (tid + i) % 4)], scale="small")
+                with lock:
+                    ids.append(doc["job_id"])
+        except Exception as exc:  # noqa: BLE001 - recording any failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submitter, args=(t,))
+               for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(set(ids)) == n_threads * per_thread
+    # The single worker eventually drains all of them (4 distinct
+    # scenarios, so all but 4 jobs are pure cache hits).
+    for job_id in ids:
+        status = stack.client.wait(job_id, timeout=300)
+        assert status["state"] == "done", status
+    assert len(stack.cache) == 4

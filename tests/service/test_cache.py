@@ -1,0 +1,133 @@
+"""Content-addressed cell cache + ``run_sweep(cache=...)`` wiring."""
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.apps import build_synthetic
+from repro.experiments import ExperimentConfig, run_sweep
+from repro.service.cache import CellCache
+from repro.service.store import open_store
+from repro.telemetry.export import to_prometheus, validate_exposition
+
+
+def small_wf(app_name="any"):
+    return build_synthetic(n_tasks=24, width=8, cpu_seconds=5.0, seed=1)
+
+
+def _cells(collect_traces=False):
+    return [
+        ExperimentConfig("synthetic", "local", 1,
+                         collect_traces=collect_traces),
+        ExperimentConfig("synthetic", "nfs", 2,
+                         collect_traces=collect_traces),
+        ExperimentConfig("synthetic", "s3", 2,
+                         collect_traces=collect_traces),
+    ]
+
+
+@pytest.fixture()
+def cache():
+    store = open_store()
+    yield CellCache(store)
+    store.close()
+
+
+def test_miss_then_hit_with_counters(cache):
+    config = _cells()[0]
+    assert cache.get(config) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    result = run_sweep([config], workflow_factory=small_wf)[0]
+    assert cache.put(config, result) is True
+    assert cache.peek(config) is True  # peek never counts
+    hit = cache.get(config)
+    assert hit is not None
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert repr(hit.makespan) == repr(result.makespan)
+    assert hit.summary_row() == result.summary_row()
+    assert len(cache) == 1
+
+
+def test_sweep_populates_and_serves_the_cache(cache):
+    cells = _cells()
+    cold = run_sweep(cells, workflow_factory=small_wf, cache=cache)
+    assert cache.misses == len(cells) and cache.hits == 0
+    assert len(cache) == len(cells)
+    warm = run_sweep(cells, workflow_factory=small_wf, cache=cache)
+    assert cache.hits == len(cells)
+    for c, w in zip(cold, warm):
+        assert w.summary_row() == c.summary_row()
+        assert repr(w.makespan) == repr(c.makespan)
+
+
+def test_warm_sweep_never_simulates(cache, monkeypatch):
+    cells = _cells()
+    run_sweep(cells, workflow_factory=small_wf, cache=cache)
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("cache hit must not reach the kernel")
+
+    monkeypatch.setattr(runner_mod, "run_experiment", _boom)
+    warm = run_sweep(cells, workflow_factory=small_wf, cache=cache)
+    assert all(r is not None for r in warm)
+
+
+def test_serial_and_parallel_sweeps_build_identical_cache_contents():
+    cells = _cells(collect_traces=True)
+    serial_store, parallel_store = open_store(), open_store()
+    try:
+        run_sweep(cells, workflow_factory=small_wf,
+                  cache=CellCache(serial_store))
+        run_sweep(cells, workflow_factory=small_wf, jobs=3,
+                  cache=CellCache(parallel_store))
+        digests = [d["digest"] for d in serial_store.result_rows()]
+        assert digests == [d["digest"]
+                           for d in parallel_store.result_rows()]
+        # Byte-identical payloads, not merely matching digests.
+        for digest in digests:
+            assert (parallel_store.get_result(digest)
+                    == serial_store.get_result(digest))
+    finally:
+        serial_store.close()
+        parallel_store.close()
+
+
+def test_partially_warm_parallel_sweep_interleaves_correctly(cache):
+    cells = _cells()
+    run_sweep([cells[1]], workflow_factory=small_wf, cache=cache)
+    assert len(cache) == 1
+    results = run_sweep(cells, workflow_factory=small_wf, jobs=2,
+                        cache=cache)
+    # Result order is config order regardless of which index was
+    # cached, and the sweep only simulated the two misses.
+    assert [r.config.label for r in results] == [c.label for c in cells]
+    assert len(cache) == len(cells)
+    assert cache.hits == 1
+
+
+def test_scoped_caches_isolate_result_universes(cache):
+    config = _cells()[0]
+    result = run_sweep([config], workflow_factory=small_wf)[0]
+    small = cache.scoped("small")
+    assert small.scoped("small") is small
+    assert small.put(config, result) is True
+    # The namespaced entry is invisible to the base cache...
+    assert cache.peek(config) is False
+    assert cache.get(config) is None
+    # ...and both scopes can hold their own result for one digest.
+    assert cache.put(config, result) is True
+    assert small.key(config) == "small:" + config.digest()
+    assert cache.key(config) == config.digest()
+    # Counters are shared across scopes (one telemetry surface).
+    assert small.hits == cache.hits
+
+
+def test_cache_counters_export_as_valid_prometheus(cache):
+    cells = _cells()
+    run_sweep(cells, workflow_factory=small_wf, cache=cache)
+    run_sweep(cells, workflow_factory=small_wf, cache=cache)
+    text = to_prometheus(cache.metrics)
+    assert validate_exposition(text) == []
+    assert 'sweep_cache_hits_total{app="synthetic",storage="nfs"} 1' in text
+    assert ('sweep_cache_misses_total{app="synthetic",storage="nfs"} 1'
+            in text)
+    assert "sweep_cache_stored_results 3" in text

@@ -1,0 +1,131 @@
+"""Lease/ack queue protocol: claims, heartbeats, crash recovery."""
+
+import pytest
+
+from repro.service.queue import JobQueue
+from repro.service.store import open_store
+
+
+class FakeClock:
+    """Injectable wall clock so lease expiry needs no sleeping."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(clock):
+    store = open_store()
+    yield JobQueue(store, clock=clock)
+    store.close()
+
+
+def test_submit_lease_complete_lifecycle(queue):
+    job_id = queue.submit("scenario", {"config": {"app": "montage"}},
+                          n_cells=1)
+    job = queue.lease("w1", lease_seconds=60.0)
+    assert job is not None and job.id == job_id
+    assert job.state == "running"
+    assert job.lease_owner == "w1"
+    assert job.attempts == 1
+    # Queue drained: a second worker finds nothing.
+    assert queue.lease("w2") is None
+    queue.complete(job_id, n_done=1, n_cache_hits=1)
+    done = queue.get(job_id)
+    assert done.state == "done"
+    assert done.lease_owner is None
+    assert done.n_done == 1 and done.n_cache_hits == 1
+    assert queue.counts() == {"queued": 0, "running": 0,
+                              "done": 1, "failed": 0}
+
+
+def test_lease_order_is_fifo(queue):
+    first = queue.submit("scenario", {"n": 1})
+    second = queue.submit("scenario", {"n": 2})
+    assert queue.lease("w1").id == first
+    assert queue.lease("w1").id == second
+
+
+def test_unknown_kind_and_state_are_rejected(queue):
+    with pytest.raises(ValueError, match="unknown job kind"):
+        queue.submit("banana", {})
+    with pytest.raises(ValueError, match="unknown job state"):
+        queue.list_jobs(state="sideways")
+
+
+def test_crashed_worker_job_is_releaved_not_lost(queue, clock):
+    job_id = queue.submit("scenario", {})
+    assert queue.lease("w1", lease_seconds=60.0).id == job_id
+    # w1 dies silently; before the lease deadline nobody else may
+    # claim the job...
+    clock.advance(30.0)
+    assert queue.lease("w2", lease_seconds=60.0) is None
+    # ...after it, the job goes back to 'queued' and w2 picks it up
+    # with the attempt count preserved.
+    clock.advance(31.0)
+    job = queue.lease("w2", lease_seconds=60.0)
+    assert job is not None and job.id == job_id
+    assert job.lease_owner == "w2"
+    assert job.attempts == 2
+
+
+def test_heartbeat_extends_the_lease(queue, clock):
+    job_id = queue.submit("scenario", {})
+    queue.lease("w1", lease_seconds=60.0)
+    clock.advance(50.0)
+    assert queue.heartbeat(job_id, "w1", lease_seconds=60.0) is True
+    clock.advance(50.0)  # original deadline passed, renewed one not
+    assert queue.lease("w2", lease_seconds=60.0) is None
+    # A worker that lost its lease cannot heartbeat it back.
+    clock.advance(61.0)
+    assert queue.release_expired() == 1
+    assert queue.heartbeat(job_id, "w1") is False
+
+
+def test_repeatedly_dying_job_fails_after_max_attempts(queue, clock):
+    job_id = queue.submit("scenario", {})
+    for _ in range(queue.max_attempts):
+        assert queue.lease("w1", lease_seconds=10.0) is not None
+        clock.advance(11.0)
+    # max_attempts leases burned: the next reclaim fails it for good.
+    assert queue.lease("w1") is None
+    job = queue.get(job_id)
+    assert job.state == "failed"
+    assert "lease expired" in job.error
+    assert job.attempts == queue.max_attempts
+
+
+def test_update_progress_touches_only_given_counters(queue):
+    job_id = queue.submit("sweep", {}, n_cells=0)
+    queue.lease("w1")
+    queue.update_progress(job_id, n_cells=5)
+    queue.update_progress(job_id, n_done=2)
+    queue.update_progress(job_id)  # no-op
+    job = queue.get(job_id)
+    assert (job.n_cells, job.n_done, job.n_failed) == (5, 2, 0)
+
+
+def test_payload_round_trips_through_the_row(queue):
+    payload = {"configs": [{"app": "montage", "n_workers": 4}],
+               "jobs": 2, "scale": "small"}
+    job_id = queue.submit("sweep", payload)
+    assert queue.get(job_id).payload == payload
+
+
+def test_status_dict_is_json_shaped(queue):
+    job_id = queue.submit("scenario", {})
+    doc = queue.get(job_id).status_dict()
+    assert doc["id"] == job_id
+    assert doc["state"] == "queued"
+    assert "payload" not in doc  # internal, not part of the status API

@@ -1,0 +1,125 @@
+"""SQLite store adapter: schema versioning, idempotence, durability."""
+
+import json
+import os
+import sqlite3
+import threading
+
+import pytest
+
+from repro.service.store import MIGRATIONS, SCHEMA_VERSION, open_store
+
+
+def test_fresh_store_is_at_current_schema(tmp_path):
+    with open_store(str(tmp_path / "s.db")) as store:
+        assert store.schema_version() == SCHEMA_VERSION
+
+
+def test_reopening_is_idempotent(tmp_path):
+    path = str(tmp_path / "s.db")
+    with open_store(path) as store:
+        store.put_result("d1", "montage/nfs@4", "{}")
+    # A second open must not replay migrations or lose rows.
+    with open_store(path) as store:
+        assert store.schema_version() == SCHEMA_VERSION
+        assert store.get_result("d1") == "{}"
+
+
+def test_newer_database_is_refused(tmp_path):
+    path = str(tmp_path / "s.db")
+    open_store(path).close()
+    conn = sqlite3.connect(path)
+    conn.execute("UPDATE schema_info SET version = ?",
+                 (SCHEMA_VERSION + 1,))
+    conn.commit()
+    conn.close()
+    with pytest.raises(ValueError, match="newer than this code"):
+        open_store(path)
+
+
+def test_migration_list_is_append_only_and_ordered():
+    versions = [v for v, _ in MIGRATIONS]
+    assert versions == sorted(versions)
+    assert versions[-1] == SCHEMA_VERSION
+
+
+def test_wal_mode_on_disk(tmp_path):
+    with open_store(str(tmp_path / "s.db")) as store:
+        mode = store.query("PRAGMA journal_mode")[0][0]
+        assert mode == "wal"
+
+
+def test_put_result_is_idempotent():
+    with open_store() as store:
+        assert store.put_result("d1", "cell", '{"a":1}') is True
+        # Same digest again: the racing writer loses quietly and the
+        # first payload wins (they are byte-identical by determinism).
+        assert store.put_result("d1", "cell", '{"a":1}') is False
+        assert store.result_count() == 1
+        assert store.has_result("d1")
+        assert not store.has_result("d2")
+
+
+def test_result_rows_listing():
+    with open_store() as store:
+        store.put_result("bbb", "cell-b", "{}")
+        store.put_result("aaa", "cell-a", "{}")
+        rows = store.result_rows()
+        assert [r["digest"] for r in rows] == ["aaa", "bbb"]
+        assert all("payload" not in r for r in rows)
+
+
+def test_event_log_is_gapless_and_ordered():
+    with open_store() as store:
+        store.append_event(1, 1, '{"kind":"sweep_started"}')
+        store.append_event(1, 2, '{"kind":"cell_started"}')
+        store.append_event(2, 1, '{"kind":"sweep_started"}')
+        # Replayed write (crash/retry) must not duplicate the row.
+        store.append_event(1, 2, '{"kind":"cell_started"}')
+        assert [seq for seq, _ in store.events_after(1)] == [1, 2]
+        assert [seq for seq, _ in store.events_after(1, after_seq=1)] == [2]
+        for _, line in store.events_after(1):
+            json.loads(line)
+
+
+def test_record_cell_upserts():
+    with open_store() as store:
+        store.record_cell(1, 0, "cell", None, cached=False, error="boom")
+        store.record_cell(1, 0, "cell", "d1", cached=True)
+        rows = store.cell_rows(1)
+        assert len(rows) == 1
+        assert rows[0]["digest"] == "d1"
+        assert rows[0]["cached"] is True
+        assert rows[0]["error"] is None
+
+
+def test_concurrent_writers_never_hit_database_locked(tmp_path):
+    # N threads hammering one store must serialize on the lock, not
+    # race into sqlite3.OperationalError("database is locked").
+    store = open_store(str(tmp_path / "s.db"))
+    errors = []
+
+    def writer(tid):
+        try:
+            for i in range(25):
+                store.put_result(f"d-{tid}-{i}", "cell", "{}")
+                store.append_event(tid, i + 1, '{"kind":"x"}')
+        except Exception as exc:  # noqa: BLE001 - recording any failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(t,))
+               for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert store.result_count() == 8 * 25
+    store.close()
+
+
+def test_sql_is_postgres_shaped():
+    # The migration DDL stays portable: no SQLite-only column types.
+    ddl = " ".join(stmt for _, stmts in MIGRATIONS for stmt in stmts)
+    for sqlite_only in ("AUTOINCREMENT", "WITHOUT ROWID", "PRAGMA"):
+        assert sqlite_only not in ddl.upper()
