@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""CI chaos smoke: the service survives seeded host-side faults.
+
+For each of a fixed set of seeds, boots the whole service stack with
+the chaos harness armed — a flaky SQLite store (injected ``database is
+locked`` errors and stalls *below* the retry layer), a fault-injecting
+WSGI middleware (pre-app 503s, delays, mid-body connection drops on
+GETs), and a worker-killer raising ``BaseException`` mid-job — then
+submits a batch of jobs through the real HTTP client and checks the
+chaos invariants:
+
+* every job reaches a terminal state (``done``, or ``failed`` with a
+  recorded reason) — nothing is lost or stuck;
+* chaos actually fired (each seed must inject at least one fault);
+* the store passes ``PRAGMA integrity_check`` afterwards;
+* the ``/metrics`` exposition stays schema-valid under fire;
+* a clean (chaos-free) restart over the same database re-serves every
+  completed job's results, byte-identical across duplicate digests.
+
+Usage::
+
+    python scripts/chaos_smoke.py [--artifacts DIR] [--seeds 1,2,...]
+
+Exits 0 when every seed passes, 1 on the first violated invariant.
+``--artifacts`` keeps the databases, crash bundles, and metrics dumps
+for CI upload (default: a temp dir, kept only on failure).
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_SEEDS = (11, 22, 33, 44, 55)
+
+TERMINAL = ("done", "failed")
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def _workload():
+    from repro.experiments import ExperimentConfig
+    return [
+        ExperimentConfig("montage", "nfs", 2),
+        ExperimentConfig("montage", "s3", 2),
+        ExperimentConfig("epigenome", "nfs", 2),
+        ExperimentConfig("montage", "nfs", 4),
+        ExperimentConfig("broadband", "nfs", 2),
+        ExperimentConfig("montage", "nfs", 2),  # duplicate: cache oracle
+    ]
+
+
+def _submit_retrying(client, cell, deadline_s=60.0):
+    """POSTs are not auto-retried; the middleware only injects errors
+    before the app runs, so a failed submission enqueued nothing and
+    retrying cannot duplicate a job."""
+    from repro.service.client import TRANSIENT_STATUSES, ServiceError
+    t0 = time.monotonic()  # lint: ignore[SIM001]
+    while True:
+        try:
+            return client.submit([cell], scale="small")
+        except ServiceError as exc:
+            if exc.status not in TRANSIENT_STATUSES:
+                raise
+            if time.monotonic() - t0 > deadline_s:  # lint: ignore[SIM001]
+                raise
+            time.sleep(0.05)
+
+
+def run_seed(seed: int, artifacts: Path) -> int:
+    from repro.service import ChaosSpec, chaos_service
+    from repro.telemetry.export import validate_exposition
+
+    spec = ChaosSpec(
+        seed=seed,
+        store_error_rate=0.04,
+        store_delay_rate=0.02,
+        store_delay_seconds=0.002,
+        http_error_rate=0.10,
+        http_delay_rate=0.05,
+        http_delay_seconds=0.005,
+        http_drop_rate=0.15,
+        kill_job_rate=0.05,
+        kill_cell_rate=0.05,
+    )
+    seed_dir = artifacts / f"seed-{seed}"
+    seed_dir.mkdir(parents=True, exist_ok=True)
+    db = str(seed_dir / "chaos.db")
+    harness = chaos_service(spec, db_path=db, lease_seconds=1.0,
+                            max_attempts=8,
+                            crash_dir=str(seed_dir / "crash"))
+    client = harness.client()
+    statuses = {}
+    try:
+        job_ids = [_submit_retrying(client, cell)["job_id"]
+                   for cell in _workload()]
+        for job_id in job_ids:
+            status = client.wait(job_id, timeout=300, poll_interval=0.1)
+            statuses[job_id] = status
+            if status["state"] not in TERMINAL:
+                return fail(f"seed {seed}: job {job_id} not terminal: "
+                            f"{status}")
+            if status["state"] == "failed" and not status["error"]:
+                return fail(f"seed {seed}: job {job_id} failed without "
+                            f"a recorded reason")
+        with harness.schedule.calm():
+            if harness.schedule.total_injected() == 0:
+                return fail(f"seed {seed}: chaos schedule never fired")
+            rows = harness.store.query("PRAGMA integrity_check")
+            if rows[0][0] != "ok":
+                return fail(f"seed {seed}: store corrupted: {rows[0][0]}")
+            metrics_text = client.metrics()
+            problems = validate_exposition(metrics_text)
+            if problems:
+                return fail(f"seed {seed}: /metrics invalid under "
+                            f"chaos: {problems}")
+            (seed_dir / "metrics.prom").write_text(metrics_text)
+            (seed_dir / "statuses.json").write_text(
+                json.dumps(statuses, indent=2, sort_keys=True))
+            injected = dict(harness.schedule.injected)
+    finally:
+        harness.stop()
+
+    # Clean restart over the surviving database: every done job's
+    # results are still served, and duplicate digests are one payload.
+    from repro.service import ChaosSpec as _Spec
+    clean = chaos_service(_Spec(seed=0), db_path=db, lease_seconds=5.0)
+    client2 = clean.client()
+    try:
+        payload_by_digest = {}
+        n_done = 0
+        for job_id, status in statuses.items():
+            if status["state"] != "done":
+                continue
+            n_done += 1
+            for cell in client2.result(job_id)["cells"]:
+                previous = payload_by_digest.setdefault(
+                    cell["digest"], cell["result"])
+                if cell["result"] != previous:
+                    return fail(f"seed {seed}: digest {cell['digest']} "
+                                f"served two different payloads")
+        if n_done == 0:
+            return fail(f"seed {seed}: chaos failed every job — rates "
+                        f"are miscalibrated for a smoke test")
+    finally:
+        clean.stop()
+
+    done = sum(1 for s in statuses.values() if s["state"] == "done")
+    print(f"seed {seed}: {done}/{len(statuses)} done, "
+          f"{len(statuses) - done} failed cleanly; injected {injected}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="directory to keep databases/bundles/"
+                             "metrics in (default: a temp dir)")
+    parser.add_argument("--seeds", default=",".join(
+        str(s) for s in DEFAULT_SEEDS),
+        help="comma-separated chaos seeds to run")
+    args = parser.parse_args()
+    artifacts = args.artifacts or Path(
+        tempfile.mkdtemp(prefix="chaos-smoke-"))
+    artifacts.mkdir(parents=True, exist_ok=True)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    for seed in seeds:
+        code = run_seed(seed, artifacts)
+        if code:
+            print(f"artifacts kept in {artifacts}")
+            return code
+    print(f"OK — {len(seeds)} seed(s) survived; artifacts in {artifacts}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

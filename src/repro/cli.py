@@ -478,6 +478,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
     from .service import (CellCache, JobQueue, ServiceApp, ServiceWorker,
                           open_store, serve)
     store = open_store(args.db)
@@ -488,7 +490,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       jobs=args.jobs, crash_dir=args.crash_dir).start()
         for i in range(args.workers)
     ]
-    app = ServiceApp(store, queue, cache)
+    app = ServiceApp(store, queue, cache,
+                     max_queue_depth=args.max_queue_depth)
     server = serve(app, host=args.host, port=args.port, quiet=args.quiet)
     host, port = server.server_address[:2]
     print(f"repro-ec2 service on http://{host}:{port} "
@@ -497,15 +500,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           file=sys.stderr)
     print(f"  submit: repro-ec2 submit --url http://{host}:{port} "
           f"--app montage --storage nfs --nodes 4", file=sys.stderr)
+
+    # Graceful shutdown on SIGTERM (systemd/docker stop) and SIGINT:
+    # stop accepting requests, drain the in-flight jobs, close the
+    # store, exit 0.  server.shutdown() blocks until serve_forever
+    # returns, so it must run off the signal-handler frame.
+    def _request_shutdown(signum: int, frame: object) -> None:
+        print(f"received {signal.Signals(signum).name}; shutting down",
+              file=sys.stderr)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    old_handlers = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
+        pass  # SIGINT before the handler was installed
     finally:
+        for sig, old in old_handlers.items():
+            signal.signal(sig, old)
+        drained = True
         for worker in workers:
-            worker.stop()
+            drained = worker.stop(timeout=args.drain_timeout) and drained
+        if not drained:
+            print("warning: a job was still running at shutdown; its "
+                  "lease will expire and re-queue it", file=sys.stderr)
         server.server_close()
         store.close()
+    print("service stopped", file=sys.stderr)
     return 0
 
 
@@ -809,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write crash bundles for failed cells here")
     p_serve.add_argument("--quiet", action="store_true",
                          help="suppress per-request access logging")
+    p_serve.add_argument("--max-queue-depth", type=int, default=256,
+                         help="shed submissions (503 + Retry-After) "
+                              "beyond this backlog")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         help="seconds to wait for in-flight jobs on "
+                              "SIGTERM/SIGINT before giving up the lease")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_sub = sub.add_parser("submit",

@@ -17,6 +17,10 @@ traffic" direction):
   status / events / results / ``/metrics``).
 * :mod:`~repro.service.client` — ``urllib``-based client used by the
   ``repro-ec2 submit``/``status``/``fetch`` CLI trio.
+* :mod:`~repro.service.resilience` — host-side retry policy, circuit
+  breaker, and deadline primitives the layers above share.
+* :mod:`~repro.service.chaos` — seeded fault injectors (flaky store,
+  WSGI faults, worker kills) for the chaos tests and smoke script.
 
 Like :mod:`repro.observe`, this package is host-side orchestration:
 it may read the wall clock (lint fence ``HOST_OBSERVE_PREFIXES``),
@@ -27,12 +31,24 @@ misses run through the unmodified deterministic runner.
 
 from .api import ServiceApp, serve
 from .cache import CellCache
+from .chaos import ChaosMiddleware, ChaosSchedule, ChaosSpec, \
+    FlakySQLiteStore, WorkerKilled, WorkerKiller, chaos_service
 from .queue import JOB_KINDS, JOB_STATES, JobQueue, JobRow
+from .resilience import CircuitBreaker, Deadline, DeadlineExceeded, \
+    HostRetryPolicy
 from .store import SCHEMA_VERSION, SQLiteStore, open_store
 from .worker import ServiceWorker
 
 __all__ = [
     "CellCache",
+    "ChaosMiddleware",
+    "ChaosSchedule",
+    "ChaosSpec",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FlakySQLiteStore",
+    "HostRetryPolicy",
     "JOB_KINDS",
     "JOB_STATES",
     "JobQueue",
@@ -41,6 +57,9 @@ __all__ = [
     "SQLiteStore",
     "ServiceApp",
     "ServiceWorker",
+    "WorkerKilled",
+    "WorkerKiller",
+    "chaos_service",
     "open_store",
     "serve",
 ]

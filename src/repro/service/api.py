@@ -24,13 +24,30 @@ Submissions are validated eagerly — every config must parse and pass
 400, never a failed job.  The events endpoint re-serves the worker's
 JSONL log straight from the store as a chunked/streamed body; with
 ``follow=1`` it polls until the job reaches a terminal state, which is
-how a client tails live progress over plain HTTP.
+how a client tails live progress over plain HTTP (``?after=N`` resumes
+a dropped stream from sequence N).
+
+Graceful degradation (the host-side resilience layer):
+
+* ``GET /healthz`` — pure liveness, never touches the store.
+* ``GET /readyz`` — readiness: 503 (with ``Retry-After``) while the
+  store circuit breaker is open or the job backlog exceeds the
+  ``max_queue_depth`` watermark.
+* Submissions are load-shed with a 503 + ``Retry-After`` instead of
+  queueing without bound, and every store-touching route is guarded by
+  a shared :class:`~repro.service.resilience.CircuitBreaker`: repeated
+  store failures flip requests to fast 503s instead of hammering a
+  sick database.
+* Every request carries a :class:`~repro.service.resilience.Deadline`;
+  overrunning it is a 503, not a hung connection.
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 import threading
+from io import StringIO
 from socketserver import ThreadingMixIn
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 from urllib.parse import parse_qs
@@ -43,20 +60,28 @@ from ..telemetry.export import to_prometheus
 from ..telemetry.metrics import MetricsRegistry
 from .cache import CellCache
 from .queue import JOB_KINDS, JOB_STATES, JobQueue
+from .resilience import CircuitBreaker, Deadline, DeadlineExceeded
 from .store import SCHEMA_VERSION, SQLiteStore
 from .worker import expand_job
 
 #: Terminal job states (the events endpoint stops following at these).
 _TERMINAL = ("done", "failed")
 
+#: Routes that must answer even when the store is sick: liveness,
+#: readiness, and metrics never cross the circuit breaker.
+_UNGUARDED_ROUTES = frozenset({"/healthz", "/readyz", "/metrics",
+                               "unmatched"})
+
 
 class _HTTPError(Exception):
     """Internal control flow: becomes a JSON error response."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 headers: Optional[List] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or []
 
 
 _STATUS_TEXT = {
@@ -67,6 +92,7 @@ _STATUS_TEXT = {
     405: "405 Method Not Allowed",
     413: "413 Payload Too Large",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 #: Submission body size cap (a 20k-cell sweep is ~10 MB of configs).
@@ -80,17 +106,30 @@ class ServiceApp:
                  cache: CellCache,
                  metrics: Optional[MetricsRegistry] = None,
                  follow_poll_interval: float = 0.1,
-                 follow_timeout: float = 600.0) -> None:
+                 follow_timeout: float = 600.0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 max_queue_depth: int = 256,
+                 request_deadline: float = 30.0,
+                 retry_after: float = 1.0) -> None:
         self.store = store
         self.queue = queue
         self.cache = cache
         self.metrics = metrics if metrics is not None else cache.metrics
         self.follow_poll_interval = follow_poll_interval
         self.follow_timeout = follow_timeout
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="store", metrics=self.metrics)
+        self.max_queue_depth = max_queue_depth
+        self.request_deadline = request_deadline
+        self.retry_after = retry_after
         self._requests = self.metrics.counter(
             "service_http_requests_total", "API requests by route/status")
         self._submitted = self.metrics.counter(
             "service_jobs_submitted_total", "jobs accepted by kind")
+        self._shed = self.metrics.counter(
+            "service_requests_shed_total",
+            "requests answered 503 by the resilience layer (by reason)")
+        self._shed.inc(0.0, reason="backlog")
 
     # -- WSGI entry ---------------------------------------------------------
 
@@ -99,15 +138,34 @@ class ServiceApp:
         method = environ.get("REQUEST_METHOD", "GET")
         path = environ.get("PATH_INFO", "/")
         query = parse_qs(environ.get("QUERY_STRING", ""))
+        deadline = Deadline(self.request_deadline)
         route = "unmatched"
+        guarded = False
         try:
             route, handler, args = self._route(method, path)
-            response = handler(environ, query, *args)
+            guarded = route not in _UNGUARDED_ROUTES
+            if guarded and not self.breaker.allow():
+                self._shed.inc(reason="breaker")
+                raise _HTTPError(
+                    503, "service degraded: store circuit breaker open",
+                    headers=self._retry_after_headers())
+            response = handler(environ, query, deadline, *args)
+            if guarded:
+                self.breaker.record_success()
         except _HTTPError as exc:
-            response = _json_response(exc.status, {"error": exc.message})
+            response = _json_response(exc.status, {"error": exc.message},
+                                      extra_headers=exc.headers)
+        except DeadlineExceeded as exc:
+            self._shed.inc(reason="deadline")
+            response = _json_response(503, {"error": str(exc)},
+                                      extra_headers=self._retry_after_headers())
         except Exception as exc:  # lint: ignore[SIM007]
             # The server must answer every request; anything unplanned
-            # becomes a 500 with the exception type as the hint.
+            # becomes a 500 with the exception type as the hint — and
+            # a failure signal to the breaker, so a persistently sick
+            # store degrades into fast 503s instead of an error storm.
+            if guarded:
+                self.breaker.record_failure()
             response = _json_response(
                 500, {"error": f"{type(exc).__name__}: {exc}"})
         status, headers, body = response
@@ -115,11 +173,20 @@ class ServiceApp:
         start_response(_STATUS_TEXT[status], headers)
         return body
 
+    def _retry_after_headers(self) -> List:
+        return [("Retry-After", f"{max(1, round(self.retry_after))}")]
+
     def _route(self, method: str, path: str):
         parts = [p for p in path.split("/") if p]
         if path == "/metrics":
             self._require(method, "GET")
             return "/metrics", self._h_metrics, ()
+        if path == "/healthz":
+            self._require(method, "GET")
+            return "/healthz", self._h_healthz, ()
+        if path == "/readyz":
+            self._require(method, "GET")
+            return "/readyz", self._h_readyz, ()
         if parts[:2] == ["api", "v1"]:
             tail = parts[2:]
             if tail == ["health"]:
@@ -163,7 +230,7 @@ class ServiceApp:
 
     # -- handlers -----------------------------------------------------------
 
-    def _h_health(self, environ, query):
+    def _h_health(self, environ, query, deadline):
         return _json_response(200, {
             "status": "ok",
             "store_schema": SCHEMA_VERSION,
@@ -172,14 +239,56 @@ class ServiceApp:
             "cached_results": len(self.cache),
         })
 
-    def _h_metrics(self, environ, query):
+    def _h_healthz(self, environ, query, deadline):
+        """Pure liveness: the process answers, nothing else checked."""
+        return _json_response(200, {"status": "ok"})
+
+    def _h_readyz(self, environ, query, deadline):
+        """Readiness: degraded while the breaker is open or backlogged."""
+        reasons: List[str] = []
+        breaker_state = self.breaker.state
+        if breaker_state == "open":
+            reasons.append("store circuit breaker open")
+        backlog = None
+        try:
+            counts = self.queue.counts()
+        except sqlite3.Error as exc:
+            reasons.append(f"store unavailable: {exc}")
+        else:
+            backlog = counts["queued"] + counts["running"]
+            # Same threshold submission shedding uses: at the
+            # watermark the service is already refusing new jobs.
+            if backlog >= self.max_queue_depth:
+                reasons.append(f"job backlog {backlog} at watermark "
+                               f"{self.max_queue_depth}")
+        doc = {
+            "status": "ready" if not reasons else "degraded",
+            "breaker": breaker_state,
+            "backlog": backlog,
+            "watermark": self.max_queue_depth,
+            "reasons": reasons,
+        }
+        if not reasons:
+            return _json_response(200, doc)
+        return _json_response(503, doc,
+                              extra_headers=self._retry_after_headers())
+
+    def _h_metrics(self, environ, query, deadline):
         text = to_prometheus(self.metrics)
         return (200,
                 [("Content-Type", "text/plain; version=0.0.4; "
                                   "charset=utf-8")],
                 [text.encode("utf-8")])
 
-    def _h_submit(self, environ, query):
+    def _h_submit(self, environ, query, deadline):
+        backlog = self.queue.counts()
+        depth = backlog["queued"] + backlog["running"]
+        if depth >= self.max_queue_depth:
+            self._shed.inc(reason="backlog")
+            raise _HTTPError(
+                503, f"job backlog at capacity ({depth} >= "
+                     f"{self.max_queue_depth}); retry later",
+                headers=self._retry_after_headers())
         body = _read_body(environ)
         try:
             request = json.loads(body.decode("utf-8"))
@@ -210,7 +319,7 @@ class ServiceApp:
             "digests": [cache.key(c) for c in configs],
         })
 
-    def _h_list_jobs(self, environ, query):
+    def _h_list_jobs(self, environ, query, deadline):
         state = query.get("state", [None])[0]
         if state is not None and state not in JOB_STATES:
             raise _HTTPError(400, f"unknown state {state!r}")
@@ -219,7 +328,7 @@ class ServiceApp:
         return _json_response(200, {
             "jobs": [j.status_dict() for j in jobs]})
 
-    def _h_job(self, environ, query, job_id: int):
+    def _h_job(self, environ, query, deadline, job_id: int):
         job = self.queue.get(job_id)
         if job is None:
             raise _HTTPError(404, f"no job {job_id}")
@@ -227,22 +336,25 @@ class ServiceApp:
         status["cells"] = self.store.cell_rows(job_id)
         return _json_response(200, status)
 
-    def _h_events(self, environ, query, job_id: int):
+    def _h_events(self, environ, query, deadline, job_id: int):
         if self.queue.get(job_id) is None:
             raise _HTTPError(404, f"no job {job_id}")
         follow = query.get("follow", ["0"])[0] not in ("0", "", "false")
-        body = self._event_stream(job_id, follow)
+        after = self._int(query.get("after", ["0"])[0], "after")
+        body = self._event_stream(job_id, follow, after_seq=after)
         return (200, [("Content-Type", "application/x-ndjson")], body)
 
-    def _event_stream(self, job_id: int,
-                      follow: bool) -> Iterator[bytes]:
+    def _event_stream(self, job_id: int, follow: bool,
+                      after_seq: int = 0) -> Iterator[bytes]:
         """Yield event lines; with ``follow``, tail until terminal.
 
         Yielding per line makes the WSGI server flush each chunk as it
         is produced (chunked transfer under HTTP/1.1, progressive body
         otherwise), which is what lets a client watch a running sweep.
+        ``after_seq`` skips already-delivered lines so a client can
+        resume a dropped stream without replaying from the start.
         """
-        last_seq = 0
+        last_seq = after_seq
         waited = 0.0
         done_event = threading.Event()  # purely a sleep primitive
         while True:
@@ -264,7 +376,7 @@ class ServiceApp:
             done_event.wait(self.follow_poll_interval)
             waited += self.follow_poll_interval
 
-    def _h_result(self, environ, query, job_id: int):
+    def _h_result(self, environ, query, deadline, job_id: int):
         job = self.queue.get(job_id)
         if job is None:
             raise _HTTPError(404, f"no job {job_id}")
@@ -276,6 +388,7 @@ class ServiceApp:
         if fmt == "csv":
             results = []
             for cell in cells:
+                deadline.check("result assembly")
                 if cell["digest"] is None:
                     continue
                 payload = self.store.get_result(cell["digest"])
@@ -287,6 +400,7 @@ class ServiceApp:
             raise _HTTPError(400, f"unknown format {fmt!r}")
         out: List[Dict[str, Any]] = []
         for cell in cells:
+            deadline.check("result assembly")
             entry: Dict[str, Any] = {
                 "cell_index": cell["cell_index"],
                 "label": cell["label"],
@@ -305,7 +419,7 @@ class ServiceApp:
             "cells": out,
         })
 
-    def _h_result_by_digest(self, environ, query, digest: str):
+    def _h_result_by_digest(self, environ, query, deadline, digest: str):
         payload = self.store.get_result(digest)
         if payload is None:
             raise _HTTPError(404, f"no cached result for digest "
@@ -317,12 +431,14 @@ class ServiceApp:
 # -- helpers ----------------------------------------------------------------
 
 
-def _json_response(status: int, doc: Dict[str, Any]):
+def _json_response(status: int, doc: Dict[str, Any],
+                   extra_headers: Optional[List] = None):
     body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
-    return (status,
-            [("Content-Type", "application/json"),
-             ("Content-Length", str(len(body)))],
-            [body])
+    headers = [("Content-Type", "application/json"),
+               ("Content-Length", str(len(body)))]
+    if extra_headers:
+        headers.extend(extra_headers)
+    return (status, headers, [body])
 
 
 def _read_body(environ: Dict[str, Any]) -> bytes:
@@ -348,6 +464,13 @@ class _QuietHandler(WSGIRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:
         pass
+
+    def get_stderr(self):
+        # Quiet also covers mid-response tracebacks (e.g. a chaos
+        # middleware aborting a connection on purpose): wsgiref's
+        # error handler writes into a discarded buffer instead of the
+        # process stderr.
+        return StringIO()
 
 
 def serve(app: ServiceApp, host: str = "127.0.0.1", port: int = 0,

@@ -48,7 +48,10 @@ class CellCache:
                  namespace: str = "") -> None:
         self.store = store
         self.namespace = namespace
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Default to the store's registry so cache hit/miss counters,
+        # the store's retry counters, and the breaker gauge all land in
+        # the same /metrics exposition without explicit plumbing.
+        self.metrics = metrics if metrics is not None else store.metrics
         self._hits = self.metrics.counter(
             "sweep_cache_hits_total",
             "sweep cells served from the content-addressed result store")

@@ -1,0 +1,397 @@
+"""Seeded fault injection for the *host-side* service stack.
+
+This is the chaos-engineering counterpart to :mod:`repro.faults`: that
+module injects failures *inside* the simulated world (task crashes,
+storage errors as modelled events), while this one breaks the real
+machinery running the service — the SQLite store, the HTTP surface,
+and the worker thread itself.  The two never mix: chaos here may delay
+or kill host threads, but it cannot reach simulation state, so every
+cell that does complete is still bit-identical to a fault-free run.
+That determinism is the test oracle — under any chaos schedule, every
+submitted job must end ``done`` (with correct, cache-idempotent
+results) or ``failed`` with a recorded reason; nothing may be lost,
+double-counted, or corrupted.
+
+Everything is driven by one :class:`ChaosSchedule`: per-channel
+substreams of ``repro.simcore.rand.substream`` (the sanctioned seeded
+RNG), so a given ``ChaosSpec(seed=...)`` replays the same fault
+pattern per channel regardless of thread interleaving elsewhere.
+
+Injection points, each *below* the recovery layer it exercises:
+
+:class:`FlakySQLiteStore`
+    Overrides the :meth:`SQLiteStore._db_execute` seam, so injected
+    ``database is locked`` errors and stalls hit *under* the store's
+    retry policy — exactly where real contention surfaces.
+:class:`ChaosMiddleware`
+    WSGI wrapper around :class:`~repro.service.api.ServiceApp`:
+    delays, pre-app 503s (never after the handler ran, so a failed
+    submit is always safely retryable), and mid-body connection drops
+    on idempotent GETs — what the client's retry/resume paths exist
+    for.
+:class:`WorkerKiller`
+    Raises :class:`WorkerKilled` (a ``BaseException``) from the
+    worker's job/cell hooks, escaping ``run_job``'s ``except
+    Exception`` like a real thread death — the supervisor's recovery
+    path.
+
+With no schedule attached (the production default — ``chaos=None``
+everywhere) none of this code runs: the store seam is a direct call,
+the middleware isn't in the WSGI chain, and the worker hooks are
+skipped, so idle overhead is zero and behaviour is bit-identical to a
+build without this module.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from ..simcore.rand import substream
+from .store import SQLiteStore
+
+#: Channels a schedule draws from (one independent substream each).
+CHANNELS = ("store.error", "store.delay", "http.error", "http.delay",
+            "http.drop", "kill.job", "kill.cell")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One reproducible chaos scenario: a seed plus per-fault rates.
+
+    All rates are per-opportunity probabilities in ``[0, 1]``; a rate
+    of 0 disables that channel.  The default spec injects nothing.
+    """
+
+    seed: int = 0
+    #: P(a raw store statement raises ``database is locked``).
+    store_error_rate: float = 0.0
+    #: P(a raw store statement stalls for ``store_delay_seconds``).
+    store_delay_rate: float = 0.0
+    store_delay_seconds: float = 0.005
+    #: P(a request is answered 503 *before* reaching the app).
+    http_error_rate: float = 0.0
+    #: P(a request stalls for ``http_delay_seconds`` before the app).
+    http_delay_rate: float = 0.0
+    http_delay_seconds: float = 0.01
+    #: P(a GET response is cut mid-body after the app ran).
+    http_drop_rate: float = 0.0
+    #: P(the worker thread dies at job pickup).
+    kill_job_rate: float = 0.0
+    #: P(the worker thread dies after finishing a cell).
+    kill_cell_rate: float = 0.0
+
+    def enabled(self) -> bool:
+        """Whether any channel can fire."""
+        return any(rate > 0.0 for rate in (
+            self.store_error_rate, self.store_delay_rate,
+            self.http_error_rate, self.http_delay_rate,
+            self.http_drop_rate, self.kill_job_rate,
+            self.kill_cell_rate))
+
+
+class ChaosSchedule:
+    """Seeded per-channel coin flips, with injection accounting.
+
+    Each channel draws from its own substream, so e.g. adding HTTP
+    faults to a spec never changes *which* store statements fail.
+    ``injected`` counts fires per channel — tests assert on it to
+    prove the schedule actually exercised the paths under test.
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._armed = True
+        self._rngs = {channel: substream(spec.seed, "service.chaos", channel)
+                      for channel in CHANNELS}
+        self.injected: Dict[str, int] = {channel: 0 for channel in CHANNELS}
+
+    def _hit(self, channel: str, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            if not self._armed:
+                return False
+            hit = float(self._rngs[channel].random()) < rate
+            if hit:
+                self.injected[channel] += 1
+            return hit
+
+    @contextmanager
+    def calm(self) -> Iterator[None]:
+        """Suspend all injection inside the block.
+
+        Used around oracle checks (``PRAGMA integrity_check``, final
+        result fetches) so verification reads the real state instead
+        of fighting the faults it is trying to measure.
+        """
+        with self._lock:
+            self._armed = False
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._armed = True
+
+    # -- per-layer decisions -------------------------------------------------
+
+    def store_action(self) -> Optional[str]:
+        """``"error"`` / ``"delay"`` / None for one raw statement."""
+        if self._hit("store.error", self.spec.store_error_rate):
+            return "error"
+        if self._hit("store.delay", self.spec.store_delay_rate):
+            return "delay"
+        return None
+
+    def http_action(self, method: str) -> Optional[str]:
+        """``"error"`` / ``"delay"`` / ``"drop"`` / None per request.
+
+        Drops only apply to GETs: cutting a POST response would leave
+        the client unsure whether the job was enqueued, which is a
+        semantics the API deliberately never exposes (errors are
+        injected pre-app instead).
+        """
+        if self._hit("http.error", self.spec.http_error_rate):
+            return "error"
+        if self._hit("http.delay", self.spec.http_delay_rate):
+            return "delay"
+        if method == "GET" and self._hit("http.drop",
+                                         self.spec.http_drop_rate):
+            return "drop"
+        return None
+
+    def kill_now(self, point: str) -> bool:
+        """Whether to kill the worker at ``"job"`` pickup or a ``"cell"``."""
+        rate = (self.spec.kill_job_rate if point == "job"
+                else self.spec.kill_cell_rate)
+        return self._hit(f"kill.{point}", rate)
+
+    def total_injected(self) -> int:
+        """All fault injections so far, across channels."""
+        with self._lock:
+            return sum(self.injected.values())
+
+
+class FlakySQLiteStore(SQLiteStore):
+    """A store whose raw statements randomly stall or report contention.
+
+    Faults land in the :meth:`_db_execute` seam — *below*
+    ``execute``/``query``/``run_in_transaction`` and their
+    :class:`~repro.service.resilience.HostRetryPolicy` — so they are
+    indistinguishable from real ``database is locked`` contention.
+    Construction and migration run clean (the chaos arms only after
+    ``__init__`` returns), mirroring the deployment reality that a
+    database that never opened is a different failure class.
+    """
+
+    def __init__(self, path: str = ":memory:",
+                 schedule: Optional[ChaosSchedule] = None,
+                 **kwargs: Any) -> None:
+        self._chaos: Optional[ChaosSchedule] = None
+        super().__init__(path, **kwargs)
+        self._chaos = schedule
+
+    def _db_execute(self, sql: str, params: Any = ()) -> sqlite3.Cursor:
+        chaos = self._chaos
+        if chaos is not None:
+            action = chaos.store_action()
+            if action == "delay":
+                time.sleep(chaos.spec.store_delay_seconds)
+            elif action == "error":
+                raise sqlite3.OperationalError(
+                    "database is locked (chaos)")
+        return super()._db_execute(sql, params)
+
+
+class ChaosDrop(Exception):
+    """Raised mid-body to abort a WSGI response on purpose.
+
+    By the time it fires the status line and a partial body are on the
+    wire, so wsgiref can only close the socket — the client observes a
+    truncated response (``IncompleteRead`` / connection reset),
+    exactly the failure :meth:`ServiceClient.stream_events` resumes
+    across.
+    """
+
+
+class ChaosMiddleware:
+    """WSGI wrapper injecting delays, 503s, and connection drops.
+
+    Ordering guarantees that keep the oracle sound:
+
+    * Errors fire *before* the app — a 503'd submit enqueued nothing,
+      so the client (or test harness) can retry it without risking a
+      duplicate job.
+    * Drops fire *after* the app on GETs only — the request's effects
+      are committed; only the response is lost, which is what
+      idempotent-GET retry is for.
+    """
+
+    def __init__(self, app: Any, schedule: ChaosSchedule) -> None:
+        self.app = app
+        self.schedule = schedule
+
+    def __call__(self, environ: Dict[str, Any],
+                 start_response: Any) -> Iterable[bytes]:
+        action = self.schedule.http_action(
+            environ.get("REQUEST_METHOD", "GET"))
+        if action == "delay":
+            time.sleep(self.schedule.spec.http_delay_seconds)
+        elif action == "error":
+            body = json.dumps(
+                {"error": "injected fault (chaos): try again"}
+            ).encode("utf-8")
+            start_response("503 Service Unavailable", [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(body))),
+                ("Retry-After", "1"),
+            ])
+            return [body]
+        result = self.app(environ, start_response)
+        if action == "drop":
+            return self._truncated(result)
+        return result
+
+    @staticmethod
+    def _truncated(result: Iterable[bytes]) -> Iterator[bytes]:
+        """Yield half of the first chunk, then kill the connection."""
+        iterator = iter(result)
+        try:
+            first = next(iterator, b"")
+            if not first:
+                # Nothing to truncate: an empty body can't be cut in a
+                # client-visible way, so let it through untouched.
+                return
+            # Always at least 1 byte (headers must hit the wire so the
+            # failure is a truncation, not a clean 500) and always
+            # fewer than all of them.
+            yield first[: (len(first) + 1) // 2]
+            raise ChaosDrop("injected mid-body connection drop")
+        finally:
+            close = getattr(result, "close", None)
+            if close is not None:
+                close()
+
+
+class WorkerKilled(BaseException):
+    """A chaos kill of the worker thread.
+
+    Deliberately a ``BaseException``: it must sail through
+    ``run_job``'s ``except Exception`` exactly like a real thread
+    death (``MemoryError``, interpreter teardown) would, so what the
+    tests exercise is the supervisor's recovery path, not an ordinary
+    error branch.
+    """
+
+
+class WorkerKiller:
+    """The ``chaos=`` hook object for :class:`ServiceWorker`.
+
+    ``on_job`` fires at job pickup (before any cell ran); ``on_cell``
+    after each completed cell — both may raise :class:`WorkerKilled`.
+    A no-op schedule makes both hooks free.
+    """
+
+    def __init__(self, schedule: ChaosSchedule) -> None:
+        self.schedule = schedule
+
+    def on_job(self, job: Any) -> None:
+        if self.schedule.kill_now("job"):
+            raise WorkerKilled(f"chaos kill at pickup of job {job.id}")
+
+    def on_cell(self, job: Any, n_done: int) -> None:
+        if self.schedule.kill_now("cell"):
+            raise WorkerKilled(
+                f"chaos kill in job {job.id} after cell {n_done}")
+
+
+@dataclass
+class ChaosHarness:
+    """A fully wired service stack under one chaos schedule.
+
+    Built by :func:`chaos_service`; ``stop()`` tears everything down
+    in dependency order.  The HTTP server runs only when the harness
+    was built with ``http=True``.
+    """
+
+    schedule: ChaosSchedule
+    store: FlakySQLiteStore
+    queue: Any
+    cache: Any
+    worker: Any
+    app: Any
+    server: Any = None
+    base_url: str = ""
+    _server_thread: Optional[threading.Thread] = field(
+        default=None, repr=False)
+
+    def client(self, **kwargs: Any) -> Any:
+        """A :class:`ServiceClient` pointed at the running server."""
+        from .client import ServiceClient
+        if not self.base_url:
+            raise RuntimeError("harness built with http=False")
+        kwargs.setdefault("timeout", 10.0)
+        return ServiceClient(self.base_url, **kwargs)
+
+    def stop(self, timeout: float = 15.0) -> bool:
+        """Shut down server + worker + store; True when fully drained."""
+        if self.server is not None:
+            self.server.shutdown()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=5.0)
+            self.server.server_close()
+            self.server = None
+        drained = self.worker.stop(timeout=timeout)
+        self.store.close()
+        return drained
+
+
+def chaos_service(spec: ChaosSpec, db_path: str = ":memory:",
+                  http: bool = True,
+                  lease_seconds: float = 2.0,
+                  max_attempts: int = 8,
+                  poll_interval: float = 0.02,
+                  crash_dir: Optional[str] = None,
+                  start_worker: bool = True) -> ChaosHarness:
+    """Stand up the whole service with ``spec``'s faults armed.
+
+    Used by the chaos property tests and ``scripts/chaos_smoke.py``.
+    ``max_attempts`` defaults higher than production because kill
+    rates in tests are far above anything a real deployment sees; the
+    short lease keeps whole-process-death recovery fast enough for a
+    test run.
+    """
+    from .api import ServiceApp, serve
+    from .cache import CellCache
+    from .queue import JobQueue
+    from .worker import ServiceWorker
+
+    schedule = ChaosSchedule(spec)
+    store = FlakySQLiteStore(db_path, schedule=schedule)
+    queue = JobQueue(store, max_attempts=max_attempts)
+    cache = CellCache(store)
+    worker = ServiceWorker(
+        store, queue, cache, poll_interval=poll_interval,
+        lease_seconds=lease_seconds, crash_dir=crash_dir,
+        chaos=WorkerKiller(schedule))
+    app = ServiceApp(store, queue, cache, request_deadline=10.0)
+    harness = ChaosHarness(schedule=schedule, store=store, queue=queue,
+                           cache=cache, worker=worker, app=app)
+    if http:
+        wrapped = ChaosMiddleware(app, schedule)
+        server = serve(wrapped, host="127.0.0.1", port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever,
+                                  name="chaos-http", daemon=True)
+        thread.start()
+        harness.server = server
+        harness._server_thread = thread
+        harness.base_url = f"http://127.0.0.1:{server.server_address[1]}"
+    if start_worker:
+        worker.start()
+    return harness

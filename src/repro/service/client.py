@@ -3,13 +3,25 @@
 :class:`ServiceClient` wraps ``urllib.request`` — no new dependency —
 and mirrors the API surface one-to-one: ``submit``/``status``/
 ``result``/``events``/``metrics``/``health``, plus :meth:`wait` to
-poll a job to a terminal state.  Errors come back as
-:class:`ServiceError` carrying the HTTP status and the server's
-``error`` message.
+poll a job to a terminal state and :meth:`stream_events` to tail the
+NDJSON event log.  Errors come back as :class:`ServiceError` carrying
+the HTTP status and the server's ``error`` message.
+
+Resilience: idempotent GETs retry transient failures (connection
+errors, dropped responses, 502/503/504) under a bounded
+:class:`~repro.service.resilience.HostRetryPolicy`; :meth:`wait` keeps
+polling through outages until its overall deadline, with a constant
+floor on the poll interval so a hot loop can never hammer the API;
+:meth:`stream_events` reconnects a dropped stream and resumes from the
+last fully-received line (the API's ``?after=N``).  ``POST`` requests
+are *not* retried — submission is not idempotent, so the caller
+decides (the chaos middleware only injects errors before the app runs
+for exactly this reason).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -17,6 +29,15 @@ import urllib.request
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..experiments.config import ExperimentConfig
+from .resilience import Deadline, HostRetryPolicy
+
+#: HTTP statuses worth retrying on an idempotent request (the server
+#: sheds load with 503 + Retry-After; 0 is "could not connect").
+TRANSIENT_STATUSES = (0, 502, 503, 504)
+
+#: Constant floor under every poll/backoff sleep: even with
+#: ``poll_interval=0`` the client cannot busy-loop against the API.
+MIN_POLL_INTERVAL = 0.05
 
 
 class ServiceError(RuntimeError):
@@ -29,17 +50,26 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
+def _is_transient(exc: BaseException) -> bool:
+    return isinstance(exc, ServiceError) \
+        and exc.status in TRANSIENT_STATUSES
+
+
 class ServiceClient:
     """Talk to one running ``repro-ec2 serve`` instance."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 3, retry_seed: int = 0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self._retry = HostRetryPolicy(
+            max_attempts=max(1, retries + 1), base_delay=0.05,
+            max_delay=1.0, seed=retry_seed, name="client")
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 body: Optional[Dict[str, Any]] = None) -> bytes:
+    def _request_once(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None) -> bytes:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
@@ -61,6 +91,24 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(
                 0, f"cannot reach {self.base_url}: {exc.reason}") from None
+        except (ConnectionError, TimeoutError,
+                http.client.HTTPException) as exc:
+            # A dropped/truncated response mid-read: transient by
+            # definition for an idempotent request.
+            raise ServiceError(
+                0, f"connection to {self.base_url} failed: "
+                   f"{type(exc).__name__}: {exc}") from None
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> bytes:
+        if method != "GET":
+            # Non-idempotent: one attempt, the caller owns the retry
+            # decision.
+            return self._request_once(method, path, body)
+        return self._retry.call(
+            lambda: self._request_once(method, path, body),
+            op="client.get", retry_on=(ServiceError,),
+            retry_if=_is_transient)
 
     def _get_json(self, path: str) -> Dict[str, Any]:
         return json.loads(self._request("GET", path).decode("utf-8"))
@@ -70,6 +118,14 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         """``GET /api/v1/health``."""
         return self._get_json("/api/v1/health")
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` (pure liveness)."""
+        return self._get_json("/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """``GET /readyz``; raises :class:`ServiceError` when degraded."""
+        return self._get_json("/readyz")
 
     def submit(self, configs: List[ExperimentConfig],
                kind: Optional[str] = None,
@@ -112,17 +168,38 @@ class ServiceClient:
 
     def wait(self, job_id: int, timeout: float = 600.0,
              poll_interval: float = 0.2) -> Dict[str, Any]:
-        """Poll until the job is done/failed; returns the final status."""
-        deadline = time.monotonic() + timeout
+        """Poll until the job is done/failed; returns the final status.
+
+        A transient error mid-poll (connection refused, 503 shed, a
+        dropped response) does not abort the wait: the client backs
+        off with jitter and keeps polling until ``timeout`` — only a
+        non-transient error (404, 400) raises immediately.
+        """
+        poll = max(poll_interval, MIN_POLL_INTERVAL)
+        deadline = Deadline(timeout)
+        misses = 0
         while True:
-            status = self.status(job_id)
+            try:
+                status = self.status(job_id)
+            except ServiceError as exc:
+                if not _is_transient(exc):
+                    raise
+                if deadline.expired:
+                    raise ServiceError(
+                        0, f"job {job_id} unreachable after "
+                           f"{timeout:.0f}s: {exc.message}") from None
+                misses += 1
+                time.sleep(max(MIN_POLL_INTERVAL,
+                               deadline.clamp(self._retry.delay(misses))))
+                continue
+            misses = 0
             if status["state"] in ("done", "failed"):
                 return status
-            if time.monotonic() >= deadline:
+            if deadline.expired:
                 raise ServiceError(
                     0, f"job {job_id} still {status['state']} after "
                        f"{timeout:.0f}s")
-            time.sleep(poll_interval)
+            time.sleep(max(MIN_POLL_INTERVAL, deadline.clamp(poll)))
 
     def result(self, job_id: int) -> Dict[str, Any]:
         """``GET /api/v1/jobs/{id}/result`` (full payloads)."""
@@ -147,6 +224,64 @@ class ServiceClient:
         for line in raw.decode("utf-8").splitlines():
             if line.strip():
                 yield json.loads(line)
+
+    def stream_events(self, job_id: int, follow: bool = False,
+                      timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
+        """Stream parsed events line by line, resuming across drops.
+
+        Unlike :meth:`events` (one buffered GET), this reads the
+        NDJSON body incrementally and — when the connection dies
+        mid-stream — reconnects with ``?after=<lines received>`` so no
+        event is duplicated or lost, under one overall ``timeout``.
+        """
+        deadline = Deadline(timeout)
+        seen = 0
+        misses = 0
+        while True:
+            suffix = f"?after={seen}" + ("&follow=1" if follow else "")
+            req = urllib.request.Request(
+                f"{self.base_url}/api/v1/jobs/{job_id}/events{suffix}",
+                headers={"Accept": "application/x-ndjson"})
+            dropped = False
+            try:
+                with urllib.request.urlopen(
+                        req, timeout=self.timeout) as resp:
+                    while True:
+                        line = resp.readline()
+                        if not line:
+                            break
+                        if not line.endswith(b"\n"):
+                            # Truncated mid-line: treat as a drop and
+                            # re-fetch from the last complete line.
+                            dropped = True
+                            break
+                        text = line.decode("utf-8").strip()
+                        seen += 1
+                        misses = 0
+                        if text:
+                            yield json.loads(text)
+            except urllib.error.HTTPError as exc:
+                raw = exc.read()
+                try:
+                    message = json.loads(raw.decode("utf-8"))["error"]
+                except (KeyError, TypeError, ValueError,
+                        UnicodeDecodeError):
+                    message = raw.decode("utf-8", "replace")[:200]
+                if exc.code not in TRANSIENT_STATUSES:
+                    raise ServiceError(exc.code, message) from None
+                dropped = True
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    http.client.HTTPException):
+                dropped = True
+            if not dropped:
+                return
+            misses += 1
+            if deadline.expired:
+                raise ServiceError(
+                    0, f"event stream for job {job_id} kept dropping; "
+                       f"gave up after {timeout:.0f}s")
+            time.sleep(max(MIN_POLL_INTERVAL,
+                           deadline.clamp(self._retry.delay(misses))))
 
     def metrics(self) -> str:
         """``GET /metrics`` (Prometheus text exposition)."""

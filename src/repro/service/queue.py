@@ -140,7 +140,8 @@ class JobQueue:
         """
         self.release_expired()
         now = self.clock()
-        with self.store.transaction() as conn:
+
+        def _claim(conn) -> Optional[int]:
             row = conn.execute(
                 _SELECT + "WHERE state = 'queued' ORDER BY id LIMIT 1"
             ).fetchone()
@@ -151,7 +152,10 @@ class JobQueue:
                 "lease_expires_ts = ?, started_ts = ?, "
                 "attempts = attempts + 1 WHERE id = ? AND state = 'queued'",
                 (owner, now + lease_seconds, now, int(row["id"])))
-        return self.get(int(row["id"]))
+            return int(row["id"])
+
+        job_id = self.store.run_in_transaction(_claim, op="queue.lease")
+        return self.get(job_id) if job_id is not None else None
 
     def heartbeat(self, job_id: int, owner: str,
                   lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
@@ -179,6 +183,21 @@ class JobQueue:
             "lease_owner = NULL, lease_expires_ts = NULL, error = ? "
             "WHERE id = ? AND state = 'running'",
             (self.clock(), error, job_id))
+
+    def requeue(self, job_id: int) -> bool:
+        """Put a running job back in the queue, attempts preserved.
+
+        Used by the worker supervisor when it *observes* its thread
+        die mid-job: instead of waiting out the lease, the job goes
+        straight back to ``queued`` so a healthy worker (or the
+        restarted one) picks it up immediately.  Returns False when
+        the job was not running (already recovered elsewhere).
+        """
+        cur = self.store.execute(
+            "UPDATE jobs SET state = 'queued', lease_owner = NULL, "
+            "lease_expires_ts = NULL WHERE id = ? AND state = 'running'",
+            (job_id,))
+        return cur.rowcount > 0
 
     def update_progress(self, job_id: int, n_cells: Optional[int] = None,
                         n_done: Optional[int] = None,
@@ -208,7 +227,8 @@ class JobQueue:
         now = self.clock()
         message = (f"worker lease expired {self.max_attempts} time(s); "
                    f"giving up")
-        with self.store.transaction() as conn:
+
+        def _release(conn) -> int:
             failed = conn.execute(
                 "UPDATE jobs SET state = 'failed', finished_ts = ?, "
                 "lease_owner = NULL, lease_expires_ts = NULL, error = ? "
@@ -220,7 +240,9 @@ class JobQueue:
                 "lease_expires_ts = NULL "
                 "WHERE state = 'running' AND lease_expires_ts < ?",
                 (now,)).rowcount
-        return failed + requeued
+            return failed + requeued
+
+        return self.store.run_in_transaction(_release, op="queue.release")
 
     # -- introspection ------------------------------------------------------
 

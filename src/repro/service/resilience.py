@@ -1,0 +1,298 @@
+"""Host-side resilience primitives: retry, circuit breaker, deadline.
+
+These are the *service's* answer to the partial failures the paper's
+EC2 experiments suffered for real (workers dying, storage stalling,
+requests hanging) — deliberately distinct from the sim-side
+:mod:`repro.faults` types, which advance *simulated* time inside a
+deterministic world.  Everything here touches the host clock and
+sleeps for real, which is exactly why it lives under ``repro/service/``
+(inside the SIM001/SIM009 host-side fence) and must never be imported
+by kernel code.
+
+Three primitives, all with injectable clocks so tests never sleep:
+
+:class:`HostRetryPolicy`
+    Bounded exponential backoff with *seeded* jitter (a
+    :func:`repro.simcore.rand.substream` generator, so even the
+    host-side randomness is reproducible given the seed).  Counts
+    ``service_retry_attempts_total`` / ``service_retry_exhausted_total``
+    by operation.
+:class:`CircuitBreaker`
+    Classic closed / open / half-open machine with a cooldown.  After
+    ``failure_threshold`` consecutive failures it opens and sheds load
+    (``allow()`` returns False) until ``cooldown_seconds`` pass, then
+    lets ``half_open_probes`` trial calls through; one success closes
+    it again.  Exposes ``service_breaker_state`` (0 closed, 1
+    half-open, 2 open) and ``service_breaker_transitions_total``.
+:class:`Deadline`
+    A monotonic time budget shared across retries of one logical
+    operation; ``clamp()`` shortens any sleep to what is left and
+    ``check()`` raises :class:`DeadlineExceeded`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple, Type
+
+from ..observe.hostclock import monotonic
+from ..simcore.rand import substream
+from ..telemetry.metrics import MetricsRegistry
+
+#: Breaker states (string-valued so status documents read naturally).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of the breaker state machine.
+_STATE_VALUE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class DeadlineExceeded(RuntimeError):
+    """An operation overran its :class:`Deadline`."""
+
+
+class Deadline:
+    """A monotonic host-time budget for one logical operation.
+
+    ``seconds=None`` means "no deadline": ``remaining()`` is infinite
+    and ``expired`` never trips, so callers can thread one object
+    through unconditionally.
+    """
+
+    def __init__(self, seconds: Optional[float],
+                 clock: Callable[[], float] = monotonic) -> None:
+        self.seconds = seconds
+        self._clock = clock
+        self._t0 = clock()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` when unbounded)."""
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - (self._clock() - self._t0)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.seconds:.3f}s deadline")
+
+    def clamp(self, interval: float) -> float:
+        """``interval`` shortened to the remaining budget (>= 0)."""
+        return max(0.0, min(interval, self.remaining()))
+
+
+def is_transient_sqlite_error(exc: BaseException) -> bool:
+    """Whether ``exc`` is a retryable SQLite contention error.
+
+    ``database is locked`` can surface despite ``busy_timeout`` (e.g.
+    a writer mid-transaction in another process, or an injected chaos
+    fault); schema errors and constraint violations are *not*
+    transient and must propagate.
+    """
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return ("locked" in text) or ("busy" in text)
+
+
+class HostRetryPolicy:
+    """Bounded exponential backoff with seeded jitter, host-side.
+
+    The sim-side :class:`repro.faults.RetryPolicy` schedules retries in
+    *simulated* time inside the deterministic kernel; this one sleeps
+    on the host clock between attempts at a real operation (an SQLite
+    statement, an HTTP GET).  Jitter draws from a named
+    :func:`~repro.simcore.rand.substream`, so two policies built with
+    the same ``(seed, name)`` produce the same backoff sequence — the
+    property the chaos harness leans on.
+    """
+
+    def __init__(self, max_attempts: int = 5,
+                 base_delay: float = 0.02,
+                 max_delay: float = 1.0,
+                 multiplier: float = 2.0,
+                 jitter: float = 0.5,
+                 seed: int = 0,
+                 name: str = "host",
+                 sleep: Callable[[float], None] = time.sleep,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.name = name
+        self._sleep = sleep
+        self._rng = substream(seed, "service.resilience", name)
+        self._rng_lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._attempts = self.metrics.counter(
+            "service_retry_attempts_total",
+            "host-side operation retries by operation")
+        self._exhausted = self.metrics.counter(
+            "service_retry_exhausted_total",
+            "retry budgets exhausted (error propagated) by operation")
+        # Pre-seed zero-valued series so the instruments appear in the
+        # /metrics exposition before the first fault.
+        self._attempts.inc(0.0, op=name)
+        self._exhausted.inc(0.0, op=name)
+
+    def delay(self, attempt: int) -> float:
+        """The jittered pause before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay,
+                   self.base_delay * (self.multiplier ** attempt))
+        if self.jitter <= 0.0:
+            return base
+        spread = self.jitter * base
+        with self._rng_lock:
+            u = float(self._rng.random())
+        return max(0.0, base - spread + 2.0 * spread * u)
+
+    def call(self, fn: Callable[[], Any], *,
+             op: Optional[str] = None,
+             retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+             retry_if: Optional[Callable[[BaseException], bool]] = None,
+             deadline: Optional[Deadline] = None,
+             breaker: Optional["CircuitBreaker"] = None) -> Any:
+        """Run ``fn()`` with retries; re-raises the last error.
+
+        Only exceptions matching ``retry_on`` (and, when given, the
+        ``retry_if`` predicate) are retried; anything else propagates
+        immediately.  ``deadline`` bounds the *total* time spent
+        including sleeps; ``breaker`` gets a success/failure signal per
+        attempt, so repeated exhaustion opens it.
+        """
+        op = op if op is not None else self.name
+        attempt = 0
+        while True:
+            try:
+                result = fn()
+            except retry_on as exc:
+                if retry_if is not None and not retry_if(exc):
+                    raise
+                if breaker is not None:
+                    breaker.record_failure()
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    self._exhausted.inc(op=op)
+                    raise
+                pause = self.delay(attempt - 1)
+                if deadline is not None:
+                    if deadline.expired:
+                        self._exhausted.inc(op=op)
+                        raise
+                    pause = deadline.clamp(pause)
+                self._attempts.inc(op=op)
+                self._sleep(pause)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with cooldown (thread-safe).
+
+    Consumers call :meth:`allow` before an operation and
+    :meth:`record_success` / :meth:`record_failure` after it; the
+    breaker never wraps calls itself, so it composes with any retry or
+    transport layer.  State transitions are exported as metrics the
+    moment they happen, which is how ``/readyz`` and the Prometheus
+    exposition surface degradation.
+    """
+
+    def __init__(self, name: str = "store",
+                 failure_threshold: int = 5,
+                 cooldown_seconds: float = 5.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = monotonic,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._gauge = self.metrics.gauge(
+            "service_breaker_state",
+            "circuit breaker state (0 closed, 1 half-open, 2 open)")
+        self._transitions = self.metrics.counter(
+            "service_breaker_transitions_total",
+            "circuit breaker state transitions by target state")
+        self._rejections = self.metrics.counter(
+            "service_breaker_rejected_total",
+            "calls shed while the breaker was open")
+        self._gauge.set(0, breaker=name)
+        self._rejections.inc(0.0, breaker=name)
+
+    # -- state machine (lock held by callers of _set/_tick) -----------------
+
+    def _set(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self._gauge.set(_STATE_VALUE[state], breaker=self.name)
+        self._transitions.inc(breaker=self.name, to=state)
+
+    def _tick(self) -> None:
+        if self._state == OPEN and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.cooldown_seconds:
+            self._set(HALF_OPEN)
+            self._probes_in_flight = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown applied (``closed``/``open``/...)."""
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts rejections)."""
+        with self._lock:
+            self._tick()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN \
+                    and self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self._rejections.inc(breaker=self.name)
+            return False
+
+    def record_success(self) -> None:
+        """A guarded call succeeded: reset failures, close the breaker."""
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._set(CLOSED)
+
+    def record_failure(self) -> None:
+        """A guarded call failed: trip open at the threshold."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or (
+                    self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._set(OPEN)
+                self._opened_at = self._clock()

@@ -39,15 +39,26 @@ Design constraints:
   a generous ``busy_timeout`` for multi-process use): N concurrent
   HTTP submitters serialize on the lock instead of racing into
   ``database is locked`` errors.
+* **Transient-error retries.**  ``database is locked`` can still
+  surface despite the busy timeout (a second process mid-write, a
+  network filesystem hiccup, an injected chaos fault); every statement
+  runs under a :class:`~repro.service.resilience.HostRetryPolicy`
+  (bounded exponential backoff + seeded jitter) so a transient
+  contention blip retries instead of failing the job.  All raw
+  statements go through the single :meth:`SQLiteStore._db_execute`
+  seam, which is also where the chaos harness injects faults *below*
+  the retry layer.
 """
 
 from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..observe.hostclock import wall_now
+from ..telemetry.metrics import MetricsRegistry
+from .resilience import HostRetryPolicy, is_transient_sqlite_error
 
 #: Bump (and append a migration) whenever the schema changes.
 SCHEMA_VERSION = 1
@@ -113,8 +124,14 @@ MIGRATIONS: List[Tuple[int, List[str]]] = [
 class SQLiteStore:
     """The SQLite adapter (see module docstring for the contract)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:",
+                 metrics: Optional[MetricsRegistry] = None,
+                 retry: Optional[HostRetryPolicy] = None) -> None:
         self.path = path
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._retry = retry if retry is not None else HostRetryPolicy(
+            name="store", max_attempts=6, base_delay=0.01, max_delay=0.25,
+            metrics=self.metrics)
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(
             path, check_same_thread=False, timeout=30.0)
@@ -122,9 +139,9 @@ class SQLiteStore:
         with self._lock:
             # SQLite-specific tuning lives here and only here; every
             # statement below this block is portable SQL.
-            self._conn.execute("PRAGMA busy_timeout = 30000")
-            self._conn.execute("PRAGMA journal_mode = WAL")
-            self._conn.execute("PRAGMA synchronous = NORMAL")
+            self._db_execute("PRAGMA busy_timeout = 30000")
+            self._db_execute("PRAGMA journal_mode = WAL")
+            self._db_execute("PRAGMA synchronous = NORMAL")
         self._migrate()
 
     # -- lifecycle ----------------------------------------------------------
@@ -142,28 +159,64 @@ class SQLiteStore:
 
     # -- low-level access (used by the queue layer) -------------------------
 
+    def _db_execute(self, sql: str, params: Sequence[Any] = ()
+                    ) -> sqlite3.Cursor:
+        """The single raw-statement seam (chaos wrappers override it)."""
+        return self._conn.execute(sql, params)
+
     def execute(self, sql: str, params: Sequence[Any] = ()
                 ) -> sqlite3.Cursor:
-        """Run one statement under the store lock; autocommits."""
-        with self._lock:
-            cur = self._conn.execute(sql, params)
-            self._conn.commit()
-            return cur
+        """Run one statement under the store lock; autocommits.
+
+        Transient contention errors (``database is locked``) retry
+        under the store's :class:`HostRetryPolicy`; the lock is
+        released between attempts so a competing writer can finish.
+        """
+        def _once() -> sqlite3.Cursor:
+            with self._lock:
+                cur = self._db_execute(sql, params)
+                self._conn.commit()
+                return cur
+        return self._retry.call(
+            _once, op="store.execute", retry_on=(sqlite3.OperationalError,),
+            retry_if=is_transient_sqlite_error)
 
     def query(self, sql: str, params: Sequence[Any] = ()
               ) -> List[sqlite3.Row]:
-        """Run one read-only statement; returns all rows."""
-        with self._lock:
-            return self._conn.execute(sql, params).fetchall()
+        """Run one read-only statement; returns all rows (retried)."""
+        def _once() -> List[sqlite3.Row]:
+            with self._lock:
+                return self._db_execute(sql, params).fetchall()
+        return self._retry.call(
+            _once, op="store.query", retry_on=(sqlite3.OperationalError,),
+            retry_if=is_transient_sqlite_error)
 
     def transaction(self) -> "_Transaction":
         """``with store.transaction():`` — atomic multi-statement block.
 
         Holds the store lock for the duration, so a lease decision
         (read candidate + mark running) is a single atomic unit even
-        with many worker threads.
+        with many worker threads.  Statements inside the block are
+        *not* individually retried — use :meth:`run_in_transaction` to
+        retry the whole unit atomically.
         """
-        return _Transaction(self._conn, self._lock)
+        return _Transaction(self)
+
+    def run_in_transaction(self, fn: Callable[["_TxnConn"], Any],
+                           op: str = "store.txn") -> Any:
+        """Run ``fn(conn)`` inside a transaction, retried as a unit.
+
+        A transient contention error anywhere in the block (including
+        the final commit) rolls the whole transaction back and re-runs
+        ``fn`` from scratch, so multi-statement decisions like a queue
+        lease stay atomic under retry.
+        """
+        def _once() -> Any:
+            with self.transaction() as conn:
+                return fn(conn)
+        return self._retry.call(
+            _once, op=op, retry_on=(sqlite3.OperationalError,),
+            retry_if=is_transient_sqlite_error)
 
     # -- schema -------------------------------------------------------------
 
@@ -174,10 +227,10 @@ class SQLiteStore:
 
     def _migrate(self) -> None:
         with self._lock:
-            self._conn.execute(
+            self._db_execute(
                 "CREATE TABLE IF NOT EXISTS schema_info "
                 "(version BIGINT NOT NULL)")
-            rows = self._conn.execute(
+            rows = self._db_execute(
                 "SELECT version FROM schema_info").fetchall()
             current = int(rows[0]["version"]) if rows else 0
             if current > SCHEMA_VERSION:
@@ -189,9 +242,9 @@ class SQLiteStore:
                 if version <= current:
                     continue
                 for statement in statements:
-                    self._conn.execute(statement)
-                self._conn.execute("DELETE FROM schema_info")
-                self._conn.execute(
+                    self._db_execute(statement)
+                self._db_execute("DELETE FROM schema_info")
+                self._db_execute(
                     "INSERT INTO schema_info (version) VALUES (?)",
                     (version,))
                 self._conn.commit()
@@ -279,28 +332,52 @@ class SQLiteStore:
                     "ORDER BY cell_index", (job_id,))]
 
 
+class _TxnConn:
+    """Connection facade handed out by :class:`_Transaction`.
+
+    Routes statements through the store's ``_db_execute`` seam (so
+    retries see real statement errors and chaos wrappers can inject
+    them inside transactions too) while exposing the same ``execute``
+    surface callers already use.
+    """
+
+    def __init__(self, store: "SQLiteStore") -> None:
+        self._store = store
+
+    def execute(self, sql: str, params: Sequence[Any] = ()
+                ) -> sqlite3.Cursor:
+        return self._store._db_execute(sql, params)
+
+
 class _Transaction:
     """Context manager pairing the store lock with a DB transaction."""
 
-    def __init__(self, conn: sqlite3.Connection,
-                 lock: threading.RLock) -> None:
-        self._conn = conn
-        self._lock = lock
+    def __init__(self, store: "SQLiteStore") -> None:
+        self._store = store
+        self._conn = store._conn
+        self._lock = store._lock
 
-    def __enter__(self) -> sqlite3.Connection:
+    def __enter__(self) -> _TxnConn:
         self._lock.acquire()
-        return self._conn
+        return _TxnConn(self._store)
 
     def __exit__(self, exc_type: Any, *exc: Any) -> None:
         try:
             if exc_type is None:
-                self._conn.commit()
+                try:
+                    self._conn.commit()
+                except sqlite3.OperationalError:
+                    # A transient commit failure must not leave the
+                    # transaction half-open for the next attempt.
+                    self._conn.rollback()
+                    raise
             else:
                 self._conn.rollback()
         finally:
             self._lock.release()
 
 
-def open_store(path: str = ":memory:") -> SQLiteStore:
+def open_store(path: str = ":memory:",
+               metrics: Optional[MetricsRegistry] = None) -> SQLiteStore:
     """Open (creating/migrating as needed) the store at ``path``."""
-    return SQLiteStore(path)
+    return SQLiteStore(path, metrics=metrics)

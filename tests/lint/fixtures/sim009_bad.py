@@ -1,13 +1,15 @@
-"""Fixture: host observability inside the kernel (SIM009 fires 4x)."""
+"""Fixture: host observability inside the kernel (SIM009 fires 7x)."""
 
 import time
 
 from repro.observe import hostclock
+from repro.service.chaos import WorkerKilled
 
 from ..observe.monitor import SweepMonitor
+from ..service.resilience import HostRetryPolicy
 
 
 def measure(env):
     t0 = time.perf_counter()
     wall = hostclock.wall_now()
-    return SweepMonitor, env.now, t0, wall
+    return SweepMonitor, env.now, t0, wall, WorkerKilled, HostRetryPolicy

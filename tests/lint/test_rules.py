@@ -21,7 +21,7 @@ CASES = {
     "SIM006": ("sim006", "repro/telemetry/collect.py", 2),
     "SIM007": ("sim007", "repro/workflow/driver.py", 2),
     "SIM008": ("sim008", "repro/workflow/scheduler.py", 4),
-    "SIM009": ("sim009", "repro/simcore/kernel.py", 4),
+    "SIM009": ("sim009", "repro/simcore/kernel.py", 7),
 }
 
 

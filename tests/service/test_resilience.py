@@ -1,0 +1,267 @@
+"""Unit tests for the host-side resilience primitives.
+
+Everything runs on fake clocks and recorded sleeps — no test here ever
+sleeps for real, which is the injectability contract
+:mod:`repro.service.resilience` promises.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.service.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    HostRetryPolicy,
+    is_transient_sqlite_error,
+)
+from repro.telemetry.export import to_prometheus, validate_exposition
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# -- Deadline ---------------------------------------------------------------
+
+
+def test_deadline_counts_down_and_expires():
+    clock = FakeClock()
+    d = Deadline(2.0, clock=clock)
+    assert d.remaining() == pytest.approx(2.0)
+    assert not d.expired
+    clock.advance(1.5)
+    assert d.remaining() == pytest.approx(0.5)
+    assert d.clamp(10.0) == pytest.approx(0.5)
+    assert d.clamp(0.1) == pytest.approx(0.1)
+    clock.advance(1.0)
+    assert d.expired
+    assert d.clamp(0.1) == 0.0
+    with pytest.raises(DeadlineExceeded, match="fetch"):
+        d.check("fetch")
+
+
+def test_deadline_none_is_unbounded():
+    clock = FakeClock()
+    d = Deadline(None, clock=clock)
+    clock.advance(1e9)
+    assert d.remaining() == float("inf")
+    assert not d.expired
+    d.check()  # never raises
+    assert d.clamp(3.0) == 3.0
+
+
+# -- transient-error classification -----------------------------------------
+
+
+def test_transient_sqlite_classification():
+    assert is_transient_sqlite_error(
+        sqlite3.OperationalError("database is locked"))
+    assert is_transient_sqlite_error(
+        sqlite3.OperationalError("database table is locked (chaos)"))
+    assert is_transient_sqlite_error(
+        sqlite3.OperationalError("SQLITE_BUSY: somebody else is writing"))
+    # Schema/syntax problems must propagate, not retry.
+    assert not is_transient_sqlite_error(
+        sqlite3.OperationalError("no such table: jobs"))
+    assert not is_transient_sqlite_error(
+        sqlite3.IntegrityError("UNIQUE constraint failed"))
+    assert not is_transient_sqlite_error(ValueError("locked"))
+
+
+# -- HostRetryPolicy --------------------------------------------------------
+
+
+def _policy(**kwargs):
+    kwargs.setdefault("sleep", lambda s: None)
+    return HostRetryPolicy(**kwargs)
+
+
+def test_retry_succeeds_after_transient_failures():
+    sleeps = []
+    policy = _policy(max_attempts=5, sleep=sleeps.append)
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise sqlite3.OperationalError("database is locked")
+        return "ok"
+
+    assert policy.call(flaky, op="t",
+                       retry_on=(sqlite3.OperationalError,)) == "ok"
+    assert calls["n"] == 3
+    assert len(sleeps) == 2
+    assert all(s >= 0.0 for s in sleeps)
+
+
+def test_retry_exhaustion_reraises_and_counts():
+    policy = _policy(max_attempts=3)
+
+    def always():
+        raise sqlite3.OperationalError("database is locked")
+
+    with pytest.raises(sqlite3.OperationalError):
+        policy.call(always, op="t", retry_on=(sqlite3.OperationalError,))
+    metrics = to_prometheus(policy.metrics)
+    assert 'service_retry_attempts_total{op="t"} 2' in metrics
+    assert 'service_retry_exhausted_total{op="t"} 1' in metrics
+    assert validate_exposition(metrics) == []
+
+
+def test_retry_if_predicate_gates_retries():
+    policy = _policy(max_attempts=5)
+    calls = {"n": 0}
+
+    def fatal():
+        calls["n"] += 1
+        raise sqlite3.OperationalError("no such table: jobs")
+
+    with pytest.raises(sqlite3.OperationalError):
+        policy.call(fatal, retry_on=(sqlite3.OperationalError,),
+                    retry_if=is_transient_sqlite_error)
+    assert calls["n"] == 1  # not retried: the predicate said fatal
+
+
+def test_non_matching_exception_propagates_immediately():
+    policy = _policy(max_attempts=5)
+    calls = {"n": 0}
+
+    def boom():
+        calls["n"] += 1
+        raise KeyError("nope")
+
+    with pytest.raises(KeyError):
+        policy.call(boom, retry_on=(ValueError,))
+    assert calls["n"] == 1
+
+
+def test_backoff_is_bounded_exponential_with_jitter():
+    policy = _policy(max_attempts=10, base_delay=0.1, max_delay=0.4,
+                     multiplier=2.0, jitter=0.5, seed=42)
+    for attempt, nominal in enumerate([0.1, 0.2, 0.4, 0.4, 0.4]):
+        d = policy.delay(attempt)
+        assert 0.5 * nominal - 1e-9 <= d <= 1.5 * nominal + 1e-9, \
+            (attempt, d)
+
+
+def test_backoff_jitter_is_seeded_and_reproducible():
+    a = _policy(seed=7, name="x")
+    b = _policy(seed=7, name="x")
+    c = _policy(seed=8, name="x")
+    seq_a = [a.delay(i) for i in range(6)]
+    seq_b = [b.delay(i) for i in range(6)]
+    seq_c = [c.delay(i) for i in range(6)]
+    assert seq_a == seq_b  # same (seed, name) -> same schedule
+    assert seq_a != seq_c  # different seed -> different schedule
+
+
+def test_retry_respects_deadline():
+    clock = FakeClock()
+    sleeps = []
+
+    def sleeping(s):
+        sleeps.append(s)
+        clock.advance(max(s, 0.01))
+
+    policy = _policy(max_attempts=100, base_delay=0.05, sleep=sleeping)
+    deadline = Deadline(0.2, clock=clock)
+
+    def always():
+        clock.advance(0.01)
+        raise sqlite3.OperationalError("database is locked")
+
+    with pytest.raises(sqlite3.OperationalError):
+        policy.call(always, retry_on=(sqlite3.OperationalError,),
+                    deadline=deadline)
+    # Far fewer than max_attempts: the deadline cut the loop short.
+    assert 0 < len(sleeps) < 30
+    assert deadline.expired
+
+
+def test_retry_feeds_breaker_signals():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+    policy = _policy(max_attempts=3)
+
+    def always():
+        raise sqlite3.OperationalError("database is locked")
+
+    with pytest.raises(sqlite3.OperationalError):
+        policy.call(always, retry_on=(sqlite3.OperationalError,),
+                    breaker=breaker)
+    assert breaker.state == OPEN  # 3 attempt failures tripped it
+    policy.call(lambda: "ok", breaker=breaker)
+    assert breaker.state == CLOSED
+
+
+# -- CircuitBreaker ---------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_cools_down():
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    breaker = CircuitBreaker(name="db", failure_threshold=3,
+                             cooldown_seconds=5.0, clock=clock,
+                             metrics=registry)
+    assert breaker.state == CLOSED
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()  # shedding
+
+    clock.advance(5.0)  # cooldown elapses
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()       # the single probe
+    assert not breaker.allow()   # but only one
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+    text = to_prometheus(registry)
+    assert 'service_breaker_state{breaker="db"} 0' in text
+    assert 'service_breaker_transitions_total{breaker="db",to="open"} 1' \
+        in text
+    assert validate_exposition(text) == []
+
+
+def test_breaker_half_open_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0,
+                             clock=clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(1.0)
+    assert breaker.allow()  # probe
+    breaker.record_failure()
+    assert breaker.state == OPEN  # straight back open
+    assert not breaker.allow()
+    # ... and the next cooldown gives it another chance.
+    clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.record_success()
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED  # streak never reached 3
