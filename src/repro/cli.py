@@ -413,6 +413,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(format_digest_line(run))
         return 0
 
+    if args.locks:
+        # Runtime lock-order / race witness: boot the chaos-wrapped
+        # service under a LockWatcher and report what it saw.
+        from .lint import run_lockwatch_check
+        watcher = run_lockwatch_check(seed=args.seed or 11,
+                                      hold_threshold=args.hold_threshold)
+        print(watcher.format_report())
+        return 0 if watcher.ok else 1
+
     if args.determinism:
         try:
             seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
@@ -778,8 +787,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="simulation-invariant static analysis (SIM001-SIM009) and "
-             "the runtime determinism sanitizer")
+        help="simulation-invariant static analysis (SIM001-SIM014) and "
+             "the runtime determinism / lock-order sanitizers")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
@@ -798,6 +807,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the double-run / double-PYTHONHASHSEED "
                              "event-stream digest check instead of "
                              "static rules")
+    p_lint.add_argument("--locks", action="store_true",
+                        help="run the chaos-wrapped service under the "
+                             "runtime lock-order witness instead of "
+                             "static rules")
+    p_lint.add_argument("--hold-threshold", type=float, default=2.0,
+                        help="seconds a lock may be held before --locks "
+                             "flags it")
     p_lint.add_argument("--app", default="montage",
                         help="sanitizer scenario application")
     p_lint.add_argument("--storage", default="nfs",

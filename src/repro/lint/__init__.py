@@ -5,23 +5,29 @@ model, the zero-overhead golden test — assumes the simulator is a
 deterministic function of ``(scenario, seed)``.  This package machine-
 checks that contract from two sides:
 
-* **static rules** (``SIM001``–``SIM008``): AST checks for the code
+* **static rules** (``SIM001``–``SIM014``): AST checks for the code
   patterns that break determinism or simulator discipline — wall-clock
   reads, global random streams, hash-ordered iteration on scheduling
   paths, float equality on sim-time, unprotected resource release,
   mutable defaults, broad excepts, event-queue manipulation outside
-  the kernel (``repro-ec2 lint [paths]``);
+  the kernel — plus the thread-safety rules over the host-side
+  packages (``repro-ec2 lint [paths]``);
 * **runtime sanitizer**: a small paper-grid scenario run repeatedly —
   same seed, fresh interpreters, different ``PYTHONHASHSEED`` values —
   with the full telemetry event stream hash-chained into a digest that
-  must be bit-identical (``repro-ec2 lint --determinism``).
+  must be bit-identical (``repro-ec2 lint --determinism``);
+* **runtime lock witness**: the service's locks, created through the
+  :mod:`~repro.lint.lockwatch` factory seam, feed a lock-order graph
+  checked for cycles, hold-time overruns, and guarded-by violations
+  (``repro-ec2 lint --locks``).
 
 See ``docs/static-analysis.md`` for rule-by-rule rationale, the
-suppression/baseline workflow, and the sanitizer protocol.
+suppression/baseline workflow, and both sanitizer protocols.
 """
 
-# Importing the rules module populates the rule registry (side effect).
+# Importing the rule modules populates the rule registry (side effect).
 from . import rules as _rules  # noqa: F401
+from . import threadrules as _threadrules  # noqa: F401
 from .baseline import (
     DEFAULT_BASELINE_NAME,
     Baseline,
@@ -40,6 +46,7 @@ from .determinism import (
 from .engine import (
     RULES,
     SCHEDULING_PREFIXES,
+    THREADED_PREFIXES,
     ModuleContext,
     Rule,
     iter_python_files,
@@ -48,6 +55,18 @@ from .engine import (
     register,
 )
 from .findings import Finding, LintReport, Severity, fingerprint_findings
+from .lockwatch import (
+    LockFinding,
+    LockWatcher,
+    current_watcher,
+    guard,
+    install_watcher,
+    new_condition,
+    new_lock,
+    new_rlock,
+    run_lockwatch_check,
+    uninstall_watcher,
+)
 from .suppressions import SuppressionMap
 
 __all__ = [
@@ -56,6 +75,8 @@ __all__ = [
     "DeterminismReport",
     "Finding",
     "LintReport",
+    "LockFinding",
+    "LockWatcher",
     "ModuleContext",
     "RULES",
     "Rule",
@@ -63,16 +84,25 @@ __all__ = [
     "SCHEDULING_PREFIXES",
     "Severity",
     "SuppressionMap",
+    "THREADED_PREFIXES",
+    "current_watcher",
     "digest_run",
     "fingerprint_findings",
     "first_divergence",
     "format_digest_line",
+    "guard",
+    "install_watcher",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "new_condition",
+    "new_lock",
+    "new_rlock",
     "register",
     "run_determinism_check",
+    "run_lockwatch_check",
     "small_workflow",
+    "uninstall_watcher",
     "write_baseline",
 ]

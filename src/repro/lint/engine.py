@@ -63,6 +63,18 @@ SIM_KERNEL_PREFIXES = (
     "repro/workflow/",
 )
 
+#: Host-side packages whose code runs on more than one thread (the
+#: ThreadingMixIn WSGI app, the worker/supervisor pair, the monitor
+#: callbacks, shared metric instruments).  The SIM010–SIM014 thread-
+#: safety rules apply here and only here: the simulation kernel is
+#: single-threaded by contract, so lock discipline rules would be
+#: noise there.
+THREADED_PREFIXES = (
+    "repro/service/",
+    "repro/observe/",
+    "repro/telemetry/",
+)
+
 
 class ModuleContext:
     """Everything a rule may inspect about one source file."""
@@ -93,6 +105,10 @@ class ModuleContext:
     def in_sim_kernel_module(self) -> bool:
         """Whether this file is inside the simulation kernel proper."""
         return self.canonical.startswith(SIM_KERNEL_PREFIXES)
+
+    def in_threaded_module(self) -> bool:
+        """Whether this file runs on the multi-threaded host side."""
+        return self.canonical.startswith(THREADED_PREFIXES)
 
 
 def _canonical_path(path: str) -> str:

@@ -1,0 +1,510 @@
+"""Runtime lock-order / race witness for the host-side service stack.
+
+The static rules (SIM010–SIM014) catch what a code reader can see;
+this module catches what only an execution can.  Service code creates
+its synchronization primitives through the injectable factory seam —
+:func:`new_lock` / :func:`new_rlock` / :func:`new_condition` — and
+declares lock-protected containers with :func:`guard`.  With no
+watcher installed (the production default) the factories return the
+**raw** :mod:`threading` primitives and :func:`guard` returns its
+argument unchanged, so the seam costs one ``None`` check at
+construction time and nothing per operation.
+
+Installing a :class:`LockWatcher` (``repro-ec2 lint --locks``, the
+chaos test suite, ``scripts/concurrency_smoke.py``) turns the seam on:
+
+* every acquisition records an **edge** from each lock already held by
+  the acquiring thread to the new lock, building a global lock-order
+  graph; a cycle in that graph is a potential deadlock even if this
+  particular run never interleaved into one — the finding carries the
+  acquisition stacks of both directions;
+* every release checks the **hold time** against a threshold, the
+  dynamic complement of SIM011's "no blocking call under a lock";
+* every mutation of a :func:`guard`-ed container checks that its
+  declared lock is held by the mutating thread — the runtime teeth
+  behind the ``# lint: guarded-by[<lock>]`` annotation SIM012 requires.
+
+Locks are identified by their factory *name*, not instance, so two
+stores constructed from the same code path share one node in the
+graph — the classic lock-*class* ordering discipline.  The watcher
+itself synchronizes on one raw leaf lock and never calls out while
+holding it, so it cannot participate in the deadlocks it hunts.  Time
+comes from :func:`repro.observe.hostclock.monotonic`: the witness
+lives entirely on the host side and never touches simulation state,
+which is why golden digests are bit-identical with or without it.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..observe.hostclock import monotonic
+
+#: Seconds a lock may be held before the witness flags it.
+DEFAULT_HOLD_THRESHOLD = 1.0
+
+#: The installed watcher (None = factories hand out raw primitives).
+_WATCHER: Optional["LockWatcher"] = None
+
+
+@dataclass
+class LockFinding:
+    """One runtime violation the watcher observed."""
+
+    #: ``lock-order-inversion`` / ``hold-time`` / ``guarded-by``.
+    kind: str
+    message: str
+    #: Acquisition / mutation stacks relevant to the finding.
+    stacks: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        head = f"[{self.kind}] {self.message}"
+        if not self.stacks:
+            return head
+        blocks = "\n".join(f"--- stack {i + 1} ---\n{s.rstrip()}"
+                           for i, s in enumerate(self.stacks))
+        return f"{head}\n{blocks}"
+
+
+@dataclass
+class _Held:
+    name: str
+    since: float
+    first: bool  # False for a reentrant re-acquire (no edges, no timing)
+
+
+class _ThreadState(threading.local):
+    """Per-thread held-lock stack (``__init__`` re-runs per thread)."""
+
+    def __init__(self) -> None:
+        self.stack: List[_Held] = []
+
+
+class LockWatcher:
+    """Collects lock-order edges, hold times, and guard violations.
+
+    All shared state (the order graph, the findings list) lives behind
+    one private raw lock; per-thread held stacks are thread-local and
+    need no synchronization at all.
+    """
+
+    def __init__(self, hold_threshold: float = DEFAULT_HOLD_THRESHOLD,
+                 max_findings: int = 100) -> None:
+        self.hold_threshold = hold_threshold
+        self.max_findings = max_findings
+        self.findings: List[LockFinding] = []
+        self.n_acquires = 0
+        self.n_guard_checks = 0
+        self._mu = threading.Lock()
+        self._local = _ThreadState()
+        #: lock name -> names acquired while it was held.
+        self._edges: Dict[str, Set[str]] = {}
+        #: first-witness stack per edge (for inversion reports).
+        self._edge_stacks: Dict[Tuple[str, str], str] = {}
+
+    # -- per-thread bookkeeping (no lock needed) ----------------------------
+
+    def _held_stack(self) -> List[_Held]:
+        return self._local.stack
+
+    def held_by_current(self, name: str) -> bool:
+        """Whether the calling thread currently holds ``name``."""
+        return any(h.name == name for h in self._held_stack())
+
+    def held_names(self) -> List[str]:
+        """Lock names the calling thread holds, innermost last."""
+        return [h.name for h in self._held_stack() if h.first]
+
+    # -- events from watched primitives -------------------------------------
+
+    def on_acquire(self, name: str) -> None:
+        """Record that the calling thread now holds ``name``."""
+        held = self._held_stack()
+        first = not any(h.name == name for h in held)
+        if first:
+            outer = [h.name for h in held if h.first]
+            if outer:
+                with self._mu:
+                    self.n_acquires += 1
+                    for prior in outer:
+                        self._add_edge(prior, name)
+            else:
+                with self._mu:
+                    self.n_acquires += 1
+        held.append(_Held(name, monotonic(), first))
+
+    def on_release(self, name: str) -> None:
+        """Record the release; check the hold time on the outermost."""
+        held = self._held_stack()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i].name == name:
+                entry = held.pop(i)
+                break
+        else:
+            return  # release of a lock acquired before install(); ignore
+        if not entry.first:
+            return  # reentrant inner release: the outer one is timed
+        duration = monotonic() - entry.since
+        if duration > self.hold_threshold:
+            self._record(LockFinding(
+                kind="hold-time",
+                message=(f"lock {name!r} held for {duration:.3f}s "
+                         f"(threshold {self.hold_threshold:.3f}s)"),
+                stacks=(self._stack_here(),)))
+
+    def on_guard_violation(self, container: str, lock: str) -> None:
+        """A guarded container was mutated off-lock."""
+        held = ", ".join(self.held_names()) or "none"
+        self._record(LockFinding(
+            kind="guarded-by",
+            message=(f"{container!r} mutated without holding its "
+                     f"declared lock {lock!r} (held: {held})"),
+            stacks=(self._stack_here(),)))
+
+    def count_guard_check(self) -> None:
+        with self._mu:
+            self.n_guard_checks += 1
+
+    # -- the order graph (callers hold self._mu) -----------------------------
+
+    def _add_edge(self, outer: str, inner: str) -> None:
+        if outer == inner:
+            return
+        targets = self._edges.setdefault(outer, set())
+        if inner in targets:
+            return
+        targets.add(inner)
+        self._edge_stacks[(outer, inner)] = self._stack_here()
+        cycle = self._path(inner, outer)
+        if cycle is not None:
+            chain = " -> ".join([outer, inner] + cycle[1:])
+            stacks = [self._edge_stacks[(outer, inner)]]
+            reverse = self._edge_stacks.get((inner, cycle[1] if
+                                             len(cycle) > 1 else outer))
+            if reverse is not None:
+                stacks.append(reverse)
+            self._record_locked(LockFinding(
+                kind="lock-order-inversion",
+                message=(f"lock-order cycle {chain}: threads that "
+                         f"interleave these call paths can deadlock"),
+                stacks=tuple(stacks)))
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """DFS path ``start -> ... -> goal`` in the edge graph."""
+        seen: Set[str] = set()
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in sorted(self._edges.get(node, ())):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- findings ------------------------------------------------------------
+
+    def _record(self, finding: LockFinding) -> None:
+        with self._mu:
+            self._record_locked(finding)
+
+    def _record_locked(self, finding: LockFinding) -> None:
+        if len(self.findings) < self.max_findings:
+            self.findings.append(finding)
+
+    @staticmethod
+    def _stack_here() -> str:
+        # Drop the watcher's own frames: callers want to see the
+        # acquire site, not the bookkeeping under it.
+        return "".join(traceback.format_stack(limit=16)[:-2])
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def edge_count(self) -> int:
+        with self._mu:
+            return sum(len(v) for v in self._edges.values())
+
+    def format_report(self) -> str:
+        """Human-readable summary of everything witnessed."""
+        lines = [
+            f"lockwatch: {self.n_acquires} acquisition(s), "
+            f"{self.edge_count()} order edge(s), "
+            f"{self.n_guard_checks} guard check(s), "
+            f"{len(self.findings)} finding(s)"
+        ]
+        for finding in self.findings:
+            lines.append(finding.format())
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# watched primitives
+
+
+class _WatchedLock:
+    """Lock/RLock proxy reporting acquire/release to the watcher."""
+
+    def __init__(self, inner: Any, name: str,
+                 watcher: LockWatcher) -> None:
+        self._inner = inner
+        self._name = name
+        self._watcher = watcher
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._watcher.on_acquire(self._name)
+        return ok
+
+    def release(self) -> None:
+        self._watcher.on_release(self._name)
+        self._inner.release()
+
+    def __enter__(self) -> "_WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        return f"<watched {self._inner!r} name={self._name!r}>"
+
+
+class _WatchedCondition:
+    """Condition proxy: wait() re-reports the implicit release/acquire."""
+
+    def __init__(self, name: str, watcher: LockWatcher) -> None:
+        self._inner = threading.Condition()
+        self._name = name
+        self._watcher = watcher
+
+    def acquire(self, *args: Any) -> bool:
+        ok = self._inner.acquire(*args)
+        if ok:
+            self._watcher.on_acquire(self._name)
+        return ok
+
+    def release(self) -> None:
+        self._watcher.on_release(self._name)
+        self._inner.release()
+
+    def __enter__(self) -> "_WatchedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._watcher.on_release(self._name)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            self._watcher.on_acquire(self._name)
+
+    def wait_for(self, predicate: Any,
+                 timeout: Optional[float] = None) -> Any:
+        self._watcher.on_release(self._name)
+        try:
+            return self._inner.wait_for(predicate, timeout)
+        finally:
+            self._watcher.on_acquire(self._name)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+
+class _GuardedDict(dict):
+    """Dict whose mutations require the declared lock to be held."""
+
+    def __init__(self, initial: Dict[Any, Any], lock: str, name: str,
+                 watcher: LockWatcher) -> None:
+        super().__init__(initial)
+        self._lock_name = lock
+        self._container_name = name
+        self._watcher = watcher
+
+    def _check(self) -> None:
+        self._watcher.count_guard_check()
+        if not self._watcher.held_by_current(self._lock_name):
+            self._watcher.on_guard_violation(
+                self._container_name, self._lock_name)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._check()
+        super().__delitem__(key)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._check()
+        super().update(*args, **kwargs)
+
+    def clear(self) -> None:
+        self._check()
+        super().clear()
+
+    def pop(self, *args: Any) -> Any:
+        self._check()
+        return super().pop(*args)
+
+    def popitem(self) -> Tuple[Any, Any]:
+        self._check()
+        return super().popitem()
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._check()
+        return super().setdefault(key, default)
+
+
+# --------------------------------------------------------------------------
+# the factory seam
+
+
+def new_lock(name: str) -> Any:
+    """A ``threading.Lock`` — watched when a watcher is installed."""
+    watcher = _WATCHER
+    if watcher is None:
+        return threading.Lock()
+    return _WatchedLock(threading.Lock(), name, watcher)
+
+
+def new_rlock(name: str) -> Any:
+    """A ``threading.RLock`` — watched when a watcher is installed."""
+    watcher = _WATCHER
+    if watcher is None:
+        return threading.RLock()
+    return _WatchedLock(threading.RLock(), name, watcher)
+
+
+def new_condition(name: str) -> Any:
+    """A ``threading.Condition`` — watched when a watcher is installed."""
+    watcher = _WATCHER
+    if watcher is None:
+        return threading.Condition()
+    return _WatchedCondition(name, watcher)
+
+
+def guard(container: Dict[Any, Any], lock: str, name: str) -> Dict[Any, Any]:
+    """Declare ``container`` protected by the lock named ``lock``.
+
+    The runtime half of ``# lint: guarded-by[<lock>]``: with a watcher
+    installed, every *mutation* of the returned dict checks that the
+    calling thread holds the declared lock (reads stay free — the
+    published convention is mutate-under-lock, snapshot-read).  With no
+    watcher this returns ``container`` itself, unchanged.
+    """
+    watcher = _WATCHER
+    if watcher is None:
+        return container
+    return _GuardedDict(container, lock, name, watcher)
+
+
+def install_watcher(watcher: Optional[LockWatcher] = None,
+                    hold_threshold: float = DEFAULT_HOLD_THRESHOLD
+                    ) -> LockWatcher:
+    """Install (and return) the process-wide watcher.
+
+    Primitives created *after* this call are watched; install before
+    constructing the service under test.  Raises if a watcher is
+    already installed — nested witnesses would double-count.
+    """
+    global _WATCHER
+    if _WATCHER is not None:
+        raise RuntimeError("a LockWatcher is already installed")
+    _WATCHER = watcher if watcher is not None \
+        else LockWatcher(hold_threshold=hold_threshold)
+    return _WATCHER
+
+
+def uninstall_watcher() -> Optional[LockWatcher]:
+    """Remove the installed watcher (already-built proxies keep it)."""
+    global _WATCHER
+    watcher, _WATCHER = _WATCHER, None
+    return watcher
+
+
+def current_watcher() -> Optional[LockWatcher]:
+    """The installed watcher, or None."""
+    return _WATCHER
+
+
+# --------------------------------------------------------------------------
+# the --locks check
+
+
+def run_lockwatch_check(seed: int = 11,
+                        hold_threshold: float = 2.0,
+                        db_path: str = ":memory:") -> LockWatcher:
+    """Boot the chaos-wrapped service under a watcher and drain a batch.
+
+    The ``repro-ec2 lint --locks`` entry point: every lock in the
+    store / queue / worker / breaker / chaos stack is created through
+    the watched factory, a small job batch runs under mild injected
+    faults (faults force the retry, requeue, and supervisor paths —
+    the interesting lock orders), and the returned watcher holds
+    whatever the run witnessed.  Imports are local: this is the one
+    place the lint package reaches *into* the service layer, and only
+    on demand.
+    """
+    import time
+
+    from ..experiments.config import ExperimentConfig
+    from ..service.chaos import ChaosSpec, chaos_service
+    from ..service.client import TRANSIENT_STATUSES, ServiceError
+
+    watcher = install_watcher(hold_threshold=hold_threshold)
+    try:
+        spec = ChaosSpec(
+            seed=seed,
+            store_error_rate=0.04,
+            store_delay_rate=0.02,
+            store_delay_seconds=0.002,
+            http_error_rate=0.10,
+            kill_job_rate=0.05,
+        )
+        harness = chaos_service(spec, db_path=db_path, lease_seconds=1.0,
+                                max_attempts=8)
+        client = harness.client()
+        try:
+            cells = [
+                ExperimentConfig("montage", "nfs", 2),
+                ExperimentConfig("montage", "s3", 2),
+                ExperimentConfig("epigenome", "nfs", 2),
+            ]
+            job_ids = []
+            for cell in cells:
+                t0 = monotonic()
+                while True:
+                    try:
+                        doc = client.submit([cell], scale="small")
+                        break
+                    except ServiceError as exc:
+                        if exc.status not in TRANSIENT_STATUSES \
+                                or monotonic() - t0 > 60.0:
+                            raise
+                        time.sleep(0.05)
+                job_ids.append(doc["job_id"])
+            for job_id in job_ids:
+                client.wait(job_id, timeout=120, poll_interval=0.05)
+        finally:
+            harness.stop()
+    finally:
+        uninstall_watcher()
+    return watcher

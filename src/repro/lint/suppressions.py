@@ -9,6 +9,13 @@ fixtures that violate rules on purpose.
 Suppressions silence, they do not erase: the runner still reports how
 many findings each file suppressed, so a rule that never fires live can
 still be audited.
+
+A third directive, ``# lint: guarded-by[<lock>]``, is not a
+suppression: it *documents* which lock protects the mutable state
+declared on that line.  SIM012 treats it as the required annotation for
+module-level mutable state in threaded modules, and the runtime lock
+witness (:mod:`repro.lint.lockwatch`) enforces it dynamically via
+:func:`~repro.lint.lockwatch.guard`.
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ from typing import Dict, FrozenSet, List, Optional
 _IGNORE_RE = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
 _SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+#: Matches ``# lint: guarded-by[<lock name>]`` (dotted names allowed).
+_GUARD_RE = re.compile(
+    r"#\s*lint:\s*guarded-by\[(?P<lock>[A-Za-z0-9_.]+)\]")
 
 #: Sentinel rule set meaning "every rule".
 ALL_RULES: FrozenSet[str] = frozenset({"*"})
@@ -33,11 +43,15 @@ class SuppressionMap:
 
     def __init__(self, source: str) -> None:
         self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._guards: Dict[int, str] = {}
         self.skip_file = False
         lines: List[str] = source.splitlines()
         for lineno, text in enumerate(lines, start=1):
             if lineno <= SKIP_FILE_WINDOW and _SKIP_FILE_RE.search(text):
                 self.skip_file = True
+            guard = _GUARD_RE.search(text)
+            if guard is not None:
+                self._guards[lineno] = guard.group("lock")
             match = _IGNORE_RE.search(text)
             if match is None:
                 continue
@@ -61,6 +75,10 @@ class SuppressionMap:
     def rules_at(self, line: int) -> Optional[FrozenSet[str]]:
         """The rule set suppressed at ``line`` (None = no directive)."""
         return self._by_line.get(line)
+
+    def guard_at(self, line: int) -> Optional[str]:
+        """The ``guarded-by`` lock named at ``line`` (None = none)."""
+        return self._guards.get(line)
 
     @property
     def n_directives(self) -> int:

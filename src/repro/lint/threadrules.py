@@ -1,0 +1,487 @@
+"""Thread-safety rules (SIM010–SIM014) for the host-side packages.
+
+The simulation kernel is single-threaded by contract, but the host
+side is not: the WSGI app serves requests on a thread per connection,
+the worker and its supervisor share job slots, and metric instruments
+are incremented from all of them.  These rules enforce the lock
+discipline that keeps that side honest — scoped to
+:data:`~repro.lint.engine.THREADED_PREFIXES` (``repro/service/``,
+``repro/observe/``, ``repro/telemetry/``) so they never add noise to
+kernel code.
+
+The static half pairs with the runtime witness in
+:mod:`repro.lint.lockwatch`: SIM010–SIM014 catch the patterns a code
+reader can see, the watcher catches what only an execution can (lock
+*order* across call chains, hold times, guarded state touched off-lock).
+See ``docs/static-analysis.md`` for rule-by-rule rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .engine import ModuleContext, Rule, register
+from .findings import Finding, Severity
+from .rules import _ParentMap, _import_aliases, _qualified
+
+# --------------------------------------------------------------------------
+# shared symbol collection
+
+#: ``threading`` constructors that produce a plain lock.
+_LOCK_CONSTRUCTORS = {"threading.Lock", "threading.RLock"}
+#: :mod:`repro.lint.lockwatch` factory functions (same semantics, but
+#: watchable); matched by trailing name so both ``new_lock(...)`` and
+#: ``lockwatch.new_lock(...)`` count.
+_LOCK_FACTORIES = {"new_lock", "new_rlock"}
+_CONDITION_CONSTRUCTORS = {"threading.Condition"}
+_CONDITION_FACTORIES = {"new_condition"}
+
+#: A symbol key: ("name", local variable) or ("attr", attribute name).
+SymbolKey = Tuple[str, str]
+
+
+def _symbol_key(node: ast.AST) -> Optional[SymbolKey]:
+    """The tracking key of a Name / single-attribute target or value."""
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Attribute):
+        return ("attr", node.attr)
+    return None
+
+
+def _is_factory_call(node: ast.AST, aliases: Dict[str, str],
+                     constructors: Set[str], factories: Set[str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    qual = _qualified(node.func, aliases)
+    if qual in constructors:
+        return True
+    leaf = qual.rsplit(".", 1)[-1] if qual else None
+    return leaf in factories
+
+
+def _collect_symbols(tree: ast.Module, aliases: Dict[str, str],
+                     constructors: Set[str],
+                     factories: Set[str]) -> Set[SymbolKey]:
+    """Symbols assigned from one of ``constructors``/``factories``.
+
+    Attribute symbols are tracked module-wide by attribute name — a
+    ``self._lock`` assigned in one class and aliased into another (the
+    store handing its lock to ``_Transaction``) stays recognised.
+    """
+    symbols: Set[SymbolKey] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_factory_call(
+                node.value, aliases, constructors, factories):
+            for target in node.targets:
+                key = _symbol_key(target)
+                if key is not None:
+                    symbols.add(key)
+        elif isinstance(node, ast.AnnAssign) and _is_factory_call(
+                node.value, aliases, constructors, factories):
+            key = _symbol_key(node.target)
+            if key is not None:
+                symbols.add(key)
+    return symbols
+
+
+def _matches(node: ast.AST, symbols: Set[SymbolKey]) -> bool:
+    key = _symbol_key(node)
+    if key is None:
+        return False
+    if key in symbols:
+        return True
+    # An attribute assigned in one class, read through another name
+    # (``store._lock``): match by attribute name alone.
+    return key[0] == "attr" and ("attr", key[1]) in symbols
+
+
+def _lock_symbols(ctx: ModuleContext,
+                  aliases: Dict[str, str]) -> Set[SymbolKey]:
+    return _collect_symbols(ctx.tree, aliases,
+                            _LOCK_CONSTRUCTORS, _LOCK_FACTORIES)
+
+
+def _enclosing_function(parents: _ParentMap, node: ast.AST
+                        ) -> Optional[ast.AST]:
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        link = parents.parent_of(cur)
+        if link is None:
+            return None
+        parent, _ = link
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+        cur = parent
+    return None
+
+
+def _enclosing_class(parents: _ParentMap, node: ast.AST
+                     ) -> Optional[ast.ClassDef]:
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        link = parents.parent_of(cur)
+        if link is None:
+            return None
+        parent, _ = link
+        if isinstance(parent, ast.ClassDef):
+            return parent
+        cur = parent
+    return None
+
+
+# --------------------------------------------------------------------------
+# SIM010 — lock acquired without with / try-finally release
+
+
+@register
+class UnprotectedAcquireRule(Rule):
+    """SIM010: a bare ``acquire()`` leaks the lock on any exception.
+
+    Every explicit ``lock.acquire()`` must be paired with a
+    ``lock.release()`` inside a ``finally:`` in the same function (or
+    use a ``with`` block, which never trips this rule).  The one
+    sanctioned cross-method pattern is a context manager: an acquire in
+    ``__enter__`` is satisfied by a release in the same class's
+    ``__exit__`` — that pairing *is* the try/finally, written by the
+    caller's ``with``.
+    """
+
+    id = "SIM010"
+    title = "lock acquired without with-block or try/finally release"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_threaded_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        locks = _lock_symbols(ctx, aliases)
+        if not locks:
+            return
+        parents = _ParentMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                    and _matches(node.func.value, locks)):
+                continue
+            func = _enclosing_function(parents, node)
+            if func is None:
+                yield self.finding(
+                    ctx, node,
+                    "module-level acquire() can never be released on "
+                    "the failure path; use a with block")
+                continue
+            if func.name == "__enter__" and self._exit_releases(
+                    parents, node, func):
+                continue
+            if not self._released_in_finally(parents, func, node.func.value):
+                yield self.finding(
+                    ctx, node,
+                    "acquire() without a release() in a finally block "
+                    "in the same function: any exception in between "
+                    "leaks the lock and deadlocks every later waiter; "
+                    "use `with lock:` or try/finally")
+
+    @staticmethod
+    def _released_in_finally(parents: _ParentMap, func: ast.AST,
+                             lock_expr: ast.AST) -> bool:
+        key = _symbol_key(lock_expr)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "release" \
+                    and _symbol_key(node.func.value) == key \
+                    and parents.in_finally(node):
+                return True
+        return False
+
+    @staticmethod
+    def _exit_releases(parents: _ParentMap, node: ast.AST,
+                       enter: ast.AST) -> bool:
+        cls = _enclosing_class(parents, enter)
+        if cls is None:
+            return False
+        for method in cls.body:
+            if isinstance(method, ast.FunctionDef) \
+                    and method.name == "__exit__":
+                for sub in ast.walk(method):
+                    if isinstance(sub, ast.Call) \
+                            and isinstance(sub.func, ast.Attribute) \
+                            and sub.func.attr == "release":
+                        return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# SIM011 — blocking call while a lock is held
+
+
+#: Fully qualified callables that block the calling thread.
+_BLOCKING_CALLS = {"time.sleep"}
+#: Module prefixes whose calls block (network / process I/O).
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "urllib.")
+#: sqlite statement methods (on a tracked connection symbol).
+_SQLITE_EXEC_METHODS = {"execute", "executemany", "executescript"}
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """SIM011: blocking I/O while holding a lock starves every waiter.
+
+    A lock held across ``time.sleep``, a subprocess, socket/urllib I/O,
+    or a raw sqlite statement turns one slow operation into a stall of
+    every thread queued behind the lock — the classic convoy.  Do the
+    blocking work first, then take the lock only around the shared-state
+    update.  Calls routed through a method seam (the store's
+    ``_db_execute``) are deliberately not matched: serializing
+    statements on the connection lock *is* the store's design, and the
+    runtime witness's hold-time check covers the residual risk.
+    """
+
+    id = "SIM011"
+    title = "blocking call while a lock is held"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_threaded_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        locks = _lock_symbols(ctx, aliases)
+        if not locks:
+            return
+        conns = _collect_symbols(ctx.tree, aliases,
+                                 {"sqlite3.connect"}, set())
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(_matches(item.context_expr, locks)
+                       for item in node.items):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                why = self._blocking_reason(sub, aliases, conns)
+                if why is not None:
+                    yield self.finding(
+                        ctx, sub,
+                        f"{why} while a lock is held: every thread "
+                        f"queued on the lock stalls behind this call; "
+                        f"move the blocking work outside the critical "
+                        f"section")
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call, aliases: Dict[str, str],
+                         conns: Set[SymbolKey]) -> Optional[str]:
+        qual = _qualified(call.func, aliases)
+        if qual in _BLOCKING_CALLS:
+            return f"{qual}()"
+        if qual is not None and qual.startswith(_BLOCKING_PREFIXES):
+            return f"{qual}() blocks on I/O"
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr in _SQLITE_EXEC_METHODS \
+                and _matches(call.func.value, conns):
+            return f"sqlite {call.func.attr}()"
+        return None
+
+
+# --------------------------------------------------------------------------
+# SIM012 — module-level mutable state without a guarded-by annotation
+
+
+def _is_mutable_value(node: Optional[ast.AST]) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("dict", "list", "set", "bytearray"))
+
+
+def _is_constant_name(name: str) -> bool:
+    """ALL_CAPS (optionally underscore-prefixed) or dunder names."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return name.upper() == name
+
+
+@register
+class UnguardedModuleStateRule(Rule):
+    """SIM012: shared module state needs a declared lock.
+
+    A module-level dict/list/set in a threaded module is shared by
+    every thread that imports it.  Either document which lock protects
+    it with ``# lint: guarded-by[<lock>]`` on the same line (the
+    runtime witness enforces the claim via
+    :func:`repro.lint.lockwatch.guard`), or make it immutable.
+    ALL_CAPS names are exempt: the constants convention already says
+    "never mutated", and mutating one is a different review failure.
+    """
+
+    id = "SIM012"
+    title = "module-level mutable state without a guarded-by annotation"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_threaded_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets: List[ast.AST] = list(node.targets)
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not _is_mutable_value(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or all(_is_constant_name(n) for n in names):
+                continue
+            if ctx.suppressions.guard_at(node.lineno) is not None:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"module-level mutable {', '.join(names)} in a "
+                f"threaded module: annotate the guarding lock with "
+                f"`# lint: guarded-by[<lock>]` (and enforce it with "
+                f"lockwatch.guard), or make it immutable")
+
+
+# --------------------------------------------------------------------------
+# SIM013 — thread without an explicit daemon flag or a join path
+
+
+@register
+class UnownedThreadRule(Rule):
+    """SIM013: every thread needs a declared lifecycle.
+
+    A ``threading.Thread`` with neither an explicit ``daemon=`` flag
+    nor a visible ``join()`` on its symbol has an *accidental*
+    lifecycle: it inherits daemon-ness from its creator and nothing
+    ever waits for it, so interpreter shutdown may kill it mid-write or
+    hang on it forever — whichever the inherited flag happens to pick.
+    Say which one you mean.
+    """
+
+    id = "SIM013"
+    title = "thread without explicit daemon flag or join path"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_threaded_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        joined = self._joined_symbols(ctx.tree)
+        parents = _ParentMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _qualified(node.func, aliases) != "threading.Thread":
+                continue
+            if any(kw.arg == "daemon" for kw in node.keywords):
+                continue
+            target = self._assignment_target(parents, node)
+            if target is not None and target in joined:
+                continue
+            yield self.finding(
+                ctx, node,
+                "Thread created without an explicit daemon= flag and "
+                "never joined: its shutdown behaviour is inherited by "
+                "accident — set daemon= explicitly or join() it")
+
+    @staticmethod
+    def _assignment_target(parents: _ParentMap,
+                           call: ast.Call) -> Optional[SymbolKey]:
+        link = parents.parent_of(call)
+        if link is None:
+            return None
+        parent, _ = link
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            return _symbol_key(parent.targets[0])
+        if isinstance(parent, ast.AnnAssign):
+            return _symbol_key(parent.target)
+        return None
+
+    @staticmethod
+    def _joined_symbols(tree: ast.Module) -> Set[SymbolKey]:
+        out: Set[SymbolKey] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join":
+                key = _symbol_key(node.func.value)
+                if key is not None:
+                    out.add(key)
+        return out
+
+
+# --------------------------------------------------------------------------
+# SIM014 — Condition wait/notify outside its with block
+
+
+_CONDITION_METHODS = {"wait", "wait_for", "notify", "notify_all"}
+
+
+@register
+class BareConditionRule(Rule):
+    """SIM014: ``wait``/``notify`` require the condition's lock.
+
+    Calling them without holding the underlying lock raises
+    ``RuntimeError`` at runtime — but only on the execution path that
+    reaches the call, which for a ``notify`` on an error branch can be
+    long after the code shipped.  ``threading.Event`` is not tracked:
+    its ``wait()`` is sanctioned lock-free sleeping.
+    """
+
+    id = "SIM014"
+    title = "Condition wait/notify outside its with block"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_threaded_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        conditions = _collect_symbols(ctx.tree, aliases,
+                                      _CONDITION_CONSTRUCTORS,
+                                      _CONDITION_FACTORIES)
+        if not conditions:
+            return
+        parents = _ParentMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CONDITION_METHODS
+                    and _matches(node.func.value, conditions)):
+                continue
+            if self._inside_with(parents, node, node.func.value):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{node.func.attr}() on a Condition outside its "
+                f"`with` block: the underlying lock is not held, which "
+                f"raises RuntimeError on this path at runtime")
+
+    @staticmethod
+    def _inside_with(parents: _ParentMap, node: ast.AST,
+                     cond_expr: ast.AST) -> bool:
+        key = _symbol_key(cond_expr)
+        cur: Optional[ast.AST] = node
+        while cur is not None:
+            link = parents.parent_of(cur)
+            if link is None:
+                return False
+            parent, _ = link
+            if isinstance(parent, ast.With) and any(
+                    _symbol_key(item.context_expr) == key
+                    for item in parent.items):
+                return True
+            cur = parent
+        return False

@@ -52,6 +52,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, Optional
 
+from ..lint.lockwatch import guard, new_lock
 from ..simcore.rand import substream
 from .store import SQLiteStore
 
@@ -106,11 +107,15 @@ class ChaosSchedule:
 
     def __init__(self, spec: ChaosSpec) -> None:
         self.spec = spec
-        self._lock = threading.Lock()
+        self._lock = new_lock("chaos.schedule")
         self._armed = True
         self._rngs = {channel: substream(spec.seed, "service.chaos", channel)
                       for channel in CHANNELS}
-        self.injected: Dict[str, int] = {channel: 0 for channel in CHANNELS}
+        # Mutated only inside _hit()/calm() under the schedule lock;
+        # tests snapshot-read it freely (the published convention).
+        self.injected: Dict[str, int] = guard(
+            {channel: 0 for channel in CHANNELS},
+            lock="chaos.schedule", name="chaos.injected")
 
     def _hit(self, channel: str, rate: float) -> bool:
         if rate <= 0.0:

@@ -33,10 +33,10 @@ Three primitives, all with injectable clocks so tests never sleep:
 from __future__ import annotations
 
 import sqlite3
-import threading
 import time
 from typing import Any, Callable, Optional, Tuple, Type
 
+from ..lint.lockwatch import new_lock
 from ..observe.hostclock import monotonic
 from ..simcore.rand import substream
 from ..telemetry.metrics import MetricsRegistry
@@ -134,8 +134,10 @@ class HostRetryPolicy:
         self.name = name
         self._sleep = sleep
         self._rng = substream(seed, "service.resilience", name)
-        self._rng_lock = threading.Lock()
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Leaf lock: delay() never calls out while holding it.
+        self._rng_lock = new_lock(f"retry.rng.{name}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            thread_safe=True, lock_factory=new_lock)
         self._attempts = self.metrics.counter(
             "service_retry_attempts_total",
             "host-side operation retries by operation")
@@ -225,12 +227,15 @@ class CircuitBreaker:
         self.cooldown_seconds = cooldown_seconds
         self.half_open_probes = half_open_probes
         self._clock = clock
-        self._lock = threading.Lock()
+        # _set() exports metrics while this is held, so the lock-order
+        # graph gains the edge breaker.<name> -> metrics.registry.
+        self._lock = new_lock(f"breaker.{name}")
         self._state = CLOSED
         self._failures = 0
         self._opened_at: Optional[float] = None
         self._probes_in_flight = 0
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            thread_safe=True, lock_factory=new_lock)
         self._gauge = self.metrics.gauge(
             "service_breaker_state",
             "circuit breaker state (0 closed, 1 half-open, 2 open)")

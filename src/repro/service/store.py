@@ -53,9 +53,9 @@ Design constraints:
 from __future__ import annotations
 
 import sqlite3
-import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..lint.lockwatch import new_lock, new_rlock
 from ..observe.hostclock import wall_now
 from ..telemetry.metrics import MetricsRegistry
 from .resilience import HostRetryPolicy, is_transient_sqlite_error
@@ -128,11 +128,16 @@ class SQLiteStore:
                  metrics: Optional[MetricsRegistry] = None,
                  retry: Optional[HostRetryPolicy] = None) -> None:
         self.path = path
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # The store's registry is mutated from every worker and HTTP
+        # thread, so the default is the thread-safe flavour, with locks
+        # built through the lockwatch seam (inert unless a watcher is
+        # installed — see repro.lint.lockwatch).
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            thread_safe=True, lock_factory=new_lock)
         self._retry = retry if retry is not None else HostRetryPolicy(
             name="store", max_attempts=6, base_delay=0.01, max_delay=0.25,
             metrics=self.metrics)
-        self._lock = threading.RLock()
+        self._lock = new_rlock("store.conn")
         self._conn = sqlite3.connect(
             path, check_same_thread=False, timeout=30.0)
         self._conn.row_factory = sqlite3.Row

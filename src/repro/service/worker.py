@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import ObserveOptions, run_sweep
 from ..lint.determinism import small_workflow
+from ..lint.lockwatch import new_lock
 from ..observe.events import EventLogWriter
 from ..observe.flight import BUNDLE_SCHEMA_VERSION, write_crash_bundle
 from ..observe.hostclock import wall_now
@@ -142,6 +143,13 @@ class ServiceWorker:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._supervisor: Optional[threading.Thread] = None
+        # The in-flight slot is shared worker <-> supervisor: the worker
+        # sets it at pickup, the supervisor snapshots-and-clears it after
+        # a thread death.  A leaf lock (nothing is called while it is
+        # held) makes the handoff a single atomic unit — without it the
+        # supervisor can pair a stale crash with a fresh job, or start()
+        # can wipe a slot the supervisor is mid-recovery on.
+        self._slot_lock = new_lock("worker.slot")
         self._current_job: Optional[JobRow] = None
         self._crash: Optional[BaseException] = None
         self.n_restarts = 0
@@ -281,12 +289,14 @@ class ServiceWorker:
         if job is None:
             return False
         # The slot is only cleared on clean completion: if run_job dies
-        # with a BaseException the assignment below never runs, and the
+        # with a BaseException the clearing below never runs, and the
         # supervisor reads the slot to recover the in-flight job.
-        self._current_job = job
+        with self._slot_lock:
+            self._current_job = job
         job = self._mark_cache_hits(job)
         self.run_job(job)
-        self._current_job = None
+        with self._slot_lock:
+            self._current_job = None
         return True
 
     def _job_cache(self, job: JobRow) -> CellCache:
@@ -331,7 +341,8 @@ class ServiceWorker:
             # the restart/quarantine decision), never swallowed on a
             # simulation path — run_job already re-raises sim errors
             # into the job row.
-            self._crash = exc
+            with self._slot_lock:
+                self._crash = exc
 
     def _recover_crashed_job(self, job: JobRow,
                              crash: Optional[BaseException]) -> None:
@@ -364,11 +375,14 @@ class ServiceWorker:
                 continue
             if self._stop.is_set():
                 return
-            # Snapshot before clearing: run_once leaves the slot set
-            # when run_job dies mid-flight.
-            job, crash = self._current_job, self._crash
-            self._current_job = None
-            self._crash = None
+            # Snapshot-and-clear atomically: run_once leaves the slot
+            # set when run_job dies mid-flight.  Recovery (store/queue
+            # work) runs *after* the lock is released — worker.slot
+            # stays a leaf in the lock-order graph.
+            with self._slot_lock:
+                job, crash = self._current_job, self._crash
+                self._current_job = None
+                self._crash = None
             if job is not None:
                 self._recover_crashed_job(job, crash)
             self.n_restarts += 1
@@ -385,8 +399,9 @@ class ServiceWorker:
         if self._thread is not None:
             raise RuntimeError("worker already started")
         self._stop.clear()
-        self._crash = None
-        self._current_job = None
+        with self._slot_lock:
+            self._crash = None
+            self._current_job = None
         self._thread = threading.Thread(
             target=self._run_guarded, name=self.name, daemon=True)
         self._thread.start()

@@ -15,13 +15,27 @@ result tables and ``--metrics-out`` JSON.
 A disabled registry (``MetricsRegistry(enabled=False)``, or the shared
 :data:`NULL_REGISTRY`) hands out inert instruments whose mutators
 return immediately — benchmarks pay near-zero overhead.
+
+**Thread safety.**  The default registry is single-threaded: the
+simulation kernel owns its registry outright, and taking a lock on the
+trace bridge's hot path would tax every kernel run for a race it can
+never have.  The multi-threaded *service* stack constructs its
+registries with ``thread_safe=True``: one shared lock then serializes
+every mutator (the unguarded ``d[k] = d.get(k, 0) + v`` read-modify-
+write loses updates under concurrent ``inc``).  The lock is built by
+an injectable ``lock_factory`` — the service passes
+:func:`repro.lint.lockwatch.new_lock` so the runtime lock witness sees
+it; this module deliberately never imports the lint package (the lint
+package's determinism checks import the experiment stack, which
+imports telemetry — a hard import would be a cycle).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left, insort
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..simcore.tracing import TraceCollector, TraceRecord
 
@@ -47,14 +61,22 @@ def _key_dict(key: LabelKey) -> Dict[str, str]:
 
 
 class Instrument:
-    """Common state of a named, labelled instrument."""
+    """Common state of a named, labelled instrument.
+
+    ``lock`` is the registry's shared mutator lock (None on the
+    single-threaded kernel path).  Mutators branch on it rather than
+    unconditionally entering a no-op context manager so the kernel hot
+    path stays a plain dict update.
+    """
 
     kind = "abstract"
 
-    def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
+    def __init__(self, name: str, help: str = "", enabled: bool = True,
+                 lock: Optional[Any] = None) -> None:
         self.name = name
         self.help = help
         self.enabled = enabled
+        self._lock = lock
 
     def label_sets(self) -> List[Dict[str, str]]:
         """All label combinations observed so far."""
@@ -73,8 +95,9 @@ class Counter(Instrument):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
-        super().__init__(name, help, enabled)
+    def __init__(self, name: str, help: str = "", enabled: bool = True,
+                 lock: Optional[Any] = None) -> None:
+        super().__init__(name, help, enabled, lock)
         self._values: Dict[LabelKey, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
@@ -85,7 +108,12 @@ class Counter(Instrument):
             raise ValueError(f"counter {self.name} cannot decrease "
                              f"(inc by {amount})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        lock = self._lock
+        if lock is None:
+            self._values[key] = self._values.get(key, 0.0) + amount
+        else:
+            with lock:
+                self._values[key] = self._values.get(key, 0.0) + amount
 
     def inc_key(self, key: LabelKey, amount: float = 1.0) -> None:
         """Fast-path ``inc`` taking an already-canonical label key.
@@ -97,7 +125,12 @@ class Counter(Instrument):
         """
         if not self.enabled:
             return
-        self._values[key] = self._values.get(key, 0.0) + amount
+        lock = self._lock
+        if lock is None:
+            self._values[key] = self._values.get(key, 0.0) + amount
+        else:
+            with lock:
+                self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         """Current value of one labelled child (0 if never touched)."""
@@ -120,22 +153,34 @@ class Gauge(Instrument):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "", enabled: bool = True) -> None:
-        super().__init__(name, help, enabled)
+    def __init__(self, name: str, help: str = "", enabled: bool = True,
+                 lock: Optional[Any] = None) -> None:
+        super().__init__(name, help, enabled, lock)
         self._values: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
         """Overwrite the labelled child's value."""
         if not self.enabled:
             return
-        self._values[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        lock = self._lock
+        if lock is None:
+            self._values[key] = float(value)
+        else:
+            with lock:
+                self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         """Add ``amount`` (may be negative) to the labelled child."""
         if not self.enabled:
             return
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        lock = self._lock
+        if lock is None:
+            self._values[key] = self._values.get(key, 0.0) + amount
+        else:
+            with lock:
+                self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
         """Subtract ``amount`` from the labelled child."""
@@ -186,8 +231,8 @@ class Histogram(Instrument):
 
     def __init__(self, name: str, help: str = "",
                  buckets: Optional[Sequence[float]] = None,
-                 enabled: bool = True) -> None:
-        super().__init__(name, help, enabled)
+                 enabled: bool = True, lock: Optional[Any] = None) -> None:
+        super().__init__(name, help, enabled, lock)
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError("histogram buckets must be strictly increasing")
@@ -214,6 +259,14 @@ class Histogram(Instrument):
         (see :meth:`Counter.inc_key`)."""
         if not self.enabled:
             return
+        lock = self._lock
+        if lock is None:
+            self._observe_locked(value, key)
+        else:
+            with lock:
+                self._observe_locked(value, key)
+
+    def _observe_locked(self, value: float, key: LabelKey) -> None:
         child = self._children.get(key)
         if child is None:
             child = self._children[key] = _HistChild(len(self.buckets))
@@ -304,13 +357,35 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
     existing name returns the existing instrument (and raises if the
     kind differs), so independent subsystems can share series safely.
+
+    ``thread_safe=True`` builds one shared lock that serializes
+    instrument creation and every mutator; ``lock_factory`` (called as
+    ``lock_factory("metrics.registry")``) lets the service inject a
+    witness-instrumented lock without telemetry importing the lint
+    package.  The default stays lock-free for the kernel (see module
+    docstring).
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, thread_safe: bool = False,
+                 lock_factory: Optional[Callable[[str], Any]] = None) -> None:
         self.enabled = enabled
+        self.thread_safe = thread_safe
+        if thread_safe:
+            self._lock = (lock_factory("metrics.registry")
+                          if lock_factory is not None else threading.Lock())
+        else:
+            self._lock = None
         self._instruments: Dict[str, Instrument] = {}
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        lock = self._lock
+        if lock is None:
+            return self._get_or_create_locked(cls, name, help, **kwargs)
+        with lock:
+            return self._get_or_create_locked(cls, name, help, **kwargs)
+
+    def _get_or_create_locked(self, cls, name: str, help: str,
+                              **kwargs) -> Any:
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -318,7 +393,8 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as "
                     f"{existing.kind}, not {cls.kind}")
             return existing
-        inst = cls(name, help=help, enabled=self.enabled, **kwargs)
+        inst = cls(name, help=help, enabled=self.enabled, lock=self._lock,
+                   **kwargs)
         self._instruments[name] = inst
         return inst
 

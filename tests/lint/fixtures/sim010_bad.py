@@ -1,0 +1,22 @@
+"""Fixture: bare lock acquires (SIM010 must fire three times)."""
+
+import threading
+
+_lock = threading.Lock()
+_lock.acquire()  # module level: no function to put a finally in
+
+
+def update_no_release(registry):
+    _lock.acquire()
+    registry["jobs"] = registry.get("jobs", 0) + 1
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.value = 0
+
+    def bump(self):
+        self._lock.acquire()
+        self.value += 1
+        self._lock.release()  # not in a finally: an exception above leaks

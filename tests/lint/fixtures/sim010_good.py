@@ -1,0 +1,35 @@
+"""Fixture: disciplined lock usage (SIM010 quiet)."""
+
+import threading
+
+from repro.lint.lockwatch import new_lock
+
+_lock = threading.Lock()
+_fast = new_lock("fixture.fast")
+
+
+def update(registry):
+    with _lock:
+        registry["jobs"] = registry.get("jobs", 0) + 1
+
+
+def update_try_finally(registry):
+    _fast.acquire()
+    try:
+        registry["jobs"] = 0
+    finally:
+        _fast.release()
+
+
+class Transaction:
+    """The sanctioned cross-method pairing: __enter__ / __exit__."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def __enter__(self):
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._lock.release()

@@ -1,0 +1,25 @@
+"""Fixture: blocking calls under a lock (SIM011 must fire three times)."""
+
+import sqlite3
+import subprocess
+import threading
+import time
+
+_lock = threading.Lock()
+conn = sqlite3.connect(":memory:")
+
+
+def slow_refresh(registry):
+    with _lock:
+        time.sleep(0.5)
+        registry["fresh"] = True
+
+
+def persist(row):
+    with _lock:
+        conn.execute("INSERT INTO t VALUES (?)", row)
+
+
+def shell_out(cmd):
+    with _lock:
+        return subprocess.run(cmd, check=True)

@@ -1,0 +1,20 @@
+"""Fixture: blocking work outside the critical section (SIM011 quiet)."""
+
+import sqlite3
+import threading
+import time
+
+_lock = threading.Lock()
+conn = sqlite3.connect(":memory:")
+
+
+def slow_refresh(registry):
+    time.sleep(0.5)  # block first...
+    with _lock:
+        registry["fresh"] = True  # ...lock only around the update
+
+
+def persist(registry):
+    rows = conn.execute("SELECT 1").fetchall()
+    with _lock:
+        registry["rows"] = rows

@@ -1,0 +1,5 @@
+"""Fixture: unguarded module-level mutable state (SIM012 must fire
+twice)."""
+
+registry = {}
+pending_jobs = []

@@ -1,0 +1,6 @@
+"""Fixture: guarded, constant, or immutable module state (SIM012 quiet)."""
+
+registry = {}  # lint: guarded-by[_lock]
+DEFAULT_LIMITS = {"jobs": 4, "cells": 64}
+_SEEN = set()
+known_apps = frozenset({"montage", "epigenome"})

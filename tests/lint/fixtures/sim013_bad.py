@@ -1,0 +1,13 @@
+"""Fixture: threads with accidental lifecycles (SIM013 must fire twice)."""
+
+import threading
+
+
+def fire_and_forget(task):
+    threading.Thread(target=task).start()
+
+
+def spawn(task):
+    worker = threading.Thread(target=task)
+    worker.start()
+    return worker

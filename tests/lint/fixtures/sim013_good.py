@@ -1,0 +1,13 @@
+"""Fixture: threads with declared lifecycles (SIM013 quiet)."""
+
+import threading
+
+
+def fire_and_forget(task):
+    threading.Thread(target=task, daemon=True).start()
+
+
+def run_and_wait(task):
+    worker = threading.Thread(target=task)
+    worker.start()
+    worker.join()

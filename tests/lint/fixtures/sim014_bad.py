@@ -1,0 +1,18 @@
+"""Fixture: Condition calls outside its with block (SIM014 must fire
+three times)."""
+
+import threading
+
+cond = threading.Condition()
+
+
+def wait_ready():
+    cond.wait(timeout=1.0)
+
+
+def mark_ready():
+    cond.notify()
+
+
+def broadcast():
+    cond.notify_all()

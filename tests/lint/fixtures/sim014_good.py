@@ -1,0 +1,21 @@
+"""Fixture: Condition calls under its lock; Event untracked (SIM014
+quiet)."""
+
+import threading
+
+cond = threading.Condition()
+stop = threading.Event()
+
+
+def wait_ready(deadline):
+    with cond:
+        cond.wait_for(stop.is_set, timeout=deadline)
+
+
+def mark_ready():
+    with cond:
+        cond.notify_all()
+
+
+def pause():
+    stop.wait(timeout=0.1)  # Event.wait is sanctioned lock-free sleeping

@@ -1,0 +1,313 @@
+"""Runtime lock witness: unit tests and determinism invariance.
+
+The synthetic cases prove the watcher *can* see each failure class
+(order inversion, hold-time, guarded-by); the clean-run cases prove it
+reports nothing on the real service's disciplined paths; the digest
+cases prove installing it never perturbs simulation output — the
+property that lets the chaos suite run every seed as a lock witness.
+"""
+
+import threading
+
+import pytest
+
+from repro.lint import (
+    LockWatcher,
+    current_watcher,
+    guard,
+    install_watcher,
+    new_condition,
+    new_lock,
+    new_rlock,
+    uninstall_watcher,
+)
+from repro.lint.determinism import digest_run
+
+
+@pytest.fixture
+def watcher():
+    w = install_watcher(hold_threshold=30.0)
+    try:
+        yield w
+    finally:
+        uninstall_watcher()
+
+
+def _kinds(w):
+    return [f.kind for f in w.findings]
+
+
+# -- the disabled seam ------------------------------------------------------
+
+
+def test_disabled_factories_return_raw_primitives():
+    # Zero overhead when no watcher is installed: the factories hand
+    # out the plain threading primitives and guard() is the identity.
+    assert current_watcher() is None
+    assert type(new_lock("x")) is type(threading.Lock())  # noqa: E721
+    assert type(new_rlock("x")) is type(threading.RLock())  # noqa: E721
+    assert isinstance(new_condition("x"), threading.Condition)
+    d = {"a": 1}
+    assert guard(d, lock="x", name="d") is d
+    assert type(guard(d, lock="x", name="d")) is dict  # noqa: E721
+
+
+def test_install_twice_raises():
+    install_watcher()
+    try:
+        with pytest.raises(RuntimeError):
+            install_watcher()
+    finally:
+        uninstall_watcher()
+    assert current_watcher() is None
+
+
+# -- lock-order graph -------------------------------------------------------
+
+
+def test_lock_order_inversion_detected(watcher):
+    a, b = new_lock("wit.a"), new_lock("wit.b")
+    with a:
+        with b:
+            pass
+    assert watcher.ok  # one direction alone is fine
+    with b:
+        with a:
+            pass
+    assert _kinds(watcher) == ["lock-order-inversion"]
+    finding = watcher.findings[0]
+    assert "wit.a" in finding.message and "wit.b" in finding.message
+    assert finding.stacks  # carries the acquisition stacks
+    assert "lock-order-inversion" in watcher.format_report()
+
+
+def test_consistent_order_stays_clean(watcher):
+    a, b, c = new_lock("wit.a"), new_lock("wit.b"), new_lock("wit.c")
+    for _ in range(3):
+        with a:
+            with b:
+                with c:
+                    pass
+    assert watcher.ok
+    assert watcher.edge_count() >= 2
+
+
+def test_three_lock_cycle_detected(watcher):
+    a, b, c = new_lock("wit.a"), new_lock("wit.b"), new_lock("wit.c")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with a:
+            pass
+    assert "lock-order-inversion" in _kinds(watcher)
+
+
+def test_rlock_reentry_is_not_a_cycle(watcher):
+    r = new_rlock("wit.r")
+    with r:
+        with r:  # reentrant re-acquire: no self-edge, no finding
+            pass
+    assert watcher.ok
+
+
+def test_same_name_means_same_node(watcher):
+    # Two instances built under one factory name share a graph node
+    # (lock-class ordering), so instance A -> B and B -> A of the same
+    # class collapse to a self-edge, which is ignored.
+    a1, a2 = new_lock("wit.same"), new_lock("wit.same")
+    with a1:
+        with a2:
+            pass
+    with a2:
+        with a1:
+            pass
+    assert watcher.ok
+
+
+# -- hold time --------------------------------------------------------------
+
+
+def test_hold_time_finding():
+    w = install_watcher(hold_threshold=0.01)
+    try:
+        lock = new_lock("wit.slow")
+        import time
+        with lock:
+            time.sleep(0.05)
+        assert _kinds(w) == ["hold-time"]
+        assert "wit.slow" in w.findings[0].message
+    finally:
+        uninstall_watcher()
+
+
+def test_fast_hold_stays_clean(watcher):
+    lock = new_lock("wit.fast")
+    with lock:
+        pass
+    assert watcher.ok
+
+
+# -- guarded containers -----------------------------------------------------
+
+
+def test_guarded_dict_violation(watcher):
+    lock = new_lock("wit.guard")
+    counts = guard({"a": 0}, lock="wit.guard", name="wit.counts")
+    counts["a"] += 1  # mutation off-lock: flagged
+    assert _kinds(watcher) == ["guarded-by"]
+    assert "wit.counts" in watcher.findings[0].message
+    with lock:
+        counts["a"] += 1  # under the declared lock: clean
+    assert len(watcher.findings) == 1
+    assert counts["a"] == 2  # still behaves as a dict
+    assert watcher.n_guard_checks == 2
+
+
+def test_guarded_dict_reads_are_free(watcher):
+    counts = guard({"a": 1}, lock="wit.guard", name="wit.counts")
+    assert counts["a"] == 1
+    assert counts.get("b") is None
+    assert list(counts) == ["a"]
+    assert watcher.ok
+    assert watcher.n_guard_checks == 0
+
+
+def test_guarded_dict_checks_every_mutator(watcher):
+    counts = guard({}, lock="wit.guard", name="wit.counts")
+    counts["k"] = 1
+    counts.update(j=2)
+    counts.setdefault("m", 3)
+    counts.pop("k")
+    del counts["j"]
+    counts.clear()
+    assert watcher.n_guard_checks == 6
+    assert all(k == "guarded-by" for k in _kinds(watcher))
+
+
+# -- watched condition ------------------------------------------------------
+
+
+def test_watched_condition_wait_notify(watcher):
+    cond = new_condition("wit.cond")
+    state = {"ready": False}
+
+    def producer():
+        with cond:
+            state["ready"] = True
+            cond.notify_all()
+
+    t = threading.Thread(target=producer, daemon=True)
+    with cond:
+        t.start()
+        assert cond.wait_for(lambda: state["ready"], timeout=5.0)
+    t.join(timeout=5.0)
+    assert watcher.ok
+    # wait_for released and re-acquired the lock: >= 3 acquisitions.
+    assert watcher.n_acquires >= 3
+
+
+# -- the real service under the witness -------------------------------------
+
+
+def test_real_store_traffic_is_clean(watcher, tmp_path):
+    from repro.service.store import SQLiteStore
+
+    store = SQLiteStore(str(tmp_path / "w.db"))
+    try:
+        store.put_result("d1", "cell-1", "{}")
+        assert store.get_result("d1") == "{}"
+        with store.transaction() as conn:
+            conn.execute(
+                "INSERT INTO results (digest, label, created_ts, payload) "
+                "VALUES (?, ?, ?, ?)", ("d2", "cell-2", 0.0, "{}"))
+        assert store.result_count() == 2
+    finally:
+        store.close()
+    assert watcher.ok, watcher.format_report()
+    assert watcher.n_acquires > 0  # the witness actually saw the locks
+
+
+def test_breaker_and_retry_are_clean(watcher):
+    from repro.service.resilience import CircuitBreaker, HostRetryPolicy
+
+    breaker = CircuitBreaker(name="wit", failure_threshold=2,
+                             cooldown_seconds=0.0)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state in ("open", "half_open")
+    breaker.record_success()
+    policy = HostRetryPolicy(max_attempts=3, base_delay=0.0,
+                             max_delay=0.0, name="wit",
+                             sleep=lambda _s: None)
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ValueError("boom")
+        return "ok"
+
+    assert policy.call(flaky, retry_on=(ValueError,)) == "ok"
+    assert watcher.ok, watcher.format_report()
+
+
+def test_chaos_schedule_counters_are_guard_checked(watcher):
+    from repro.service.chaos import ChaosSchedule, ChaosSpec
+
+    schedule = ChaosSchedule(ChaosSpec(seed=1, store_error_rate=1.0))
+    assert schedule.store_action() == "error"
+    assert schedule.injected["store.error"] == 1  # snapshot read: free
+    assert watcher.n_guard_checks >= 1
+    assert watcher.ok, watcher.format_report()
+
+
+# -- determinism invariance -------------------------------------------------
+
+
+def test_digest_bit_identical_under_watcher():
+    # The witness lives entirely on the host side: installing it must
+    # not change a single byte of the simulation's event stream.
+    bare = digest_run(app="montage", storage="nfs", nodes=2, seed=3)
+    install_watcher()
+    try:
+        watched = digest_run(app="montage", storage="nfs", nodes=2, seed=3)
+    finally:
+        w = uninstall_watcher()
+    assert watched.digest == bare.digest
+    assert watched.n_events == bare.n_events
+    assert repr(watched.makespan) == repr(bare.makespan)
+    assert w is not None and w.ok
+
+
+def test_serial_vs_parallel_sweep_identical_under_watcher():
+    # Process-pool workers re-run cells in fresh interpreters (no
+    # watcher there); the parent-side merge runs under the witness.
+    # Results must stay bit-identical either way.
+    from repro.experiments import ExperimentConfig, run_sweep
+    from repro.lint.determinism import small_workflow
+
+    configs = [ExperimentConfig("synthetic", "nfs", 2, seed=s,
+                                cpu_jitter_sigma=0.05,
+                                collect_traces=True)
+               for s in (0, 1)]
+    wf = small_workflow("synthetic")
+    install_watcher()
+    try:
+        serial = run_sweep(configs, workflow=wf, jobs=1)
+        parallel = run_sweep(configs, workflow=wf, jobs=2)
+    finally:
+        uninstall_watcher()
+    for s, p in zip(serial, parallel):
+        assert repr(s.run.makespan) == repr(p.run.makespan)
+        assert s.metrics.to_json() == p.metrics.to_json()
+
+
+def test_findings_capped():
+    w = LockWatcher(max_findings=2)
+    for i in range(5):
+        w.on_guard_violation(f"c{i}", "lck")
+    assert len(w.findings) == 2

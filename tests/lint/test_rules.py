@@ -11,7 +11,8 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 #: rule id -> (fixture stem, virtual path the fixture is linted under,
 #: expected finding count in the bad fixture).  Scoped rules (SIM003,
-#: SIM005, SIM008) need a scheduling-path filename to activate.
+#: SIM005, SIM008) need a scheduling-path filename to activate; the
+#: thread-safety rules (SIM010-SIM014) need a threaded-package one.
 CASES = {
     "SIM001": ("sim001", "repro/experiments/runner.py", 2),
     "SIM002": ("sim002", "repro/experiments/runner.py", 2),
@@ -22,6 +23,11 @@ CASES = {
     "SIM007": ("sim007", "repro/workflow/driver.py", 2),
     "SIM008": ("sim008", "repro/workflow/scheduler.py", 4),
     "SIM009": ("sim009", "repro/simcore/kernel.py", 7),
+    "SIM010": ("sim010", "repro/service/store.py", 3),
+    "SIM011": ("sim011", "repro/service/worker.py", 3),
+    "SIM012": ("sim012", "repro/observe/monitor.py", 2),
+    "SIM013": ("sim013", "repro/service/api.py", 2),
+    "SIM014": ("sim014", "repro/service/worker.py", 3),
 }
 
 
@@ -51,6 +57,18 @@ def test_every_rule_has_a_case():
     assert sorted(CASES) == sorted(RULES)
 
 
+def test_cases_match_fixture_files():
+    # The fixture directory is the source of truth: every sim*_bad.py /
+    # sim*_good.py pair must be wired into CASES and vice versa, so a
+    # new rule cannot land half-tested.
+    stems = {p.name.rsplit("_", 1)[0]
+             for p in FIXTURES.glob("sim*_*.py")}
+    assert stems == {stem for stem, _, _ in CASES.values()}
+    for stem, _, _ in CASES.values():
+        assert (FIXTURES / f"{stem}_bad.py").is_file()
+        assert (FIXTURES / f"{stem}_good.py").is_file()
+
+
 @pytest.mark.parametrize("rule_id,path", [
     ("SIM003", "repro/telemetry/collect.py"),
     ("SIM005", "repro/apps/montage.py"),
@@ -60,6 +78,31 @@ def test_scoped_rules_inactive_off_scheduling_path(rule_id, path):
     stem, _, _ = CASES[rule_id]
     source = (FIXTURES / f"{stem}_bad.py").read_text()
     assert lint_source(source, path=path, select=[rule_id]) == []
+
+
+@pytest.mark.parametrize("rule_id", ["SIM010", "SIM011", "SIM012",
+                                     "SIM013", "SIM014"])
+def test_thread_rules_inactive_outside_threaded_packages(rule_id):
+    # The kernel is single-threaded by contract; the thread-safety
+    # rules must stay silent there even on their own bad fixtures.
+    stem, _, _ = CASES[rule_id]
+    source = (FIXTURES / f"{stem}_bad.py").read_text()
+    assert lint_source(source, path="repro/simcore/kernel.py",
+                       select=[rule_id]) == []
+
+
+def test_sim012_guard_annotation_is_not_a_suppression():
+    # guarded-by documents the lock; it must not count as an inline
+    # ignore directive anywhere in the reporting.
+    source = "registry = {}  # lint: guarded-by[_lock]\n"
+    findings = lint_source(source, path="repro/service/api.py",
+                           select=["SIM012"])
+    assert findings == []
+    from repro.lint import SuppressionMap
+    supp = SuppressionMap(source)
+    assert supp.n_directives == 0
+    assert supp.guard_at(1) == "_lock"
+    assert supp.guard_at(2) is None
 
 
 def test_sim008_allowed_inside_kernel():

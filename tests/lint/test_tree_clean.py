@@ -12,6 +12,16 @@ from repro.lint import lint_paths
 
 PKG_DIR = os.path.dirname(os.path.abspath(repro.__file__))
 
+#: Every inline ignore the package tree is allowed to carry, exactly:
+#: the dag.py set->set updates (2x SIM003), the sweep/worker
+#: supervisors' catch-alls (runner.py + worker.py x2 SIM007 — a cell
+#: failure must become a placeholder/failed job, never kill the pool),
+#: the HTTP layer's 500 handler (api.py SIM007), and the tracing
+#: wall-clock seam (tracing.py SIM004).  A new suppression is a
+#: conscious, reviewed choice: bump this constant in the same commit
+#: and say why here.
+SANCTIONED_SUPPRESSIONS = 7
+
 #: The scheduling-path modules the SIM003 sweep originally audited.
 SCHEDULING_FILES = [
     os.path.join(PKG_DIR, "workflow", "condor.py"),
@@ -31,14 +41,11 @@ def test_whole_package_lints_clean():
     report = lint_paths([PKG_DIR])
     assert report.parse_errors == []
     assert report.findings == [], [f.format() for f in report.findings]
-    # Sanctioned suppressions only: the dag.py set->set updates, the
-    # sweep/worker supervisors' catch-alls (a cell failure must become
-    # a placeholder/failed job, never kill the pool), the HTTP layer's
-    # 500 handler, and the worker supervisor's BaseException seam (a
-    # chaos kill or MemoryError must be *recorded* so the crashed job
-    # can be requeued or quarantined).  New ones are a conscious,
-    # reviewed choice.
-    assert len(report.suppressed) <= 7
+    # Pinned exactly, not <=: a suppression silently *disappearing* is
+    # as reviewable an event as a new one appearing (it means the code
+    # it excused changed).  The roster lives on SANCTIONED_SUPPRESSIONS.
+    assert len(report.suppressed) == SANCTIONED_SUPPRESSIONS, \
+        [s.format() for s in report.suppressed]
 
 
 def test_host_side_fence_sanctions_resilience_and_chaos():

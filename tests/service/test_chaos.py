@@ -33,11 +33,31 @@ from repro.service import (
     chaos_service,
     open_store,
 )
+from repro.lint.lockwatch import install_watcher, uninstall_watcher
 from repro.service.chaos import ChaosSchedule, FlakySQLiteStore
 from repro.service.client import TRANSIENT_STATUSES, ServiceError
 from repro.telemetry.export import validate_exposition
 
 TERMINAL = ("done", "failed")
+
+
+@pytest.fixture(autouse=True)
+def lock_witness():
+    """Run every chaos seed as a runtime lock-order witness.
+
+    All service locks are built through the lockwatch factory seam, so
+    installing a watcher here turns each chaos scenario into a free
+    concurrency audit: any lock-order inversion, excessive hold, or
+    off-lock mutation of guarded state fails the test that provoked
+    it.  The hold threshold is generous — chaos deliberately injects
+    store delays *under* the connection lock, and CI machines stall.
+    """
+    watcher = install_watcher(hold_threshold=5.0)
+    try:
+        yield watcher
+    finally:
+        uninstall_watcher()
+    assert watcher.findings == [], watcher.format_report()
 
 
 def _cells():
