@@ -2,7 +2,7 @@
 
 Each ``bench_*`` function exercises one hot layer of the simulator and
 returns elapsed seconds (best of ``repeats`` runs).  :func:`run_suite`
-bundles them at two scales:
+bundles them at three scales:
 
 ``smoke``
     Downscaled for CI: a few hundred thousand events, a 1-degree
@@ -10,6 +10,10 @@ bundles them at two scales:
 ``full``
     The honest numbers: paper-scale Montage cells (10,429 tasks) on
     S3 and NFS at 4 workers — the workloads the PR's speedup targets.
+``sweep``
+    Fleet-shaped load: hundreds of small cells through ``run_sweep``
+    (serial and with a 4-worker pool) plus a dense-component flownet
+    churn that exercises the vectorized fill rounds.
 
 Because absolute wall-clock depends on the host, every figure is also
 reported *normalized* by :func:`calibrate` — the time of a fixed pure
@@ -30,9 +34,13 @@ from typing import Callable, Dict
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
-from repro.apps import build_montage  # noqa: E402
+from repro.apps import build_montage, build_synthetic  # noqa: E402
 from repro.apps.templates import WorkflowTemplate  # noqa: E402
-from repro.experiments.runner import ExperimentConfig, run_experiment  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentConfig,
+    run_experiment,
+    run_sweep,
+)
 from repro.simcore.engine import Environment  # noqa: E402
 from repro.simcore.flownet import FlowNetwork, Link  # noqa: E402
 
@@ -133,6 +141,61 @@ def bench_template_instantiate(n_calls: int = 1000,
     return _best_of(once, repeats)
 
 
+def bench_flownet_dense(n_waves: int = 40, flows_per_wave: int = 96,
+                        n_links: int = 6, repeats: int = 3) -> float:
+    """Dense components: waves big enough to hit the vectorized fill.
+
+    With ~100 flows sharing 6 links every wave forms one large link
+    component, so each refill runs the masked-reduction rounds instead
+    of the scalar loop — the SoA kernel's headline case.
+    """
+    def once() -> None:
+        env = Environment()
+        net = FlowNetwork(env)
+        links = [Link(f"l{i}", 1e8) for i in range(n_links)]
+
+        def driver():
+            for wave in range(n_waves):
+                events = []
+                for i in range(flows_per_wave):
+                    a = links[(wave + i) % n_links]
+                    b = links[(wave * 5 + i * 3 + 1) % n_links]
+                    if a is b:
+                        b = links[(wave * 5 + i * 3 + 2) % n_links]
+                    nbytes = 1e6 * (1 + (i % 7))
+                    events.append(net.transfer((a, b), nbytes))
+                yield env.all_of(events)
+
+        env.process(driver())
+        env.run()
+
+    return _best_of(once, repeats)
+
+
+def bench_sweep(n_cells: int = 240, jobs: int = 1,
+                repeats: int = 1) -> float:
+    """Hundreds of small cells through :func:`run_sweep`.
+
+    Sweep-shaped load is where the batched same-timestamp cascades
+    pay off: every cell is dominated by event-cascade churn rather
+    than one big steady state.  ``jobs`` exercises the process-pool
+    path (worker spawn + telemetry replay included in the figure,
+    exactly as a user-visible sweep would pay them).
+    """
+    workflow = build_synthetic(30, width=6, seed=1)
+    storages = ("local", "nfs", "s3", "pvfs")
+
+    def once() -> None:
+        configs = [
+            ExperimentConfig("synthetic", storages[i % len(storages)],
+                             1 + i % 4, seed=i)
+            for i in range(n_cells)
+        ]
+        run_sweep(configs, workflow=workflow, jobs=jobs)
+
+    return _best_of(once, repeats)
+
+
 def bench_end_to_end(storage: str, degrees: float = 8.0,
                      repeats: int = 1) -> float:
     """One full Montage cell at 4 workers (telemetry off, like sweeps)."""
@@ -154,11 +217,25 @@ def run_suite(scale: str = "smoke") -> Dict[str, Dict[str, float]]:
     Each entry carries raw ``seconds`` and machine-``normalized``
     (seconds / calibration-loop seconds) figures.
     """
-    if scale not in ("smoke", "full"):
-        raise ValueError(f"scale must be 'smoke' or 'full', got {scale!r}")
-    smoke = scale == "smoke"
+    if scale not in ("smoke", "full", "sweep"):
+        raise ValueError(
+            f"scale must be 'smoke', 'full', or 'sweep', got {scale!r}")
     calibration = calibrate()
     benches: Dict[str, float] = {}
+    if scale == "sweep":
+        # Sweep tier: cascade-churn workloads at fleet scale — dense
+        # link components (vectorized fill) and hundreds of small
+        # cells through run_sweep, serial and with a worker pool.
+        benches["flownet_dense"] = bench_flownet_dense()
+        benches["sweep_240_serial"] = bench_sweep(n_cells=240, jobs=1)
+        benches["sweep_240_jobs4"] = bench_sweep(n_cells=240, jobs=4)
+        return {
+            name: {"seconds": round(seconds, 4),
+                   "normalized": round(seconds / calibration, 3)}
+            for name, seconds in benches.items()
+        } | {"_calibration": {"seconds": round(calibration, 4),
+                              "normalized": 1.0}}
+    smoke = scale == "smoke"
     benches["flownet_kernel"] = bench_flownet_kernel(
         n_waves=30 if smoke else 80)
     benches["event_loop"] = bench_event_loop(

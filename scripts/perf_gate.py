@@ -12,6 +12,7 @@ Usage::
 
     python scripts/perf_gate.py                  # smoke scale, check
     python scripts/perf_gate.py --scale full     # paper-scale cells
+    python scripts/perf_gate.py --scale sweep    # hundreds of small cells
     python scripts/perf_gate.py --update         # rewrite the baseline
 
 Exits 0 when within tolerance (or after ``--update``), 1 on a
@@ -59,10 +60,12 @@ def _append_history(path: Path, scale: str, results: dict) -> None:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", choices=("smoke", "full"),
+    parser.add_argument("--scale", choices=("smoke", "full", "sweep"),
                         default="smoke",
                         help="suite scale (smoke = CI-sized, "
-                             "full = paper-scale cells)")
+                             "full = paper-scale cells, "
+                             "sweep = hundreds of small cells through "
+                             "run_sweep)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown per bench "
                              "before the gate fails (default 0.25)")

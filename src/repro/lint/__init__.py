@@ -5,13 +5,13 @@ model, the zero-overhead golden test — assumes the simulator is a
 deterministic function of ``(scenario, seed)``.  This package machine-
 checks that contract from two sides:
 
-* **static rules** (``SIM001``–``SIM014``): AST checks for the code
+* **static rules** (``SIM001``–``SIM015``): AST checks for the code
   patterns that break determinism or simulator discipline — wall-clock
   reads, global random streams, hash-ordered iteration on scheduling
   paths, float equality on sim-time, unprotected resource release,
   mutable defaults, broad excepts, event-queue manipulation outside
-  the kernel — plus the thread-safety rules over the host-side
-  packages (``repro-ec2 lint [paths]``);
+  the kernel, shared numpy scratch buffers — plus the thread-safety
+  rules over the host-side packages (``repro-ec2 lint [paths]``);
 * **runtime sanitizer**: a small paper-grid scenario run repeatedly —
   same seed, fresh interpreters, different ``PYTHONHASHSEED`` values —
   with the full telemetry event stream hash-chained into a digest that

@@ -42,6 +42,7 @@ EVENT_QUEUE_OWNERS = (
     "repro/simcore/engine.py",
     "repro/simcore/events.py",
     "repro/simcore/flownet.py",
+    "repro/simcore/flownet_legacy.py",
     "repro/simcore/resources.py",
     "repro/storage/nfs.py",
 )

@@ -1,4 +1,4 @@
-"""The simulation-invariant rules (SIM001–SIM009).
+"""The simulation-invariant rules (SIM001–SIM009, SIM015).
 
 Each rule guards one way a code change can silently break the
 determinism contract the paper reproduction rests on: the simulator
@@ -720,3 +720,73 @@ class HostObservabilityLeakRule(Rule):
             f"observability — wall-clock telemetry flows one way, from "
             f"the orchestration layer's monitor, never into the "
             f"deterministic kernel")
+
+
+#: numpy constructors whose result is a fresh buffer; assigning one at
+#: module or class scope creates scratch state shared by every kernel
+#: instance in the process.
+_NUMPY_ARRAY_FACTORIES = frozenset({
+    "array", "arange", "empty", "empty_like", "frombuffer", "fromiter",
+    "full", "full_like", "linspace", "ones", "ones_like", "zeros",
+    "zeros_like",
+})
+
+
+@register
+class Sim015NoSharedNumpyScratch(Rule):
+    """SIM015: numpy scratch arrays must be owned per instance.
+
+    The struct-of-arrays kernels preallocate numpy buffers and mutate
+    them in place on every event.  A buffer allocated at module or
+    class scope is *aliased across every* ``Environment`` in the
+    process: a serial sweep's second cell would inherit the first
+    cell's residues, and any concurrent use corrupts both — silently,
+    since the numbers stay plausible.  Scratch arrays belong on the
+    instance (allocated in ``__init__`` or a method), whose lifetime
+    is tied to exactly one environment.
+    """
+
+    id = "SIM015"
+    title = "shared numpy scratch array in the sim kernel"
+    severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_sim_kernel_module()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        scopes: List[Tuple[str, List[ast.stmt]]] = \
+            [("module scope", ctx.tree.body)]
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                scopes.append((f"class {node.name}", node.body))
+        for where, body in scopes:
+            for stmt in body:
+                if isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                    value = stmt.value
+                else:
+                    continue
+                factory = self._array_factory(value, aliases)
+                if factory is not None:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"{factory}(...) assigned at {where} is scratch "
+                        f"state aliased across every Environment in the "
+                        f"process; allocate the buffer per instance "
+                        f"(e.g. in __init__) so each environment owns "
+                        f"its own")
+
+    @staticmethod
+    def _array_factory(value: ast.AST,
+                       aliases: Dict[str, str]) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        qual = _qualified(value.func, aliases)
+        if qual is None or "." not in qual:
+            return None
+        head, _dot, leaf = qual.rpartition(".")
+        if head == "numpy" and leaf in _NUMPY_ARRAY_FACTORIES:
+            return qual
+        return None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from heapq import heappop as _heappop
 from heapq import heappush as _heappush
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .errors import SimulationDeadlock
 from .events import AllOf, AnyOf, Event, Process, Timeout
@@ -40,6 +40,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # End-of-timestamp flush hooks (see :meth:`defer`): callbacks
+        # that run once the current timestamp's event cascade has fully
+        # drained, before the clock moves to the next event time.
+        self._flush_pending: List[Callable[[], None]] = []
 
     # -- clock -------------------------------------------------------------
 
@@ -83,6 +87,40 @@ class Environment:
         self._seq = seq
         _heappush(self._queue, (self._now + delay, priority, seq, event))
 
+    # -- end-of-timestamp flush hooks ---------------------------------------
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once the current timestamp's cascade has drained.
+
+        Same-timestamp event cascades (a wave of transfers all starting
+        at ``now``) would otherwise trigger one full reallocation per
+        event.  A kernel that batches instead marks itself dirty, defers
+        one flush callback here, and the run loop invokes it exactly
+        once — after every event queued at the current simulation time
+        has been processed and before the clock advances.  Flushes run
+        in *last*-registration order: re-deferring an already-pending
+        callback moves it to the back, so flush order follows each
+        kernel's final touch within the cascade — the relative order
+        in which the eager kernels allocated their wake timeouts, which
+        keeps same-time event tie-breaks bit-identical.  A flush may
+        defer further callbacks; they drain in the same pass.
+        """
+        pending = self._flush_pending
+        if pending:
+            try:
+                pending.remove(fn)
+            except ValueError:
+                pass
+        pending.append(fn)
+
+    def _run_deferred(self) -> None:
+        pending = self._flush_pending
+        while pending:
+            batch = pending[:]
+            del pending[:]
+            for fn in batch:
+                fn()
+
     # -- run loop ------------------------------------------------------------
 
     def peek(self) -> float:
@@ -91,6 +129,9 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        if self._flush_pending and (
+                not self._queue or self._queue[0][0] > self._now):
+            self._run_deferred()
         if not self._queue:
             raise SimulationDeadlock("no scheduled events")
         when, _prio, _seq, event = _heappop(self._queue)
@@ -119,11 +160,20 @@ class Environment:
         # ~10^6 events per cell the method/attribute dispatch of a
         # `while ...: self.step()` loop is a measurable fraction of
         # total runtime.  Semantics are identical to calling ``step``.
+        # Each loop also honours the end-of-timestamp flush hooks: when
+        # callbacks are pending and the next queued event lies strictly
+        # beyond ``now`` (or the queue is empty), the deferred flushes
+        # run before the clock is allowed to advance.
         queue = self._queue
         pop = _heappop
+        flush = self._flush_pending
 
         if until is None:
-            while queue:
+            while True:
+                if flush and (not queue or queue[0][0] > self._now):
+                    self._run_deferred()
+                if not queue:
+                    return None
                 when, _prio, _seq, event = pop(queue)
                 self._now = when
                 callbacks, event.callbacks = event.callbacks, None
@@ -131,7 +181,6 @@ class Environment:
                     callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
-            return None
 
         if isinstance(until, Event):
             sentinel = until
@@ -144,6 +193,8 @@ class Environment:
                 return sentinel._value
             sentinel.callbacks.append(finished.append)
             while not finished:
+                if flush and (not queue or queue[0][0] > self._now):
+                    self._run_deferred()
                 if not queue:
                     raise SimulationDeadlock(
                         f"event {sentinel!r} will never fire: queue is empty"
@@ -164,7 +215,11 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while queue and queue[0][0] <= deadline:
+        while True:
+            if flush and (not queue or queue[0][0] > self._now):
+                self._run_deferred()
+            if not queue or queue[0][0] > deadline:
+                break
             when, _prio, _seq, event = pop(queue)
             self._now = when
             callbacks, event.callbacks = event.callbacks, None

@@ -1,4 +1,4 @@
-"""Max-min fair flow network.
+"""Max-min fair flow network (struct-of-arrays kernel).
 
 Models a set of capacitated links (NIC transmit/receive sides, a shared
 service endpoint, a core switch) carrying concurrent byte flows.  Each
@@ -13,27 +13,51 @@ stripe traffic, and S3 GET/PUT payloads.
 
 Performance notes (see ``docs/performance.md``):
 
-* Reallocation is *incremental*: starting or finishing a flow only
-  recomputes rates for the connected component of links reachable from
-  the touched flow (dirty-link propagation).  Flows in unrelated
-  components keep their rates — progressive filling decomposes exactly
-  per component, so the per-component fill is arithmetically identical
-  to the global one restricted to that component.
+* Flow state lives in preallocated, growable numpy arrays packed in
+  insertion order (remaining bytes, rate, completion epsilon, rate cap,
+  projection generation), with a stable-id indirection so a ``_Flow``
+  handle survives compaction when earlier flows complete.  Byte
+  advancement, completion detection, and the wake min-scan are single
+  vectorized passes over the packed arrays; below ``VEC_SCAN_MIN`` live
+  flows they fall back to scalar loops over ``.tolist()`` snapshots
+  with the *same* arithmetic, so both paths are bit-identical.
+* Same-timestamp event cascades are batched: a transfer (or wake) marks
+  the network dirty and defers one flush to the environment's
+  end-of-timestamp hook (:meth:`Environment.defer`).  Progressive
+  filling is stateless — the fill is a pure function of the final flow
+  population — so eliding the intermediate fills of a cascade and
+  running one fill over the union component yields bitwise the same
+  rates the legacy per-event kernel computed.  Completions stay eager
+  (flows finish, in insertion order, at the first touch of a
+  timestamp), so the event-sequence order of ``succeed()`` calls — and
+  with it the telemetry hash-chain — is unchanged.  External readers
+  (the utilization sampler's ``flow.rate``) trigger a lazy flush, so
+  mid-cascade observations match the legacy kernel exactly.
+* Reallocation stays *incremental*: only the connected component of
+  links reachable from the dirty flows is refilled.  Components at or
+  above ``VEC_FILL_MIN`` flows use vectorized rounds (masked
+  min-reductions for the bottleneck share, grouped saturation updates
+  replayed as per-link sequential clamped subtractions); smaller
+  components run the scalar fill.  Both orderings replicate the legacy
+  float-operation sequence, so rates are bit-identical either way.
+* ``REPRO_FLOWNET=legacy`` in the environment selects the frozen
+  pre-vectorization kernel (:mod:`repro.simcore.flownet_legacy`) — the
+  differential oracle for one release.
 * The default completion scheduler (``completion_mode="exact"``) keeps
-  the classic advance-then-min-scan, fused into a single pass, because
-  its wake times are bit-reproducible against the historical kernel.
-  ``completion_mode="projected"`` switches to a lazy-invalidation
-  completion heap keyed by projected finish time — fewer scans on large
-  flow populations, at the price of last-ulp timing differences (the
-  projection ``t_alloc + bytes/rate`` is not the same float as the
-  subdivided remainder the exact mode accumulates).
+  the classic advance-then-min-scan; ``completion_mode="projected"``
+  switches to a lazy-invalidation completion heap keyed by projected
+  finish time — fewer scans on large flow populations, at the price of
+  last-ulp timing differences.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .events import Event, Timeout
 
@@ -41,6 +65,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
 
 _TIME_EPS = 1e-9
+_INF = float("inf")
+
+#: Initial per-network array capacity (rows); doubled on demand.
+_INITIAL_ROWS = 64
+
+
+def _kernel_choice() -> str:
+    """Which flow-network kernel to construct (``soa`` or ``legacy``).
+
+    Read per construction, not at import, so tests can flip the
+    environment variable between networks in one process.
+    """
+    choice = os.environ.get("REPRO_FLOWNET", "soa").strip().lower() or "soa"
+    if choice not in ("soa", "legacy"):
+        raise ValueError(
+            f"REPRO_FLOWNET must be 'soa' or 'legacy', got {choice!r}")
+    return choice
 
 
 class Link:
@@ -59,7 +100,8 @@ class Link:
         # Scratch state for traversal/fill passes: ``_stamp`` marks
         # which pass last touched this link (see FlowNetwork._stamp_seq)
         # so passes need no per-call visited dicts; ``_residual`` and
-        # ``_n`` are only meaningful while a fill is running.
+        # ``_n`` are only meaningful while a fill is running (the
+        # vectorized fill reuses ``_n`` as the link's local index).
         self._stamp = 0
         self._residual = 0.0
         self._n = 0
@@ -74,27 +116,78 @@ class Link:
 
 
 class _Flow:
-    __slots__ = ("links", "bytes_left", "rate", "event", "max_rate", "eps",
-                 "gen", "_stamp", "_frozen")
+    """Handle onto one row of the network's packed arrays.
 
-    def __init__(self, links: Sequence[Link], nbytes: float, event: Event,
-                 max_rate: Optional[float]) -> None:
+    The mutable per-flow state (remaining bytes, rate, generation) lives
+    in :class:`FlowNetwork`'s arrays, reached through the stable id
+    ``fid``; the handle itself only carries the immutable description
+    plus scratch slots for traversal/fill passes.  Reading ``rate``
+    flushes a pending batched reallocation first, so samplers observing
+    mid-cascade see exactly what the legacy eager kernel produced.
+    """
+
+    __slots__ = ("net", "fid", "links", "event", "max_rate", "eps",
+                 "_stamp", "_frozen", "_srate", "_dead_rate", "_dead_bytes")
+
+    def __init__(self, net: "FlowNetwork", links: Sequence[Link],
+                 event: Event, max_rate: Optional[float], eps: float) -> None:
+        self.net = net
+        self.fid = -1  # assigned on registration
         self.links = list(links)
-        self.bytes_left = float(nbytes)
-        self.rate = 0.0
         self.event = event
         self.max_rate = max_rate
-        # Completion tolerance must scale with the transfer size:
-        # float subtraction across many progress updates leaves a
-        # relative residue (~1e-12 of the size), which for GB-scale
-        # flows dwarfs any absolute epsilon.
-        self.eps = max(1e-9, nbytes * 1e-9)
-        # Projection generation: bumped whenever the rate changes, so
-        # stale completion-heap entries can be discarded lazily.
-        self.gen = 0
-        # Traversal stamp and fill freeze flag (scratch, see Link).
+        self.eps = eps
+        # Traversal stamp and fill scratch (see FlowNetwork._stamp_seq).
         self._stamp = 0
         self._frozen = False
+        self._srate = 0.0
+        # Final values stashed at completion so late readers (telemetry
+        # holding a handle) keep seeing the last live state.
+        self._dead_rate = 0.0
+        self._dead_bytes = 0.0
+
+    @property
+    def bytes_left(self) -> float:
+        net = self.net
+        pos = net._pos_of_id[self.fid]
+        if pos < 0:
+            return self._dead_bytes
+        return float(net._f_bytes[pos])
+
+    @property
+    def rate(self) -> float:
+        net = self.net
+        if net._dirty:
+            net._flush()
+        pos = net._pos_of_id[self.fid]
+        if pos < 0:
+            return self._dead_rate
+        return float(net._f_rate[pos])
+
+    @property
+    def gen(self) -> int:
+        net = self.net
+        pos = net._pos_of_id[self.fid]
+        if pos < 0:
+            return -1
+        return int(net._f_gen[pos])
+
+
+class _FlowTable(dict):
+    """Live-flow registry.
+
+    A plain insertion-ordered dict, except that clearing it (tests
+    simulating teardown do) also drops the packed array state, so the
+    registry and the arrays can never disagree about the population.
+    """
+
+    __slots__ = ("net",)
+
+    def clear(self) -> None:  # type: ignore[override]
+        net = getattr(self, "net", None)
+        if net is not None:
+            net._drop_all_flows()
+        dict.clear(self)
 
 
 class FlowNetwork:
@@ -110,7 +203,27 @@ class FlowNetwork:
         bit-reproducible.  ``"projected"`` maintains a lazy-invalidation
         heap of projected finish times and only scans flows whose rates
         changed; timings can differ from exact mode in the last ulp.
+
+    Setting ``REPRO_FLOWNET=legacy`` in the process environment makes
+    this constructor return the frozen object-graph kernel instead (the
+    differential oracle; see :mod:`repro.simcore.flownet_legacy`).
     """
+
+    #: Component size at which the vectorized fill replaces the scalar
+    #: one, and live-flow population at which vectorized advance /
+    #: completion / min-scan passes replace the scalar loops.  Both
+    #: paths are bit-identical; the thresholds are pure speed knobs
+    #: (and test hooks: differential tests pin them to 0 to force the
+    #: vector paths onto tiny populations).
+    VEC_FILL_MIN = 32
+    VEC_SCAN_MIN = 16
+
+    def __new__(cls, env: "Environment" = None,  # type: ignore[assignment]
+                completion_mode: str = "exact"):
+        if cls is FlowNetwork and _kernel_choice() == "legacy":
+            from .flownet_legacy import LegacyFlowNetwork
+            return LegacyFlowNetwork(env, completion_mode)
+        return super().__new__(cls)
 
     def __init__(self, env: "Environment",
                  completion_mode: str = "exact") -> None:
@@ -120,7 +233,8 @@ class FlowNetwork:
                 f"got {completion_mode!r}")
         self.env = env
         self.completion_mode = completion_mode
-        self._flows: Dict[_Flow, None] = {}
+        self._flows: _FlowTable = _FlowTable()
+        self._flows.net = self
         self._last_update = env.now
         # Wakeup invalidation by event identity (see FairShareChannel):
         # only the timeout of the latest reschedule is honoured.
@@ -139,6 +253,31 @@ class FlowNetwork:
         self.total_bytes_moved = 0.0
         #: Total flows ever started.
         self.total_flows = 0
+        # -- struct-of-arrays state -----------------------------------
+        # Rows are packed in insertion order; ``_handles`` is the
+        # parallel Python list of _Flow handles.  ``_id_at_pos`` /
+        # ``_pos_of_id`` is the stable-id indirection that survives
+        # compaction (position -1 marks a completed flow).
+        rows = _INITIAL_ROWS
+        self._f_bytes = np.zeros(rows, dtype=np.float64)
+        self._f_rate = np.zeros(rows, dtype=np.float64)
+        self._f_eps = np.zeros(rows, dtype=np.float64)
+        self._f_cap = np.zeros(rows, dtype=np.float64)
+        self._f_gen = np.zeros(rows, dtype=np.int64)
+        self._id_at_pos = np.zeros(rows, dtype=np.int64)
+        self._pos_of_id = np.full(rows, -1, dtype=np.int64)
+        self._handles: List[_Flow] = []
+        self._n = 0
+        self._next_fid = 0
+        # -- batched-cascade state ------------------------------------
+        # ``_dirty`` marks a pending reallocation/reschedule;
+        # ``_dirty_seeds`` are the flows whose arrival or completion
+        # dirtied it (traversal roots for the component refill).  The
+        # flush runs from the environment's end-of-timestamp hook, or
+        # lazily when a rate is read mid-cascade.
+        self._dirty = False
+        self._dirty_seeds: List[_Flow] = []
+        self._flush_cb_bound = self._flush_cb
 
     # -- public API --------------------------------------------------------
 
@@ -172,132 +311,336 @@ class FlowNetwork:
         if nbytes == 0:
             done.succeed()
             return done
-        self._advance()
-        flow = _Flow(links, nbytes, done, max_rate)
+        self._sync()
+        nbytes = float(nbytes)
+        # Completion tolerance must scale with the transfer size:
+        # float subtraction across many progress updates leaves a
+        # relative residue (~1e-12 of the size), which for GB-scale
+        # flows dwarfs any absolute epsilon.
+        eps = max(1e-9, nbytes * 1e-9)
+        flow = _Flow(self, links, done, max_rate, eps)
+        pos = self._append(flow, nbytes, eps, max_rate)
         self._flows[flow] = None
         for link in flow.links:
             link._flows[flow] = None
-        self._reallocate(self._component_of(flow))
-        self._reschedule()
-        return flow.event
+        if nbytes <= eps:
+            # Sub-epsilon payload: completes within this same cascade
+            # (the legacy kernel pops it from the reschedule right
+            # after the fill; final rates are as if it never joined).
+            self._complete([pos])
+        else:
+            self._mark_dirty(flow)
+        return done
+
+    # -- struct-of-arrays plumbing ------------------------------------------
+
+    def _append(self, flow: _Flow, nbytes: float, eps: float,
+                max_rate: Optional[float]) -> int:
+        n = self._n
+        if n == len(self._f_bytes):
+            self._grow_rows()
+        fid = self._next_fid
+        self._next_fid = fid + 1
+        if fid == len(self._pos_of_id):
+            old = self._pos_of_id
+            grown = np.full(len(old) * 2, -1, dtype=np.int64)
+            grown[:len(old)] = old
+            self._pos_of_id = grown
+        flow.fid = fid
+        self._f_bytes[n] = nbytes
+        self._f_rate[n] = 0.0
+        self._f_eps[n] = eps
+        self._f_cap[n] = _INF if max_rate is None else max_rate
+        self._f_gen[n] = 0
+        self._id_at_pos[n] = fid
+        self._pos_of_id[fid] = n
+        self._handles.append(flow)
+        self._n = n + 1
+        return n
+
+    def _grow_rows(self) -> None:
+        rows = len(self._f_bytes) * 2
+        for name in ("_f_bytes", "_f_rate", "_f_eps", "_f_cap"):
+            old = getattr(self, name)
+            grown = np.zeros(rows, dtype=np.float64)
+            grown[:len(old)] = old
+            setattr(self, name, grown)
+        for name in ("_f_gen", "_id_at_pos"):
+            old = getattr(self, name)
+            grown = np.zeros(rows, dtype=np.int64)
+            grown[:len(old)] = old
+            setattr(self, name, grown)
+
+    def _drop_all_flows(self) -> None:
+        """Forget every flow (``net._flows.clear()`` hook, tests only)."""
+        fr = self._f_rate
+        fb = self._f_bytes
+        pos_of = self._pos_of_id
+        for i, h in enumerate(self._handles):
+            h._dead_rate = float(fr[i])
+            h._dead_bytes = float(fb[i])
+            pos_of[h.fid] = -1
+        del self._handles[:]
+        self._n = 0
+        del self._dirty_seeds[:]
+
+    # -- batched-cascade plumbing -------------------------------------------
+
+    def _mark_dirty(self, seed: Optional[_Flow]) -> None:
+        # Every touch re-defers (moving the callback to the back of the
+        # flush list), so flush order tracks the *last* touch — see
+        # Environment.defer.
+        self._dirty = True
+        if seed is not None:
+            self._dirty_seeds.append(seed)
+        self.env.defer(self._flush_cb_bound)
+
+    def _flush_cb(self) -> None:
+        if self._dirty:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Refill dirty components and reschedule the wake.
+
+        Runs once per dirtied timestamp — from the end-of-timestamp
+        hook, or earlier if a rate is read mid-cascade (in which case
+        the hook's later invocation is a no-op).
+        """
+        self._dirty = False
+        seeds = self._dirty_seeds
+        self._dirty_seeds = []
+        if self._n and seeds:
+            positions, handles = self._component(seeds)
+            self._fill(positions, handles)
+        if not self._n:
+            return
+        if self.completion_mode == "projected":
+            self._reschedule_projected()
+        else:
+            self._reschedule_exact()
 
     # -- internals -----------------------------------------------------------
 
-    def _advance(self) -> None:
+    def _sync(self) -> None:
+        """Advance all flows to ``now`` and complete the finished ones.
+
+        The first touch of each timestamp does the real work; later
+        same-timestamp calls see ``elapsed == 0`` and return.  Byte
+        accounting uses a strictly sequential accumulation
+        (``np.add.accumulate``) in insertion order, so the vector path
+        reproduces the scalar (and legacy) float sums bit-for-bit.
+        """
         now = self.env.now
         elapsed = now - self._last_update
-        if elapsed > 0:
+        self._last_update = now
+        if elapsed <= 0:
+            return
+        n = self._n
+        if not n:
+            return
+        fb = self._f_bytes
+        fr = self._f_rate
+        if n >= self.VEC_SCAN_MIN:
+            lefts = fb[:n].copy()
+            moved = fr[:n] * elapsed
+            np.subtract(lefts, moved, out=fb[:n])
+            # Clamp the delivered-bytes counter to what each flow
+            # actually had left (the final wake routinely lands a hair
+            # past the true finish), then accumulate sequentially.
+            acc = np.empty(n + 1, dtype=np.float64)
+            acc[0] = self.total_bytes_moved
+            np.minimum(moved, np.maximum(lefts, 0.0), out=acc[1:])
+            self.total_bytes_moved = float(np.add.accumulate(acc)[-1])
+            hits = np.nonzero(fb[:n] <= self._f_eps[:n])[0]
+            finished = hits.tolist() if hits.size else None
+        else:
+            rates = fr[:n].tolist()
+            lefts_l = fb[:n].tolist()
+            eps_l = self._f_eps[:n].tolist()
             total = self.total_bytes_moved
-            for flow in self._flows:
-                moved = flow.rate * elapsed
-                left = flow.bytes_left
-                flow.bytes_left = left - moved
-                # Clamp the delivered-bytes counter to what the flow
-                # actually had left: the final wake routinely lands a
-                # hair past the true finish, and the raw product would
-                # overshoot the payload size on every completion.
+            finished = None
+            for i in range(n):
+                left = lefts_l[i]
+                moved = rates[i] * elapsed
+                new_left = left - moved
+                lefts_l[i] = new_left
                 if moved > left:
                     moved = left if left > 0.0 else 0.0
                 total += moved
+                if new_left <= eps_l[i]:
+                    if finished is None:
+                        finished = [i]
+                    else:
+                        finished.append(i)
+            fb[:n] = lefts_l
             self.total_bytes_moved = total
-        self._last_update = now
+        if finished:
+            self._complete(finished)
 
-    def _component_of(self, *seeds: _Flow) -> Dict[_Flow, None]:
-        """Flows connected to ``seeds`` through shared links.
+    def _complete(self, positions: List[int]) -> None:
+        """Finish the flows at ``positions`` (ascending insertion order).
 
-        Returns the affected *live* flows in ``self._flows`` insertion
-        order, so the per-component fill iterates exactly as the global
-        one would over that subset.  Seeds may be just-finished flows
-        (used purely as traversal roots); they are never part of the
-        result — a dead flow in the fill would inflate per-link flow
-        counts and corrupt every share on its links.  Visited links
-        and flows are marked with a fresh pass id (``_stamp_seq``)
-        instead of set membership, so a scan allocates only the
-        pending stack; the traversal order never leaks into the
-        result, which keeps the kernel reproducible by construction.
+        Pops them from the registry and their links, compacts the
+        packed arrays, fires their events in insertion order (the order
+        the legacy kernel fired them), and seeds the deferred refill
+        with the dead flows as traversal roots.
+        """
+        handles = self._handles
+        pos_of = self._pos_of_id
+        fb = self._f_bytes
+        fr = self._f_rate
+        done = [handles[p] for p in positions]
+        for h, p in zip(done, positions):
+            h._dead_rate = float(fr[p])
+            h._dead_bytes = float(fb[p])
+            pos_of[h.fid] = -1
+        n = self._n
+        k = len(positions)
+        nn = n - k
+        arrays = (self._f_bytes, self._f_rate, self._f_eps, self._f_cap,
+                  self._f_gen, self._id_at_pos)
+        if nn == 0:
+            del handles[:]
+        elif k == 1:
+            p = positions[0]
+            for arr in arrays:
+                arr[p:nn] = arr[p + 1:n]
+            del handles[p]
+            if p < nn:
+                pos_of[self._id_at_pos[p:nn]] = np.arange(p, nn)
+        else:
+            keep = np.ones(n, dtype=bool)
+            keep[positions] = False
+            for arr in arrays:
+                arr[:nn] = arr[:n][keep]
+            for p in reversed(positions):
+                del handles[p]
+            p0 = positions[0]
+            if p0 < nn:
+                pos_of[self._id_at_pos[p0:nn]] = np.arange(p0, nn)
+        self._n = nn
+        flows = self._flows
+        for h in done:
+            del flows[h]
+            for link in h.links:
+                link._flows.pop(h, None)
+            h.event.succeed()
+            self._mark_dirty(h)
+
+    def _component(self, seeds: Sequence[_Flow]
+                   ) -> Tuple[Optional[List[int]], List[_Flow]]:
+        """Live flows connected to ``seeds`` through shared links.
+
+        Returns ``(positions, handles)`` in insertion (packed) order;
+        ``positions is None`` means the whole network was touched (the
+        common star-topology case), letting fills skip the gather.
+        Seeds may be just-finished flows (traversal roots only).
+        Visited links and flows are stamp-marked with a fresh pass id,
+        so the scan allocates only the pending stack and the traversal
+        order never leaks into the result.
         """
         sid = self._stamp_seq = self._stamp_seq + 1
         pending: List[Link] = []
         nseen = 0
-        for flow in seeds:
-            flow._stamp = sid
-            nseen += 1
-            for link in flow.links:
-                if link._stamp != sid:
-                    link._stamp = sid
-                    pending.append(link)
+        for h in seeds:
+            if h._stamp != sid:
+                h._stamp = sid
+                nseen += 1
+                for link in h.links:
+                    if link._stamp != sid:
+                        link._stamp = sid
+                        pending.append(link)
         while pending:
             link = pending.pop()
-            for flow in link._flows:
-                if flow._stamp != sid:
-                    flow._stamp = sid
+            for h in link._flows:
+                if h._stamp != sid:
+                    h._stamp = sid
                     nseen += 1
-                    for nxt in flow.links:
+                    for nxt in h.links:
                         if nxt._stamp != sid:
                             nxt._stamp = sid
                             pending.append(nxt)
         if nseen >= len(self._flows):
-            # Whole network touched (the common star-topology case):
-            # skip the membership filter.  The fill never mutates the
-            # flow set, so handing it the live dict is safe.
-            return self._flows
-        return {f: None for f in self._flows if f._stamp == sid}
+            return None, self._handles
+        positions: List[int] = []
+        members: List[_Flow] = []
+        for i, h in enumerate(self._handles):
+            if h._stamp == sid:
+                positions.append(i)
+                members.append(h)
+        return positions, members
 
-    def _reallocate(self, flows: Optional[Dict[_Flow, None]] = None) -> None:
+    # -- progressive filling --------------------------------------------------
+
+    def _fill(self, positions: Optional[List[int]],
+              handles: List[_Flow]) -> None:
         """Progressive filling to the max-min fair allocation.
 
-        ``flows`` restricts the fill to one connected component (rates
-        of flows outside it are left untouched); ``None`` refills the
-        whole network.
+        ``positions is None`` refills the whole network; otherwise the
+        fill is restricted to one connected component (rates of flows
+        outside it are left untouched).
         """
-        flow_list = self._flows if flows is None else flows
-        if not flow_list:
+        count = len(handles)
+        if count == 0:
             return
         projected = self.completion_mode == "projected"
-        inf = float("inf")
-
-        if len(flow_list) == 1:
+        if count == 1:
             # Singleton fill (no contention): rate is the tightest of
             # the link capacities and the per-flow cap — the exact
             # value one loop iteration of the general fill produces.
-            flow = next(iter(flow_list))
-            if projected:
-                flow.gen += 1
-            share = inf
-            for link in flow.links:
+            h = handles[0]
+            pos = 0 if positions is None else positions[0]
+            share = _INF
+            for link in h.links:
                 if link.capacity < share:
                     share = link.capacity
-            cap = flow.max_rate
+            cap = h.max_rate
             if cap is not None and cap < share:
-                flow.rate = cap
-            elif share < inf:
-                flow.rate = share
+                rate = cap
+            elif share < _INF:
+                rate = share
             else:
-                flow.rate = cap or inf
+                rate = cap or _INF
+            self._f_rate[pos] = rate
             if projected:
-                self._push_projection(flow)
+                self._f_gen[pos] += 1
+                self._push_projection(h, pos)
             return
+        if count < self.VEC_FILL_MIN:
+            rates = self._fill_scalar(handles)
+        else:
+            rates = self._fill_vector(handles, positions)
+        if positions is None:
+            self._f_rate[:count] = rates
+            if projected:
+                self._f_gen[:count] += 1
+                for i, h in enumerate(handles):
+                    self._push_projection(h, i)
+        else:
+            idx = np.asarray(positions, dtype=np.int64)
+            self._f_rate[idx] = rates
+            if projected:
+                self._f_gen[idx] += 1
+                for pos, h in zip(positions, handles):
+                    self._push_projection(h, pos)
 
-        # In-place progressive filling: the fill's scratch state lives
-        # in scratch slots on the links and flows themselves (residual
-        # capacity, unfrozen-flow count, frozen flag), claimed for this
-        # pass by stamping with a fresh pass id.  The per-call flat
-        # arrays of the obvious implementation disappear; the average
-        # component here is a handful of flows over two or three links,
-        # where the scaffolding costs more than the fill.  Iteration
-        # order — and therefore every float operation — is unchanged:
-        # flow order is ``self._flows`` insertion order, link order is
-        # first-encounter order over the flows' links, and the freeze
-        # scan walks ``link._flows``, whose order is the insertion-
-        # order restriction of ``self._flows`` to that link.
+    def _fill_scalar(self, flow_list: List[_Flow]) -> List[float]:
+        """In-place progressive filling over the flow handles.
+
+        This is the legacy kernel's fill verbatim (scratch state on the
+        links/handles, claimed by stamping with a fresh pass id), with
+        rates collected into scratch slots and scatter-written by the
+        caller.  Iteration order — and therefore every float operation
+        — matches the legacy kernel: flow order is insertion order,
+        link order is first-encounter order over the flows' links, and
+        the freeze scan walks ``link._flows``.
+        """
         fid = self._stamp_seq = self._stamp_seq + 1
         links: List[Link] = []
-        for flow in flow_list:
-            flow.rate = 0.0
-            flow._frozen = False
-            if projected:
-                flow.gen += 1
-            for link in flow.links:
+        for h in flow_list:
+            h._srate = 0.0
+            h._frozen = False
+            for link in h.links:
                 if link._stamp != fid:
                     link._stamp = fid
                     link._residual = link.capacity
@@ -308,7 +651,7 @@ class FlowNetwork:
 
         while remaining:
             # Fair share offered by each link still serving unfrozen flows.
-            bottleneck_share = inf
+            bottleneck_share = _INF
             for link in links:
                 n = link._n
                 if n > 0:
@@ -318,28 +661,28 @@ class FlowNetwork:
             # Rate-capped flows below the bottleneck share freeze at
             # their cap instead (they are their own bottleneck).
             capped_any = False
-            for flow in flow_list:
-                if not flow._frozen:
-                    cap = flow.max_rate
+            for h in flow_list:
+                if not h._frozen:
+                    cap = h.max_rate
                     if cap is not None and cap < bottleneck_share:
                         capped_any = True
-                        flow._frozen = True
+                        h._frozen = True
                         remaining -= 1
-                        flow.rate = cap
-                        for link in flow.links:
+                        h._srate = cap
+                        for link in h.links:
                             r = link._residual - cap
                             link._residual = r if r > 0.0 else 0.0
                             link._n -= 1
             if capped_any:
                 continue
-            if bottleneck_share == inf:
+            if bottleneck_share == _INF:
                 # Flows with no links at all: unconstrained; should not
                 # happen in practice but terminate rather than spin.
-                for flow in flow_list:
-                    if not flow._frozen:
-                        flow._frozen = True
+                for h in flow_list:
+                    if not h._frozen:
+                        h._frozen = True
                         remaining -= 1
-                        flow.rate = flow.max_rate or inf
+                        h._srate = h.max_rate or _INF
                 break
             # Freeze every unfrozen flow on a bottleneck link.  Flows
             # outside this fill's component can never appear on a
@@ -350,64 +693,168 @@ class FlowNetwork:
             for link in links:
                 n = link._n
                 if n > 0 and link._residual / n <= tolerance:
-                    for flow in link._flows:
-                        if not flow._frozen:
-                            flow._frozen = True
+                    for h in link._flows:
+                        if not h._frozen:
+                            h._frozen = True
                             remaining -= 1
-                            flow.rate = bottleneck_share
-                            for lnk in flow.links:
+                            h._srate = bottleneck_share
+                            for lnk in h.links:
                                 r = lnk._residual - bottleneck_share
                                 lnk._residual = r if r > 0.0 else 0.0
                                 lnk._n -= 1
                             frozen_any = True
             if not frozen_any:  # pragma: no cover - numerical safety valve
-                for flow in flow_list:
-                    if not flow._frozen:
-                        flow._frozen = True
+                for h in flow_list:
+                    if not h._frozen:
+                        h._frozen = True
                         remaining -= 1
-                        flow.rate = bottleneck_share
+                        h._srate = bottleneck_share
+        return [h._srate for h in flow_list]
 
-        if projected:
-            # Push fresh projections for every re-rated flow; the old
-            # entries die lazily (their gen no longer matches).
-            for flow in flow_list:
-                self._push_projection(flow)
+    def _fill_vector(self, handles: List[_Flow],
+                     positions: Optional[List[int]]) -> np.ndarray:
+        """Vectorized progressive filling over a large component.
 
-    def _push_projection(self, flow: _Flow) -> None:
-        if flow.rate > 0.0 and flow in self._flows:
+        Bit-identical to :meth:`_fill_scalar` by construction: the
+        bottleneck share is an order-independent masked min-reduction;
+        cap freezes replay the scalar per-flow updates in insertion
+        order; and saturation freezes subtract the share from each
+        touched link the same number of times, sequentially, that the
+        scalar flow-by-flow walk would (links whose unfrozen count
+        drops to zero are skipped — their residuals are never read
+        again within this fill).
+        """
+        nf = len(handles)
+        fid = self._stamp_seq = self._stamp_seq + 1
+        link_objs: List[Link] = []
+        flow_links: List[List[int]] = []
+        flat: List[int] = []
+        for h in handles:
+            h._frozen = False
+            idxs: List[int] = []
+            for link in h.links:
+                if link._stamp != fid:
+                    link._stamp = fid
+                    link._n = len(link_objs)  # local index (scratch reuse)
+                    link_objs.append(link)
+                idxs.append(link._n)
+            flow_links.append(idxs)
+            flat.extend(idxs)
+        nl = len(link_objs)
+        res = np.array([link.capacity for link in link_objs],
+                       dtype=np.float64)
+        cnt = np.bincount(np.asarray(flat, dtype=np.int64), minlength=nl)
+        if positions is None:
+            caps = self._f_cap[:nf].copy()
+        else:
+            caps = self._f_cap[np.asarray(positions, dtype=np.int64)]
+        rates = np.zeros(nf, dtype=np.float64)
+        frozen = np.zeros(nf, dtype=bool)
+        findex = {h: i for i, h in enumerate(handles)}
+        remaining = nf
+
+        while remaining:
+            active = cnt > 0
+            if active.any():
+                bottleneck_share = float((res[active] / cnt[active]).min())
+            else:
+                bottleneck_share = _INF
+            capm = (caps < bottleneck_share) & ~frozen
+            if capm.any():
+                for i in np.nonzero(capm)[0].tolist():
+                    cap = float(caps[i])
+                    frozen[i] = True
+                    remaining -= 1
+                    rates[i] = cap
+                    for li in flow_links[i]:
+                        r = float(res[li]) - cap
+                        res[li] = r if r > 0.0 else 0.0
+                        cnt[li] -= 1
+                continue
+            if bottleneck_share == _INF:
+                idle = ~frozen
+                rates[idle] = np.where(np.isinf(caps[idle]), _INF,
+                                       caps[idle])
+                break
+            frozen_any = False
+            tolerance = bottleneck_share * (1 + 1e-12)
+            for li in range(nl):
+                c = int(cnt[li])
+                if c > 0 and float(res[li]) / c <= tolerance:
+                    group: List[int] = []
+                    for h in link_objs[li]._flows:
+                        i = findex[h]
+                        if not frozen[i]:
+                            group.append(i)
+                    if not group:  # pragma: no cover - duplicate-link path
+                        continue
+                    garr = np.asarray(group, dtype=np.int64)
+                    frozen[garr] = True
+                    rates[garr] = bottleneck_share
+                    remaining -= len(group)
+                    touched: List[int] = []
+                    for i in group:
+                        touched.extend(flow_links[i])
+                    kcounts = np.bincount(
+                        np.asarray(touched, dtype=np.int64), minlength=nl)
+                    cnt -= kcounts
+                    # Replay the sequential clamped subtractions: link j
+                    # loses the share k_j times, exactly as the scalar
+                    # flow walk subtracts it.  Links left with no
+                    # unfrozen flows are skipped — nothing reads their
+                    # residuals again within this fill.
+                    upd = np.nonzero((kcounts > 0) & (cnt > 0))[0]
+                    if upd.size:
+                        kk = kcounts[upd]
+                        while upd.size:
+                            res[upd] = np.maximum(
+                                res[upd] - bottleneck_share, 0.0)
+                            kk = kk - 1
+                            live = kk > 0
+                            if not live.all():
+                                upd = upd[live]
+                                kk = kk[live]
+                    frozen_any = True
+            if not frozen_any:  # pragma: no cover - numerical safety valve
+                rates[~frozen] = bottleneck_share
+                break
+        return rates
+
+    # -- completion scheduling ------------------------------------------------
+
+    def _push_projection(self, flow: _Flow, pos: int) -> None:
+        rate = float(self._f_rate[pos])
+        if rate > 0.0 and flow in self._flows:
             seq = self._heap_seq + 1
             self._heap_seq = seq
-            heappush(self._heap, (self.env.now + flow.bytes_left / flow.rate,
-                                  seq, flow.gen, flow))
+            heappush(self._heap,
+                     (self.env.now + float(self._f_bytes[pos]) / rate,
+                      seq, int(self._f_gen[pos]), flow))
 
-    def _reschedule(self) -> None:
-        # Single fused pass: collect finished flows and, over the
-        # survivors, the soonest completion — no second generator sweep.
-        finished: List[_Flow] = []
-        for flow in self._flows:
-            if flow.bytes_left <= flow.eps:
-                finished.append(flow)
-        for flow in finished:
-            self._flows.pop(flow, None)
-            for link in flow.links:
-                link._flows.pop(flow, None)
-            flow.event.succeed()
-        if finished:
-            self._reallocate(self._component_of(*finished))
-        if not self._flows:
-            return
-        if self.completion_mode == "projected":
-            self._reschedule_projected()
-            return
-        next_in = -1.0
-        for flow in self._flows:
-            rate = flow.rate
-            if rate > 0.0:
-                remaining = flow.bytes_left / rate
-                if next_in < 0.0 or remaining < next_in:
-                    next_in = remaining
-        if next_in < 0.0:  # pragma: no cover - all flows stalled
-            return
+    def _reschedule_exact(self) -> None:
+        n = self._n
+        if n >= self.VEC_SCAN_MIN:
+            fr = self._f_rate[:n]
+            mask = fr > 0.0
+            if mask.all():
+                rem = self._f_bytes[:n] / fr
+            elif mask.any():
+                rem = self._f_bytes[:n][mask] / fr[mask]
+            else:  # pragma: no cover - all flows stalled
+                return
+            next_in = float(rem.min())
+        else:
+            rates = self._f_rate[:n].tolist()
+            lefts = self._f_bytes[:n].tolist()
+            next_in = -1.0
+            for i in range(n):
+                rate = rates[i]
+                if rate > 0.0:
+                    remaining = lefts[i] / rate
+                    if next_in < 0.0 or remaining < next_in:
+                        next_in = remaining
+            if next_in < 0.0:  # pragma: no cover - all flows stalled
+                return
         # Floor the delay so the clock always advances between wakeups
         # (a zero-elapsed wake would make no progress and spin).
         wake = Timeout(self.env, max(next_in, 1e-9))
@@ -419,13 +866,19 @@ class FlowNetwork:
 
         Heap entries carry the flow's generation at push time; any
         entry whose flow finished or was re-rated since is stale and is
-        discarded on pop (lazy invalidation).
+        discarded on pop (lazy invalidation).  A flow completed earlier
+        in this same-timestamp batch has position -1, so its entries
+        can never fire a wake.  ``max(.., 1e-9)`` clamps float drift of
+        surviving projections at the batch boundary (a projection made
+        at an earlier timestamp can lag ``now`` by an ulp).
         """
         heap = self._heap
-        flows = self._flows
+        pos_of = self._pos_of_id
+        gens = self._f_gen
         while heap:
             when, _seq, gen, flow = heap[0]
-            if flow not in flows or gen != flow.gen:
+            pos = pos_of[flow.fid]
+            if pos < 0 or gen != gens[pos]:
                 heappop(heap)
                 continue
             wake = Timeout(self.env, max(when - self.env.now, 1e-9))
@@ -436,5 +889,7 @@ class FlowNetwork:
     def _on_wake(self, event: object) -> None:
         if event is not self._wake_event:
             return  # superseded by a newer reschedule
-        self._advance()
-        self._reschedule()
+        self._sync()
+        # Always refresh the wake (the legacy kernel rescheduled on
+        # every valid wake); completions seeded their own refill above.
+        self._mark_dirty(None)

@@ -1,0 +1,394 @@
+"""Legacy object-graph flow network (differential oracle).
+
+This is the pre-vectorization max-min water-filler, kept verbatim for
+one release behind ``REPRO_FLOWNET=legacy``.  The struct-of-arrays
+kernel in :mod:`repro.simcore.flownet` must produce bit-identical
+makespans, costs, and telemetry digests against this implementation;
+the differential tests in ``tests/simcore/test_flownet_differential.py``
+compare the two on every golden scenario and on randomized topologies.
+
+Do not modify this file except to delete it when the escape hatch is
+retired.  ``Link`` is shared with the new kernel (links are plain
+capacity holders; all engine state lives on the network object).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .events import Event, Timeout
+from .flownet import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+_TIME_EPS = 1e-9
+
+
+class _Flow:
+    __slots__ = ("links", "bytes_left", "rate", "event", "max_rate", "eps",
+                 "gen", "_stamp", "_frozen")
+
+    def __init__(self, links: Sequence[Link], nbytes: float, event: Event,
+                 max_rate: Optional[float]) -> None:
+        self.links = list(links)
+        self.bytes_left = float(nbytes)
+        self.rate = 0.0
+        self.event = event
+        self.max_rate = max_rate
+        # Completion tolerance must scale with the transfer size:
+        # float subtraction across many progress updates leaves a
+        # relative residue (~1e-12 of the size), which for GB-scale
+        # flows dwarfs any absolute epsilon.
+        self.eps = max(1e-9, nbytes * 1e-9)
+        # Projection generation: bumped whenever the rate changes, so
+        # stale completion-heap entries can be discarded lazily.
+        self.gen = 0
+        # Traversal stamp and fill freeze flag (scratch, see Link).
+        self._stamp = 0
+        self._frozen = False
+
+
+class LegacyFlowNetwork:
+    """A collection of links carrying max-min fairly shared flows.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    completion_mode:
+        ``"exact"`` (default) schedules wakeups from a fused
+        advance/min-scan over live flows — wake times are
+        bit-reproducible.  ``"projected"`` maintains a lazy-invalidation
+        heap of projected finish times and only scans flows whose rates
+        changed; timings can differ from exact mode in the last ulp.
+    """
+
+    def __init__(self, env: "Environment",
+                 completion_mode: str = "exact") -> None:
+        if completion_mode not in ("exact", "projected"):
+            raise ValueError(
+                f"completion_mode must be 'exact' or 'projected', "
+                f"got {completion_mode!r}")
+        self.env = env
+        self.completion_mode = completion_mode
+        self._flows: Dict[_Flow, None] = {}
+        self._last_update = env.now
+        # Wakeup invalidation by event identity (see FairShareChannel):
+        # only the timeout of the latest reschedule is honoured.
+        self._wake_event: object = None
+        self._wake_cb = self._on_wake
+        # Lazy-invalidation completion heap (projected mode only):
+        # entries are (projected_finish_time, seq, gen, flow); an entry
+        # is stale when the flow has finished or its gen moved on.
+        self._heap: List[tuple] = []
+        self._heap_seq = 0
+        # Monotonic pass id handed to component scans and fills; a
+        # link/flow whose ``_stamp`` differs from the current pass id
+        # has not been visited by it (no per-call visited sets needed).
+        self._stamp_seq = 0
+        #: Total bytes delivered across all completed+running flows.
+        self.total_bytes_moved = 0.0
+        #: Total flows ever started.
+        self.total_flows = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight flows."""
+        return len(self._flows)
+
+    def transfer(self, links: Sequence[Link], nbytes: float,
+                 max_rate: Optional[float] = None) -> Event:
+        """Start a flow of ``nbytes`` over ``links``.
+
+        Parameters
+        ----------
+        links:
+            The capacitated links the flow traverses (order irrelevant).
+        nbytes:
+            Payload size in bytes.
+        max_rate:
+            Optional per-flow rate ceiling (bytes/s) — models per-stream
+            limits such as a single S3 connection's throughput.
+
+        Returns an event that fires on delivery of the last byte.
+        """
+        if nbytes < 0 or not math.isfinite(nbytes):
+            raise ValueError(f"nbytes must be finite and >= 0, got {nbytes}")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError(f"max_rate must be > 0, got {max_rate}")
+        self.total_flows += 1
+        done = Event(self.env)
+        if nbytes == 0:
+            done.succeed()
+            return done
+        self._advance()
+        flow = _Flow(links, nbytes, done, max_rate)
+        self._flows[flow] = None
+        for link in flow.links:
+            link._flows[flow] = None
+        self._reallocate(self._component_of(flow))
+        self._reschedule()
+        return flow.event
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            total = self.total_bytes_moved
+            for flow in self._flows:
+                moved = flow.rate * elapsed
+                left = flow.bytes_left
+                flow.bytes_left = left - moved
+                # Clamp the delivered-bytes counter to what the flow
+                # actually had left: the final wake routinely lands a
+                # hair past the true finish, and the raw product would
+                # overshoot the payload size on every completion.
+                if moved > left:
+                    moved = left if left > 0.0 else 0.0
+                total += moved
+            self.total_bytes_moved = total
+        self._last_update = now
+
+    def _component_of(self, *seeds: _Flow) -> Dict[_Flow, None]:
+        """Flows connected to ``seeds`` through shared links.
+
+        Returns the affected *live* flows in ``self._flows`` insertion
+        order, so the per-component fill iterates exactly as the global
+        one would over that subset.  Seeds may be just-finished flows
+        (used purely as traversal roots); they are never part of the
+        result — a dead flow in the fill would inflate per-link flow
+        counts and corrupt every share on its links.  Visited links
+        and flows are marked with a fresh pass id (``_stamp_seq``)
+        instead of set membership, so a scan allocates only the
+        pending stack; the traversal order never leaks into the
+        result, which keeps the kernel reproducible by construction.
+        """
+        sid = self._stamp_seq = self._stamp_seq + 1
+        pending: List[Link] = []
+        nseen = 0
+        for flow in seeds:
+            flow._stamp = sid
+            nseen += 1
+            for link in flow.links:
+                if link._stamp != sid:
+                    link._stamp = sid
+                    pending.append(link)
+        while pending:
+            link = pending.pop()
+            for flow in link._flows:
+                if flow._stamp != sid:
+                    flow._stamp = sid
+                    nseen += 1
+                    for nxt in flow.links:
+                        if nxt._stamp != sid:
+                            nxt._stamp = sid
+                            pending.append(nxt)
+        if nseen >= len(self._flows):
+            # Whole network touched (the common star-topology case):
+            # skip the membership filter.  The fill never mutates the
+            # flow set, so handing it the live dict is safe.
+            return self._flows
+        return {f: None for f in self._flows if f._stamp == sid}
+
+    def _reallocate(self, flows: Optional[Dict[_Flow, None]] = None) -> None:
+        """Progressive filling to the max-min fair allocation.
+
+        ``flows`` restricts the fill to one connected component (rates
+        of flows outside it are left untouched); ``None`` refills the
+        whole network.
+        """
+        flow_list = self._flows if flows is None else flows
+        if not flow_list:
+            return
+        projected = self.completion_mode == "projected"
+        inf = float("inf")
+
+        if len(flow_list) == 1:
+            # Singleton fill (no contention): rate is the tightest of
+            # the link capacities and the per-flow cap — the exact
+            # value one loop iteration of the general fill produces.
+            flow = next(iter(flow_list))
+            if projected:
+                flow.gen += 1
+            share = inf
+            for link in flow.links:
+                if link.capacity < share:
+                    share = link.capacity
+            cap = flow.max_rate
+            if cap is not None and cap < share:
+                flow.rate = cap
+            elif share < inf:
+                flow.rate = share
+            else:
+                flow.rate = cap or inf
+            if projected:
+                self._push_projection(flow)
+            return
+
+        # In-place progressive filling: the fill's scratch state lives
+        # in scratch slots on the links and flows themselves (residual
+        # capacity, unfrozen-flow count, frozen flag), claimed for this
+        # pass by stamping with a fresh pass id.  The per-call flat
+        # arrays of the obvious implementation disappear; the average
+        # component here is a handful of flows over two or three links,
+        # where the scaffolding costs more than the fill.  Iteration
+        # order — and therefore every float operation — is unchanged:
+        # flow order is ``self._flows`` insertion order, link order is
+        # first-encounter order over the flows' links, and the freeze
+        # scan walks ``link._flows``, whose order is the insertion-
+        # order restriction of ``self._flows`` to that link.
+        fid = self._stamp_seq = self._stamp_seq + 1
+        links: List[Link] = []
+        for flow in flow_list:
+            flow.rate = 0.0
+            flow._frozen = False
+            if projected:
+                flow.gen += 1
+            for link in flow.links:
+                if link._stamp != fid:
+                    link._stamp = fid
+                    link._residual = link.capacity
+                    link._n = 0
+                    links.append(link)
+                link._n += 1
+        remaining = len(flow_list)
+
+        while remaining:
+            # Fair share offered by each link still serving unfrozen flows.
+            bottleneck_share = inf
+            for link in links:
+                n = link._n
+                if n > 0:
+                    share = link._residual / n
+                    if share < bottleneck_share:
+                        bottleneck_share = share
+            # Rate-capped flows below the bottleneck share freeze at
+            # their cap instead (they are their own bottleneck).
+            capped_any = False
+            for flow in flow_list:
+                if not flow._frozen:
+                    cap = flow.max_rate
+                    if cap is not None and cap < bottleneck_share:
+                        capped_any = True
+                        flow._frozen = True
+                        remaining -= 1
+                        flow.rate = cap
+                        for link in flow.links:
+                            r = link._residual - cap
+                            link._residual = r if r > 0.0 else 0.0
+                            link._n -= 1
+            if capped_any:
+                continue
+            if bottleneck_share == inf:
+                # Flows with no links at all: unconstrained; should not
+                # happen in practice but terminate rather than spin.
+                for flow in flow_list:
+                    if not flow._frozen:
+                        flow._frozen = True
+                        remaining -= 1
+                        flow.rate = flow.max_rate or inf
+                break
+            # Freeze every unfrozen flow on a bottleneck link.  Flows
+            # outside this fill's component can never appear on a
+            # component link (shared links merge components), so the
+            # ``link._flows`` walk stays within ``flow_list``.
+            frozen_any = False
+            tolerance = bottleneck_share * (1 + 1e-12)
+            for link in links:
+                n = link._n
+                if n > 0 and link._residual / n <= tolerance:
+                    for flow in link._flows:
+                        if not flow._frozen:
+                            flow._frozen = True
+                            remaining -= 1
+                            flow.rate = bottleneck_share
+                            for lnk in flow.links:
+                                r = lnk._residual - bottleneck_share
+                                lnk._residual = r if r > 0.0 else 0.0
+                                lnk._n -= 1
+                            frozen_any = True
+            if not frozen_any:  # pragma: no cover - numerical safety valve
+                for flow in flow_list:
+                    if not flow._frozen:
+                        flow._frozen = True
+                        remaining -= 1
+                        flow.rate = bottleneck_share
+
+        if projected:
+            # Push fresh projections for every re-rated flow; the old
+            # entries die lazily (their gen no longer matches).
+            for flow in flow_list:
+                self._push_projection(flow)
+
+    def _push_projection(self, flow: _Flow) -> None:
+        if flow.rate > 0.0 and flow in self._flows:
+            seq = self._heap_seq + 1
+            self._heap_seq = seq
+            heappush(self._heap, (self.env.now + flow.bytes_left / flow.rate,
+                                  seq, flow.gen, flow))
+
+    def _reschedule(self) -> None:
+        # Single fused pass: collect finished flows and, over the
+        # survivors, the soonest completion — no second generator sweep.
+        finished: List[_Flow] = []
+        for flow in self._flows:
+            if flow.bytes_left <= flow.eps:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.pop(flow, None)
+            for link in flow.links:
+                link._flows.pop(flow, None)
+            flow.event.succeed()
+        if finished:
+            self._reallocate(self._component_of(*finished))
+        if not self._flows:
+            return
+        if self.completion_mode == "projected":
+            self._reschedule_projected()
+            return
+        next_in = -1.0
+        for flow in self._flows:
+            rate = flow.rate
+            if rate > 0.0:
+                remaining = flow.bytes_left / rate
+                if next_in < 0.0 or remaining < next_in:
+                    next_in = remaining
+        if next_in < 0.0:  # pragma: no cover - all flows stalled
+            return
+        # Floor the delay so the clock always advances between wakeups
+        # (a zero-elapsed wake would make no progress and spin).
+        wake = Timeout(self.env, max(next_in, 1e-9))
+        self._wake_event = wake
+        wake.callbacks.append(self._wake_cb)
+
+    def _reschedule_projected(self) -> None:
+        """Wake at the earliest *valid* projected finish time.
+
+        Heap entries carry the flow's generation at push time; any
+        entry whose flow finished or was re-rated since is stale and is
+        discarded on pop (lazy invalidation).
+        """
+        heap = self._heap
+        flows = self._flows
+        while heap:
+            when, _seq, gen, flow = heap[0]
+            if flow not in flows or gen != flow.gen:
+                heappop(heap)
+                continue
+            wake = Timeout(self.env, max(when - self.env.now, 1e-9))
+            self._wake_event = wake
+            wake.callbacks.append(self._wake_cb)
+            return
+
+    def _on_wake(self, event: object) -> None:
+        if event is not self._wake_event:
+            return  # superseded by a newer reschedule
+        self._advance()
+        self._reschedule()

@@ -90,6 +90,14 @@ class FairShareChannel:
         # per population change) with a plain identity check.
         self._wake_event: object = None
         self._wake_cb = self._on_wake
+        # Batched same-timestamp cascades (mirrors FlowNetwork): a
+        # population change marks the channel dirty and defers one
+        # min-scan/reschedule to the environment's end-of-timestamp
+        # hook instead of rescanning per submit.  Completions stay
+        # eager (the first touch of a timestamp advances and pops due
+        # jobs), so event ordering is unchanged.
+        self._dirty = False
+        self._flush_cb_bound = self._flush_cb
         #: Cumulative dedicated-service seconds completed (utilisation metric).
         self.total_work_done = 0.0
         #: Total operations submitted.
@@ -117,8 +125,13 @@ class FairShareChannel:
             return done
         self._advance()
         self._next_id += 1
-        self._jobs[self._next_id] = _ChannelJob(work, done)
-        self._reschedule()
+        if work <= _TIME_EPS:
+            # Sub-epsilon job: the eager kernel popped it from the very
+            # next reschedule pass; complete it within this cascade.
+            done.succeed()
+        else:
+            self._jobs[self._next_id] = _ChannelJob(work, done)
+        self._mark_dirty()
         return done
 
     def current_work_done(self) -> float:
@@ -155,7 +168,14 @@ class FairShareChannel:
         return rate
 
     def _advance(self) -> None:
-        """Progress all jobs to the current time."""
+        """Progress all jobs to the current time; pop due completions.
+
+        The first touch of each timestamp does the real work (advance
+        is lazy); jobs whose remaining work crosses the epsilon are
+        completed immediately, in ``_jobs`` insertion order — exactly
+        when and how the eager kernel's fused reschedule popped them —
+        so the event-sequence order is unchanged by batching.
+        """
         now = self.env.now
         n = len(self._jobs)
         if n:
@@ -163,29 +183,50 @@ class FairShareChannel:
             if elapsed > 0:
                 total_rate = self._service_rate(n)
                 done_work = elapsed * total_rate / n
-                for job in self._jobs.values():
-                    job.work_left -= done_work
+                finished = None
+                for jid, job in self._jobs.items():
+                    left = job.work_left - done_work
+                    job.work_left = left
+                    if left <= _TIME_EPS:
+                        if finished is None:
+                            finished = [jid]
+                        else:
+                            finished.append(jid)
                 self.total_work_done += elapsed * total_rate
+                if finished:
+                    jobs = self._jobs
+                    for jid in finished:
+                        jobs.pop(jid).event.succeed()
         self._last_update = now
 
-    def _reschedule(self) -> None:
-        """Complete due jobs and schedule a wakeup for the next one."""
-        # One fused pass: collect (numerically) finished jobs and the
-        # least remaining work among the survivors.
-        finished = []
-        min_left = -1.0
-        for jid, job in self._jobs.items():
-            left = job.work_left
-            if left <= _TIME_EPS:
-                finished.append(jid)
-            elif min_left < 0.0 or left < min_left:
-                min_left = left
-        for jid in finished:
-            job = self._jobs.pop(jid)
-            job.event.succeed()
-        if not self._jobs:
+    def _mark_dirty(self) -> None:
+        # Every touch re-defers (moving the callback to the back of the
+        # flush list), so flush order tracks the *last* touch — see
+        # Environment.defer.
+        self._dirty = True
+        self.env.defer(self._flush_cb_bound)
+
+    def _flush_cb(self) -> None:
+        if self._dirty:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Schedule the wakeup for the soonest completion.
+
+        Runs once per dirtied timestamp from the end-of-timestamp hook:
+        one min-scan per batch of same-timestamp submits, where the
+        eager kernel scanned per submit.
+        """
+        self._dirty = False
+        jobs = self._jobs
+        if not jobs:
             return
-        n = len(self._jobs)
+        min_left = -1.0
+        for job in jobs.values():
+            left = job.work_left
+            if min_left < 0.0 or left < min_left:
+                min_left = left
+        n = len(jobs)
         # Floor the delay so the clock always advances between wakeups.
         delay = max(min_left * n / self._service_rate(n), 1e-9)
         wake = Timeout(self.env, delay)
@@ -196,4 +237,4 @@ class FairShareChannel:
         if event is not self._wake_event:
             return  # population changed since this wakeup was scheduled
         self._advance()
-        self._reschedule()
+        self._mark_dirty()

@@ -1,0 +1,17 @@
+"""Bad: numpy scratch buffers shared across every kernel instance."""
+import numpy
+
+import numpy as np
+
+_SCRATCH = np.empty(256)  # module-level scratch buffer
+
+
+class Kernel:
+    _RATES = np.zeros(64)  # class attribute: one buffer for all instances
+    _IDS: "np.ndarray" = numpy.full(64, -1)  # ditto, via AnnAssign
+
+    def __init__(self, env):
+        self.env = env
+
+    def fill(self):
+        _SCRATCH[: len(self._RATES)] = self._RATES

@@ -1,0 +1,19 @@
+"""Good: every environment's kernel owns its own buffers."""
+import numpy as np
+
+_INITIAL_ROWS = 64  # plain constants at module scope are fine
+
+
+class Kernel:
+    VEC_FILL_MIN = 32  # scalar class attributes are fine
+
+    def __init__(self, env):
+        self.env = env
+        # Per-instance allocation: lifetime tied to one environment.
+        self._rates = np.zeros(_INITIAL_ROWS)
+        self._ids = np.full(_INITIAL_ROWS, -1)
+
+    def grow(self):
+        grown = np.empty(len(self._ids) * 2)  # function-local: fine
+        grown[: len(self._ids)] = self._ids
+        self._ids = grown

@@ -28,6 +28,7 @@ CASES = {
     "SIM012": ("sim012", "repro/observe/monitor.py", 2),
     "SIM013": ("sim013", "repro/service/api.py", 2),
     "SIM014": ("sim014", "repro/service/worker.py", 3),
+    "SIM015": ("sim015", "repro/simcore/fastnet.py", 3),
 }
 
 
@@ -73,6 +74,7 @@ def test_cases_match_fixture_files():
     ("SIM003", "repro/telemetry/collect.py"),
     ("SIM005", "repro/apps/montage.py"),
     ("SIM009", "repro/experiments/runner.py"),
+    ("SIM015", "repro/experiments/runner.py"),
 ])
 def test_scoped_rules_inactive_off_scheduling_path(rule_id, path):
     stem, _, _ = CASES[rule_id]

@@ -1,6 +1,7 @@
 """cProfile capture/merge and perf-history trend reporting."""
 
 import json
+from pathlib import Path
 
 from repro.observe.perfhistory import (
     format_trend,
@@ -125,3 +126,39 @@ class TestPerfHistory:
     def test_format_trend_empty(self):
         assert format_trend([], scale="nope").startswith(
             "no perf history entries")
+
+    def test_sweep_scale_rows_coexist_with_old_entries(self, tmp_path):
+        # The sweep tier added new benchmark names and a new scale
+        # string to history.jsonl; rows written before it (same
+        # schema, smoke/full scales only) must keep parsing and
+        # trending unchanged alongside the new ones.
+        old_row = json.dumps(_entry("smoke", event_loop=1.1,
+                                    flownet_kernel=0.2))
+        sweep_row = json.dumps(_entry("sweep", sweep_240_serial=23.8,
+                                      sweep_240_jobs4=35.3,
+                                      flownet_dense=1.4))
+        path = tmp_path / "history.jsonl"
+        path.write_text(old_row + "\n" + sweep_row + "\n")
+
+        entries = load_history(str(path))
+        assert len(entries) == 2
+        smoke = {r["name"] for r in trend_rows(entries, scale="smoke")}
+        assert smoke == {"event_loop", "flownet_kernel"}
+        sweep = {r["name"] for r in trend_rows(entries, scale="sweep")}
+        assert sweep == {"sweep_240_serial", "sweep_240_jobs4",
+                         "flownet_dense"}
+        # Unfiltered trending sees disjoint series, never a crash.
+        assert {r["name"] for r in trend_rows(entries)} == smoke | sweep
+
+    def test_repo_history_file_parses_every_row(self):
+        # The committed history must never contain a row the loader
+        # drops: all appended entries (including pre-sweep ones) carry
+        # schema 1 and a results dict.
+        path = Path(__file__).resolve().parents[2] \
+            / "benchmarks" / "perf" / "history.jsonl"
+        raw = [line for line in path.read_text().splitlines()
+               if line.strip()]
+        entries = load_history(str(path))
+        assert len(entries) == len(raw)
+        assert {e["schema"] for e in entries} == {1}
+        assert {e["scale"] for e in entries} >= {"smoke", "sweep"}

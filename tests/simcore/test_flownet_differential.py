@@ -1,0 +1,330 @@
+"""Differential tests for the struct-of-arrays flow-network kernel.
+
+The SoA kernel in :mod:`repro.simcore.flownet` claims *bit identity*
+with the retired object-graph kernel (kept verbatim as
+``flownet_legacy.LegacyFlowNetwork`` behind ``REPRO_FLOWNET=legacy``).
+These tests pin that claim three independent ways:
+
+* randomized topologies — steady-state rates and churn completion
+  times must match the legacy kernel exactly (``==``, not approx) and
+  an independent brute-force water-filler approximately;
+* the scalar and vectorized code paths inside the SoA kernel must
+  agree bit-for-bit (thresholds pinned low to force the vector paths
+  on small populations);
+* the 20 golden end-to-end scenarios must produce identical telemetry
+  hash-chains under both kernels, and serial vs parallel sweeps must
+  agree under the new kernel.
+
+Satellite invariants for the projected-completion heap ride along: a
+flow completed in a same-timestamp batch can never fire a wake (its
+position is -1, so its heap entries are discarded on pop), and
+surviving projections that lag ``now`` by float drift are clamped to
+a strictly positive delay.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_sweep
+from repro.simcore import Environment, FlowNetwork, Link
+from tests.simcore.test_flownet_invariants import reference_fill
+from tests.test_observability_invariance import (
+    SCENARIOS,
+    _config,
+    _hash_chain,
+    small_workflow,
+)
+
+#: Huge payload so no flow finishes while steady-state rates are read.
+_NEVER_FINISH = 1e18
+
+
+@pytest.fixture
+def legacy_kernel(monkeypatch):
+    """Route FlowNetwork construction to the legacy object-graph kernel."""
+    monkeypatch.setenv("REPRO_FLOWNET", "legacy")
+
+
+@pytest.fixture
+def forced_vector(monkeypatch):
+    """Pin the SoA thresholds so even tiny populations take the
+    vectorized sync/fill paths."""
+    monkeypatch.setattr(FlowNetwork, "VEC_FILL_MIN", 1)
+    monkeypatch.setattr(FlowNetwork, "VEC_SCAN_MIN", 1)
+
+
+def _random_specs(rng):
+    """Uneven capacities, shared-link components, capped flows."""
+    n_links = rng.randint(2, 9)
+    caps = [rng.choice([1e6, 3.7e6, 2.5e7, 1e8, rng.uniform(1e5, 1e9)])
+            for _ in range(n_links)]
+    specs = []
+    for _ in range(rng.randint(2, 24)):
+        k = rng.randint(1, min(3, n_links))
+        path = tuple(sorted(rng.sample(range(n_links), k)))
+        cap = rng.choice([None, None, None, 2e5, 1.5e6,
+                          rng.uniform(1e4, 1e8)])
+        specs.append((path, cap))
+    return caps, specs
+
+
+def _steady_rates(caps, specs):
+    """Rates after all flows joined, in arrival order, plus the net."""
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+    for path, cap in specs:
+        net.transfer([links[i] for i in path], _NEVER_FINISH, max_rate=cap)
+    return [flow.rate for flow in net._flows]
+
+
+@pytest.mark.parametrize("trial", range(15))
+def test_steady_rates_bit_identical_across_kernels(trial, monkeypatch):
+    """SoA scalar == SoA vector == legacy, and all ≈ brute force."""
+    rng = random.Random(52000 + trial)
+    caps, specs = _random_specs(rng)
+
+    scalar = _steady_rates(caps, specs)
+
+    monkeypatch.setattr(FlowNetwork, "VEC_FILL_MIN", 1)
+    monkeypatch.setattr(FlowNetwork, "VEC_SCAN_MIN", 1)
+    vector = _steady_rates(caps, specs)
+    monkeypatch.undo()
+
+    monkeypatch.setenv("REPRO_FLOWNET", "legacy")
+    legacy = _steady_rates(caps, specs)
+
+    assert scalar == vector
+    assert scalar == legacy
+
+    links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+    ref_specs = [([links[i] for i in path], cap) for path, cap in specs]
+    want = reference_fill(ref_specs)
+    for got, expected in zip(scalar, want):
+        assert got == pytest.approx(expected, rel=1e-6, abs=1e-3)
+
+
+def _churn_script(rng):
+    """A reproducible arrival script with the nasty cases mixed in:
+    zero-byte transfers, sub-epsilon payloads, shared-link components,
+    synchronized same-timestamp waves."""
+    caps, _ = _random_specs(rng)
+    script = []
+    for _ in range(rng.randint(10, 30)):
+        k = rng.randint(1, min(3, len(caps)))
+        path = tuple(sorted(rng.sample(range(len(caps)), k)))
+        nbytes = rng.choice([
+            0.0, 1e-12, rng.uniform(1e5, 5e7), rng.uniform(1e5, 5e7),
+            rng.uniform(1e3, 1e5), rng.uniform(1e7, 2e8),
+        ])
+        cap = rng.choice([None, None, 2e5, rng.uniform(1e4, 1e7)])
+        # delay 0.0 builds same-timestamp waves (the batched-cascade path).
+        delay = rng.choice([0.0, 0.0, rng.uniform(0.01, 2.0)])
+        script.append((path, nbytes, cap, delay))
+    return caps, script
+
+
+def _run_churn(caps, script):
+    """Completion log [(flow index, finish time)] in event order."""
+    env = Environment()
+    net = FlowNetwork(env)
+    links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+    log = []
+
+    def driver():
+        pending = []
+        for idx, (path, nbytes, cap, delay) in enumerate(script):
+            done = net.transfer([links[i] for i in path], nbytes,
+                                max_rate=cap)
+            done.callbacks.append(
+                lambda _ev, idx=idx: log.append((idx, env.now)))
+            pending.append(done)
+            if delay:
+                yield env.timeout(delay)
+        yield env.all_of(pending)
+
+    env.process(driver())
+    env.run()
+    return log, net.total_bytes_moved, net.total_flows
+
+
+@pytest.mark.parametrize("trial", range(10))
+def test_churn_completions_bit_identical_across_kernels(trial, monkeypatch):
+    """Completion order, completion times, and byte totals all match
+    exactly under churn — including zero-byte and sub-epsilon payloads
+    arriving inside same-timestamp waves."""
+    caps, script = _churn_script(random.Random(61000 + trial))
+
+    scalar = _run_churn(caps, script)
+
+    monkeypatch.setattr(FlowNetwork, "VEC_FILL_MIN", 1)
+    monkeypatch.setattr(FlowNetwork, "VEC_SCAN_MIN", 1)
+    vector = _run_churn(caps, script)
+    monkeypatch.undo()
+
+    monkeypatch.setenv("REPRO_FLOWNET", "legacy")
+    legacy = _run_churn(caps, script)
+
+    assert scalar == vector
+    assert scalar == legacy
+
+
+@pytest.mark.parametrize("mode", ["exact", "projected"])
+def test_completion_modes_agree_under_batching(mode, monkeypatch):
+    """Both completion schedulers survive the same churn script with
+    identical results under forced-vector batching."""
+    caps, script = _churn_script(random.Random(77))
+
+    def run(completion_mode):
+        env = Environment()
+        net = FlowNetwork(env, completion_mode=completion_mode)
+        links = [Link(f"l{i}", c) for i, c in enumerate(caps)]
+        log = []
+
+        def driver():
+            pending = []
+            for idx, (path, nbytes, cap, delay) in enumerate(script):
+                done = net.transfer([links[i] for i in path], nbytes,
+                                    max_rate=cap)
+                done.callbacks.append(
+                    lambda _ev, idx=idx: log.append((idx, env.now)))
+                pending.append(done)
+                if delay:
+                    yield env.timeout(delay)
+            yield env.all_of(pending)
+
+        env.process(driver())
+        env.run()
+        return log
+
+    monkeypatch.setattr(FlowNetwork, "VEC_FILL_MIN", 1)
+    monkeypatch.setattr(FlowNetwork, "VEC_SCAN_MIN", 1)
+    got = run(mode)
+    finished = {idx for idx, _t in got}
+    assert finished == set(range(len(script)))
+    # Completion *times* agree across modes (order may differ only
+    # within a timestamp for the projected heap; it does not here).
+    assert sorted(got) == sorted(run("exact" if mode == "projected"
+                                     else "projected"))
+
+
+def test_zero_byte_transfer_is_immediate_in_both_kernels(monkeypatch):
+    """A zero-byte transfer succeeds synchronously, counts in
+    ``total_flows``, and moves no bytes — same contract both kernels."""
+    for legacy in (False, True):
+        if legacy:
+            monkeypatch.setenv("REPRO_FLOWNET", "legacy")
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Link("l", 10.0)
+        done = net.transfer((link,), 0.0)
+        assert done.triggered
+        assert net.total_flows == 1
+        assert net.total_bytes_moved == 0.0
+        assert not net._flows
+        assert not link._flows
+
+
+# -- golden end-to-end scenarios ------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS,
+    ids=["{}-{}-n{}-s{}".format(*s) for s in SCENARIOS])
+def test_golden_scenarios_bit_identical_to_legacy(scenario, monkeypatch):
+    """Telemetry hash-chain, makespan, and cost agree with the legacy
+    kernel on every golden scenario."""
+    app, storage, nodes, seed = scenario
+    workflow = small_workflow(app)
+    config = _config(app, storage, nodes, seed)
+
+    (soa,) = run_sweep([config], workflow=workflow)
+    monkeypatch.setenv("REPRO_FLOWNET", "legacy")
+    (legacy,) = run_sweep([config], workflow=workflow)
+
+    assert soa.run.makespan == legacy.run.makespan
+    assert soa.cost.per_second_total == legacy.cost.per_second_total
+    assert _hash_chain(soa) == _hash_chain(legacy)
+
+
+def test_sweep_digest_serial_vs_parallel_under_soa_kernel():
+    """The SoA kernel's results are independent of worker scheduling:
+    the same sweep run serially and with two worker processes yields
+    identical hash-chains cell for cell."""
+    cells = [
+        ("synthetic", "nfs", 2, 0),
+        ("montage", "s3", 2, 0),
+        ("synthetic", "pvfs", 4, 5),
+        ("broadband", "nfs", 2, 23),
+    ]
+    configs = [_config(*cell) for cell in cells]
+    serial = run_sweep(configs, workflow_factory=small_workflow)
+    parallel = run_sweep(configs, workflow_factory=small_workflow, jobs=2)
+    assert ([_hash_chain(r) for r in serial]
+            == [_hash_chain(r) for r in parallel])
+
+
+# -- projected-heap staleness invariants ----------------------------------
+
+
+def test_projected_wake_never_targets_batch_completed_flow():
+    """A same-timestamp batch that completes several flows leaves their
+    heap entries stale (position -1); every wake actually scheduled must
+    target a live, current-generation projection."""
+    env = Environment()
+    net = FlowNetwork(env, completion_mode="projected")
+    link = Link("l", 100.0)
+
+    orig = net._reschedule_projected
+    guards = []
+
+    def guarded():
+        orig()
+        if net._heap:
+            _when, _seq, gen, flow = net._heap[0]
+            pos = int(net._pos_of_id[flow.fid])
+            assert pos >= 0, "wake scheduled from a completed flow"
+            assert gen == int(net._f_gen[pos]), "wake from a stale rate"
+            guards.append(flow)
+
+    net._reschedule_projected = guarded
+
+    # Five equal flows finish together in one batch at t=70 while two
+    # stragglers (still holding valid projections) continue.
+    batch = [net.transfer((link,), 1000.0) for _ in range(5)]
+    stragglers = [net.transfer((link,), 5000.0) for _ in range(2)]
+    env.run(env.all_of(batch))
+    assert len(net._flows) == 2
+    env.run(env.all_of(stragglers))
+    assert not net._flows
+    assert guards, "instrumented reschedule never ran"
+    # Whatever the heap still holds is provably stale.
+    for _when, _seq, _gen, flow in net._heap:
+        assert int(net._pos_of_id[flow.fid]) < 0
+
+
+def test_projected_drift_is_clamped_at_batch_boundary():
+    """A surviving projection that lags ``now`` by float drift must be
+    clamped to a strictly positive delay — the wake may never schedule
+    at or before the current timestamp."""
+    env = Environment()
+    net = FlowNetwork(env, completion_mode="projected")
+    link = Link("l", 10.0)
+    net.transfer((link,), _NEVER_FINISH)
+    env.run(until=100.0)
+
+    flow = next(iter(net._flows))
+    pos = int(net._pos_of_id[flow.fid])
+    # Forge a projection an ulp in the past but otherwise valid.
+    net._heap_seq += 1
+    net._heap.insert(0, (env.now - 1e-12, net._heap_seq,
+                         int(net._f_gen[pos]), flow))
+    net._heap.sort()
+    net._reschedule_projected()
+
+    wake = net._wake_event
+    entries = [when for when, _p, _s, ev in env._queue if ev is wake]
+    assert entries, "reschedule did not arm a wake"
+    assert entries[0] > env.now
+    assert entries[0] == pytest.approx(env.now + 1e-9, abs=1e-12)
